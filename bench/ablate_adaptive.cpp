@@ -1,0 +1,81 @@
+// Ablation A13 (extension, Sec. 4.3.2): static vs adaptive policy
+// weights under demand drift. The workload's mixture shifts from
+// P2P-dominated toward measurement-dominated across four "epochs"; a
+// static policy computed from epoch-1 data drifts away from the live
+// Shapley shares, while re-estimating the mixture each epoch tracks
+// them.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/sharing.hpp"
+#include "io/table.hpp"
+#include "model/federation.hpp"
+#include "policy/mixture.hpp"
+#include "policy/weights.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto space = model::LocationSpace::disjoint(
+      benchutil::make_facilities({100, 400, 800}, {1.0, 1.0, 1.0}));
+
+  // Two classes: small jobs (l = 60) and diversity-hungry sweeps
+  // (l = 700). Their rates drift across epochs.
+  const model::RequestClass small_shape = [] {
+    model::RequestClass rc;
+    rc.min_locations = 60.0;
+    rc.holding_time = 0.5;
+    return rc;
+  }();
+  const model::RequestClass sweep_shape = [] {
+    model::RequestClass rc;
+    rc.min_locations = 700.0;
+    rc.holding_time = 2.0;
+    return rc;
+  }();
+
+  io::print_heading(std::cout,
+                    "A13 — static vs adaptive phi-hat weights under drift");
+  io::Table table({"epoch", "sweep mix", "live phi3", "adaptive w3",
+                   "static w3", "|static-live|", "|adaptive-live|"});
+
+  std::vector<double> static_weights;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    std::vector<sim::TrafficClass> classes(2);
+    classes[0].request = small_shape;
+    classes[0].arrival_rate = 6.0 - 1.5 * epoch;  // P2P demand wanes
+    classes[1].request = sweep_shape;
+    classes[1].arrival_rate = 0.25 + 0.5 * epoch;  // sweeps grow
+
+    const auto trace = sim::generate_workload(
+        classes, 2000.0, 100 + static_cast<unsigned>(epoch));
+    const auto est = policy::estimate_mixture(trace, 2);
+    const auto adaptive = policy::adaptive_weights(
+        space, est, {small_shape, sweep_shape});
+    if (epoch == 0) static_weights = adaptive;  // frozen at epoch 1
+
+    // Live truth: Shapley from the true concurrent demand.
+    model::DemandProfile truth;
+    truth.classes = {small_shape, sweep_shape};
+    truth.classes[0].count =
+        classes[0].arrival_rate * small_shape.holding_time;
+    truth.classes[1].count =
+        classes[1].arrival_rate * sweep_shape.holding_time;
+    model::Federation fed(space, truth);
+    const auto live = game::shapley_shares(fed.build_game());
+
+    table.add_row(
+        {std::to_string(epoch + 1), io::format_double(est.mixture[1], 3),
+         io::format_double(live[2], 4), io::format_double(adaptive[2], 4),
+         io::format_double(static_weights[2], 4),
+         io::format_double(policy::weight_drift(static_weights, live), 4),
+         io::format_double(policy::weight_drift(adaptive, live), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the adaptive weights stay within estimation\n"
+               "noise of the live Shapley shares in every epoch, while\n"
+               "the static epoch-1 policy drifts as the diversity-hungry\n"
+               "class grows — the quantitative case for the paper's\n"
+               "'adjust the policies to the expected mixture' guidance.\n";
+  return 0;
+}

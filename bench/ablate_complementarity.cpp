@@ -1,0 +1,55 @@
+// Ablation A14 (extension): when does diversity make facilities
+// complements? The Shapley interaction index I_ij (from the Harsanyi
+// dividends) is positive for complements and negative for substitutes.
+// Sweeping the Fig. 4 economy's threshold l shows the federation's
+// internal structure flipping: additive at l = 0, substitution among the
+// big facilities at moderate l, full complementarity once only the grand
+// coalition can serve.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/dividends.hpp"
+#include "io/table.hpp"
+#include "model/federation.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto configs = benchutil::fig4_facilities();
+  io::print_heading(std::cout,
+                    "A14 — Shapley interaction indices vs threshold l");
+  io::Table table({"l", "I(F1,F2)", "I(F1,F3)", "I(F2,F3)", "structure"});
+  table.set_align(4, io::Align::kLeft);
+  for (const double l :
+       {0.0, 150.0, 450.0, 600.0, 1000.0, 1250.0}) {
+    model::Federation fed(model::LocationSpace::disjoint(configs),
+                          model::DemandProfile::single_experiment(l));
+    const auto index = game::interaction_index(fed.build_game());
+    std::string verdict;
+    const bool any_negative =
+        index[0][1] < -1e-9 || index[0][2] < -1e-9 || index[1][2] < -1e-9;
+    const bool any_positive =
+        index[0][1] > 1e-9 || index[0][2] > 1e-9 || index[1][2] > 1e-9;
+    if (!any_negative && !any_positive) {
+      verdict = "additive";
+    } else if (any_negative && any_positive) {
+      verdict = "mixed";
+    } else if (any_positive) {
+      verdict = "complements";
+    } else {
+      verdict = "substitutes";
+    }
+    table.add_row({io::format_double(l, 0),
+                   io::format_double(index[0][1], 1),
+                   io::format_double(index[0][2], 1),
+                   io::format_double(index[1][2], 1), verdict});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: zero interaction at l = 0 (pure capacity\n"
+               "economy); mixed signs at intermediate l (small facilities\n"
+               "complement big ones, big ones substitute for each other);\n"
+               "all-positive once no proper coalition can serve — the\n"
+               "interaction index is the algebra behind the paper's\n"
+               "'value of diversity'.\n";
+  return 0;
+}

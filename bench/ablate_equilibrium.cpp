@@ -1,0 +1,68 @@
+// Ablation A6: provision-game stability under Shapley vs proportional
+// sharing (the paper's Sec. 4.4 remark that Shapley's threshold jumps
+// "could cause instability"). We sweep the per-location cost alpha and
+// report the best-response fixed point and the number of pure Nash
+// equilibria under each policy.
+#include <iostream>
+
+#include "common.hpp"
+#include "io/table.hpp"
+#include "policy/equilibrium.hpp"
+
+namespace {
+
+using namespace fedshare;
+
+policy::ProvisionGame base_game(double alpha) {
+  policy::ProvisionGame g;
+  g.base_configs = benchutil::make_facilities({100, 400, 800},
+                                              {80.0, 60.0, 20.0});
+  g.strategy_grids = {{0, 50, 100, 200}, {0, 200, 400}, {0, 400, 800}};
+  g.demand = model::DemandProfile::uniform(40, 400.0);
+  g.cost.alpha = alpha;
+  return g;
+}
+
+std::string profile_string(const policy::ProvisionGame& g,
+                           const policy::Profile& p) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out += std::to_string(g.strategy_grids[i][p[i]]);
+    out += (i + 1 < p.size()) ? "," : ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  io::print_heading(std::cout,
+                    "A6 — provision equilibria: Shapley vs proportional");
+  io::Table table({"alpha", "policy", "BR fixed point", "converged",
+                   "#pure Nash"});
+  table.set_align(1, io::Align::kLeft);
+
+  const policy::ShapleyPolicy shapley;
+  const policy::ProportionalAvailabilityPolicy proportional;
+  for (const double alpha : {0.5, 2.0, 8.0, 20.0}) {
+    const auto game = base_game(alpha);
+    for (const policy::SharingPolicy* pol :
+         {static_cast<const policy::SharingPolicy*>(&shapley),
+          static_cast<const policy::SharingPolicy*>(&proportional)}) {
+      const auto br =
+          policy::best_response_dynamics(game, *pol, {0, 0, 0}, 30);
+      const auto nash = policy::pure_nash_equilibria(game, *pol);
+      table.add_row({io::format_double(alpha, 1), pol->name(),
+                     profile_string(game, br.profile),
+                     br.converged ? "yes" : "no",
+                     std::to_string(nash.size())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: at low alpha both policies sustain full\n"
+               "contribution; as alpha rises, provision collapses — and the\n"
+               "Shapley policy's payoff jumps at diversity thresholds keep\n"
+               "larger contributions profitable longer than proportional\n"
+               "sharing does.\n";
+  return 0;
+}

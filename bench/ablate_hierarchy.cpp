@@ -1,0 +1,50 @@
+// Ablation A8 (extension): what hierarchy does to value sharing.
+// Sweeps the diversity threshold and compares, for a PLC / PLE(+members)
+// / PLJ federation, the Owen shares (structure-consistent) against
+// hierarchy-blind Shapley — quantifying how much a small testbed gains
+// or loses by having to negotiate through its regional authority.
+#include <cmath>
+#include <iostream>
+
+#include "io/table.hpp"
+#include "model/hierarchy.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  std::vector<model::Region> regions(3);
+  regions[0].name = "PLC";
+  regions[0].members = {{"PLC-core", 300, 4.0, 1.0}};
+  regions[1].name = "PLE";
+  regions[1].members = {{"PLE-core", 150, 4.0, 1.0},
+                        {"G-Lab", 60, 3.0, 1.0},
+                        {"EmanicsLab", 30, 2.0, 1.0}};
+  regions[2].name = "PLJ";
+  regions[2].members = {{"PLJ-core", 80, 3.0, 1.0}};
+
+  io::print_heading(std::cout,
+                    "A8 — Owen vs flat Shapley across demand thresholds");
+  io::Table table({"l", "PLE share", "G-Lab Owen", "G-Lab flat",
+                   "max |Owen-flat|"});
+  for (const double l : {0.0, 150.0, 300.0, 450.0, 550.0}) {
+    model::HierarchicalFederation fed(
+        regions, model::DemandProfile::uniform(10, l));
+    const auto owen = fed.owen_shares();
+    const auto flat = fed.flat_shapley_shares();
+    const auto region = fed.region_shares();
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < owen.size(); ++i) {
+      max_diff = std::max(max_diff, std::abs(owen[i] - flat[i]));
+    }
+    table.add_row({io::format_double(l, 0), io::format_percent(region[1]),
+                   io::format_percent(owen[2]),
+                   io::format_percent(flat[2]),
+                   io::format_double(max_diff, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: at l = 0 the game is additive and the two\n"
+               "solutions coincide; as diversity thresholds bind, the\n"
+               "bloc structure shifts value — members of a pivotal region\n"
+               "share its bargaining power regardless of their own size.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A3: statistical-multiplexing gain vs holding time (Sec. 2.3.1
+// / 3.2.1): "the smaller the t_k's, the more chances for the game to be
+// super-additive". Two identical facilities run the same Poisson traffic
+// alone and federated; the DES measures the utility-rate gain, and the
+// analytic reduced-load model cross-checks the blocking probabilities.
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "io/table.hpp"
+#include "model/location_space.hpp"
+#include "sim/loss_network.hpp"
+#include "sim/multiplex_sim.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto configs = benchutil::make_facilities({30, 30}, {2.0, 2.0});
+  const auto space = model::LocationSpace::disjoint(configs);
+
+  io::print_heading(std::cout,
+                    "A3 — federation gain vs holding time t (DES)");
+  io::Table table({"t", "alone util-rate", "fed util-rate", "gain",
+                   "alone block", "fed block"});
+
+  std::vector<double> ts{0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0};
+  for (const double t : ts) {
+    sim::TrafficClass tc;
+    tc.request.min_locations = 25.0;
+    tc.request.holding_time = t;
+    tc.arrival_rate = 3.0;  // load scales with t
+
+    sim::SimConfig cfg;
+    cfg.horizon = 3000.0 * std::max(t, 0.2);
+    cfg.warmup = 0.1 * cfg.horizon;
+    cfg.seed = 42;
+    cfg.holding_time.kind = sim::HoldingTimeModel::Kind::kExponential;
+
+    const auto alone = sim::simulate_multiplexing(
+        space.pool_for(game::Coalition::single(0)), {tc}, cfg);
+    // Federated pool faces the combined demand of both facilities.
+    sim::TrafficClass combined = tc;
+    combined.arrival_rate = 2.0 * tc.arrival_rate;
+    const auto fed2 = sim::simulate_multiplexing(
+        space.pool_for(game::Coalition::grand(2)), {combined}, cfg);
+
+    const double gain = fed2.utility_rate / (2.0 * alone.utility_rate);
+    table.add_row({io::format_double(t, 2),
+                   io::format_double(alone.utility_rate, 1),
+                   io::format_double(fed2.utility_rate, 1),
+                   io::format_double(gain, 3),
+                   io::format_percent(
+                       alone.per_class[0].blocking_probability()),
+                   io::format_percent(
+                       fed2.per_class[0].blocking_probability())});
+  }
+  table.print(std::cout);
+
+  io::print_heading(std::cout,
+                    "A3b — analytic cross-check (fixed-route vs any-k "
+                    "loss models)");
+  io::Table an({"t", "route alone", "route fed", "any-k alone",
+                "any-k fed"});
+  for (const double t : ts) {
+    const auto route_alone = sim::reduced_load_blocking(
+        3.0, t, /*needed=*/25, /*total=*/30, /*servers=*/2);
+    const auto route_fed = sim::reduced_load_blocking(
+        6.0, t, /*needed=*/25, /*total=*/60, /*servers=*/2);
+    const auto anyk_alone = sim::any_k_blocking(3.0, t, 25, 30, 2);
+    const auto anyk_fed = sim::any_k_blocking(6.0, t, 25, 60, 2);
+    an.add_row({io::format_double(t, 2),
+                io::format_percent(route_alone.call_blocking),
+                io::format_percent(route_fed.call_blocking),
+                io::format_percent(anyk_alone.call_blocking),
+                io::format_percent(anyk_fed.call_blocking)});
+  }
+  an.print(std::cout);
+  std::cout << "Expected: the DES gain exceeds 1 in the contended regime\n"
+               "(pooling smooths arrival bursts) and fades toward 1 when\n"
+               "the system is either idle or hopelessly overloaded. The\n"
+               "fixed-route reduced-load model assigns both pools the same\n"
+               "per-location load and predicts *no* pooling gain; the\n"
+               "any-k diversity model (admission = any 25 free locations)\n"
+               "correctly shows the federated pool blocking less — \n"
+               "diversity value is analytic once admission is modelled\n"
+               "the way the paper's experiments actually behave.\n";
+  return 0;
+}

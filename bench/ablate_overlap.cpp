@@ -1,0 +1,57 @@
+// Ablation A7: location overlap o_ij (Sec. 2.1). Facilities sample their
+// locations from a shrinking universe, so expected pairwise overlap
+// grows; we measure how overlap erodes the federation's diversity value
+// and shifts the Shapley shares. Averages over several seeds.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/sharing.hpp"
+#include "io/table.hpp"
+#include "model/federation.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto configs =
+      benchutil::make_facilities({100, 400, 800}, {1.0, 1.0, 1.0});
+  const auto demand = model::DemandProfile::single_experiment(500.0);
+  constexpr int kSeeds = 5;
+
+  io::print_heading(std::cout,
+                    "A7 — overlap vs diversity value (l = 500, mean of 5 "
+                    "seeds)");
+  io::Table table({"universe", "mean o(1,3)", "distinct locs", "V(N)",
+                   "phi1", "phi2", "phi3"});
+  for (const int universe : {2600, 1600, 1300, 1100, 900, 800}) {
+    double o13 = 0.0;
+    double distinct = 0.0;
+    double value = 0.0;
+    std::vector<double> shares(3, 0.0);
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto space = model::LocationSpace::overlapping(
+          configs, universe, 1000u + static_cast<unsigned>(seed));
+      model::Federation fed(space, demand);
+      o13 += space.overlap(0, 2) / kSeeds;
+      distinct +=
+          space.distinct_locations(game::Coalition::grand(3)) /
+          static_cast<double>(kSeeds);
+      const auto g = fed.build_game();
+      value += g.grand_value() / kSeeds;
+      const auto s = game::shapley_shares(g);
+      for (int i = 0; i < 3; ++i) shares[i] += s[i] / kSeeds;
+    }
+    table.add_row({std::to_string(universe), io::format_double(o13, 3),
+                   io::format_double(distinct, 0),
+                   io::format_double(value, 0),
+                   io::format_double(shares[0], 4),
+                   io::format_double(shares[1], 4),
+                   io::format_double(shares[2], 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: a smaller universe raises overlap, shrinks the\n"
+               "grand coalition's distinct-location count and thus V(N)\n"
+               "(capacities add where sets overlap, but the experiment\n"
+               "values only distinct locations); overlapped contributors\n"
+               "lose uniqueness, pulling Shapley toward equal shares.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A10 (extension): the price of incentive compatibility in the
+// P2P scenario (Eq. 3). Sweeps how asymmetric the facilities' user
+// demands are and reports the total-utility gap between the IR-
+// constrained P2P allocation and the unconstrained commercial optimum,
+// plus how the resulting value shares compare with Shapley.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/sharing.hpp"
+#include "io/table.hpp"
+#include "model/federation.hpp"
+#include "policy/p2p_policy.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto configs =
+      benchutil::make_facilities({100, 400, 800}, {1.0, 1.0, 1.0});
+  const auto space = model::LocationSpace::disjoint(configs);
+
+  io::print_heading(std::cout,
+                    "A10 — P2P (Eq. 3) vs commercial optimum (Eq. 2)");
+  io::Table table({"d3", "total P2P", "commercial", "IC cost", "s1", "s2",
+                   "s3"});
+  // Facility 3's users get ever more concave utility: the efficient
+  // allocation would starve them (their marginal utility collapses), but
+  // F3's 800-location outside option forces the coalition to keep them
+  // whole — the IR constraint binds harder as d3 falls.
+  for (const double d3 : {1.0, 0.8, 0.6, 0.5, 0.4, 0.3}) {
+    std::vector<model::RequestClass> demands(3);
+    demands[0].count = 200.0;  // plentiful linear demand
+    demands[0].min_locations = 1.0;
+    demands[1].count = 200.0;
+    demands[1].min_locations = 1.0;
+    demands[2].count = 4.0;
+    demands[2].min_locations = 1.0;
+    demands[2].exponent = d3;
+    const auto result = policy::p2p_value_sharing(space, demands);
+    if (!result.feasible) {
+      table.add_row({io::format_double(d3, 2), "infeasible"});
+      continue;
+    }
+    table.add_row({io::format_double(d3, 2),
+                   io::format_double(result.total_utility, 0),
+                   io::format_double(result.commercial_optimum, 0),
+                   io::format_double(result.incentive_cost, 0),
+                   io::format_double(result.shares[0], 3),
+                   io::format_double(result.shares[1], 3),
+                   io::format_double(result.shares[2], 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected (Sec. 3.1): the IR constraints can force the\n"
+               "coalition below the commercial optimum; the gap (IC cost)\n"
+               "grows as standalone outside options diverge from the\n"
+               "efficient allocation.\n";
+  return 0;
+}

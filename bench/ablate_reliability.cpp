@@ -1,0 +1,70 @@
+// Ablation A12 (extension): diversity as reliability. The paper lists
+// "reliability against natural disasters through redundancy" among the
+// benefits of federating (Sec. 1.1/2.1). Here a regional disaster takes
+// down one facility's locations for part of the run; we replay the SAME
+// workload trace (paired comparison) against each coalition's pool and
+// measure how redundancy masks the outage.
+#include <iostream>
+
+#include "common.hpp"
+#include "io/table.hpp"
+#include "model/location_space.hpp"
+#include "sim/workload.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  // Two regions, each 25 locations x 2 units; experiments need 20
+  // distinct locations.
+  const auto configs = benchutil::make_facilities({25, 25}, {2.0, 2.0});
+  const auto space = model::LocationSpace::disjoint(configs);
+
+  std::vector<sim::TrafficClass> classes(1);
+  classes[0].arrival_rate = 2.0;
+  classes[0].request.min_locations = 20.0;
+  classes[0].request.holding_time = 1.0;
+
+  const double horizon = 1000.0;
+  const auto trace = sim::generate_workload(classes, horizon, 2024);
+
+  io::print_heading(std::cout,
+                    "A12 — outage masking: facility-1 disaster, t in "
+                    "[300, 600]");
+  io::Table table({"pool", "outage", "blocked", "utility rate"});
+  table.set_align(0, io::Align::kLeft);
+  table.set_align(1, io::Align::kLeft);
+
+  auto run = [&](const std::string& name, game::Coalition coalition,
+                 bool with_outage) {
+    sim::SimConfig cfg;
+    cfg.warmup = 100.0;
+    if (with_outage) {
+      // Facility 1's locations are the first 25 ids of the pooled
+      // (disjoint) space; in the singleton pool they are all of them.
+      const auto ids = space.pooled_location_ids(coalition);
+      for (std::size_t idx = 0; idx < ids.size(); ++idx) {
+        if (ids[idx] < 25) cfg.outages.push_back({idx, 300.0, 600.0});
+      }
+    }
+    const auto result = sim::replay_workload(space.pool_for(coalition),
+                                             classes, trace, cfg);
+    table.add_row({name, with_outage ? "yes" : "no",
+                   io::format_percent(
+                       result.per_class[0].blocking_probability()),
+                   io::format_double(result.utility_rate, 1)});
+  };
+
+  run("facility 1 alone", game::Coalition::single(0), false);
+  run("facility 1 alone", game::Coalition::single(0), true);
+  run("federated", game::Coalition::grand(2), false);
+  run("federated", game::Coalition::grand(2), true);
+  table.print(std::cout);
+
+  std::cout << "\nExpected: during the outage window the standalone pool\n"
+               "admits nothing (0 < 20 locations remain up), so its\n"
+               "overall blocking jumps by ~20 points and utility drops by\n"
+               "a third; the federated pool keeps serving on facility 2's\n"
+               "25 locations and loses only ~10% — the redundancy value\n"
+               "of diversity, measured on an identical arrival trace.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation A9 (extension, Sec. 6 future work): Shapley shares computed
+// on the *stochastic* game — V(S) measured as the DES utility rate under
+// Poisson arrivals — versus the static allocation model, as holding
+// times shrink. Short holding times multiplex better, coalition values
+// become closer to additive in capacity, and the stochastic Shapley
+// drifts toward the static one; long holding times congest small
+// coalitions and amplify the diversity premium.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/properties.hpp"
+#include "core/shapley.hpp"
+#include "io/table.hpp"
+#include "model/federation.hpp"
+#include "model/stochastic_value.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto configs =
+      benchutil::make_facilities({40, 25, 15}, {3.0, 3.0, 3.0});
+  const auto space = model::LocationSpace::disjoint(configs);
+
+  // Static reference: saturating demand with threshold 20.
+  model::Federation static_fed(space,
+                               model::DemandProfile::uniform(30, 20.0));
+  const auto static_shares =
+      game::normalize_shares(game::shapley_exact(static_fed.build_game()));
+
+  io::print_heading(std::cout,
+                    "A9 — stochastic (DES) vs static Shapley shares");
+  io::Table table({"t", "phi1", "phi2", "phi3", "superadditive", "gain"});
+  for (const double t : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    sim::TrafficClass tc;
+    tc.request.min_locations = 20.0;
+    tc.request.holding_time = t;
+    tc.arrival_rate = 2.0;
+    sim::SimConfig cfg;
+    cfg.horizon = 400.0 * std::max(t, 0.5);
+    cfg.warmup = 0.1 * cfg.horizon;
+    cfg.seed = 31;
+    cfg.holding_time.kind = sim::HoldingTimeModel::Kind::kExponential;
+    const auto g = model::simulated_game(
+        space, {tc}, cfg, model::ArrivalScaling::kPerFacility);
+    const auto shares = game::normalize_shares(game::shapley_exact(g));
+    table.add_row({io::format_double(t, 1), io::format_double(shares[0], 4),
+                   io::format_double(shares[1], 4),
+                   io::format_double(shares[2], 4),
+                   // Simulation noise makes exact checks meaningless;
+                   // tolerate violations below 1% of V(N).
+                   game::is_superadditive(g, 0.01 * g.grand_value())
+                       ? "yes"
+                       : "no",
+                   io::format_double(model::multiplexing_gain(g), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "Static-model shares for comparison: "
+            << io::format_double(static_shares[0], 4) << " / "
+            << io::format_double(static_shares[1], 4) << " / "
+            << io::format_double(static_shares[2], 4) << "\n";
+  std::cout << "\nExpected (Sec. 3.2.1): smaller t means better\n"
+               "multiplexing — gains above 1 and a superadditive game;\n"
+               "large t congests small coalitions, pushing value (and\n"
+               "shares) toward the facilities whose locations are scarce.\n";
+  return 0;
+}

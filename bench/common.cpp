@@ -1,0 +1,102 @@
+#include "common.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/ascii_plot.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace fedshare::benchutil {
+
+void print_figure(std::ostream& out, const std::string& title,
+                  const std::string& x_name, const std::vector<double>& x,
+                  const std::vector<SweepSeries>& series,
+                  int value_precision) {
+  io::print_heading(out, title);
+
+  std::vector<std::string> headers{x_name};
+  for (const auto& s : series) {
+    if (s.y.size() != x.size()) {
+      throw std::invalid_argument("print_figure: series length mismatch");
+    }
+    headers.push_back(s.name);
+  }
+  io::Table table(std::move(headers));
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    std::vector<std::string> row{io::format_double(x[r], 1)};
+    for (const auto& s : series) {
+      row.push_back(io::format_double(s.y[r], value_precision));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  io::AsciiPlot plot(72, 18);
+  plot.set_x_label(x_name);
+  for (const auto& s : series) {
+    plot.add_series({s.name, x, s.y});
+  }
+  out << '\n';
+  plot.print(out);
+  out << '\n';
+
+  if (const char* dir = std::getenv("FEDSHARE_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + slugify(title) + ".csv";
+    std::ofstream file(path);
+    if (file) {
+      io::CsvWriter csv(file);
+      std::vector<std::string> header{x_name};
+      for (const auto& s : series) header.push_back(s.name);
+      csv.write_row(header);
+      for (std::size_t r = 0; r < x.size(); ++r) {
+        std::vector<double> row{x[r]};
+        for (const auto& s : series) row.push_back(s.y[r]);
+        csv.write_row(row);
+      }
+      out << "(series written to " << path << ")\n";
+    }
+  }
+}
+
+std::string slugify(const std::string& title) {
+  std::string slug;
+  bool pending_dash = false;
+  for (const char raw : title) {
+    const auto ch = static_cast<unsigned char>(raw);
+    if (std::isalnum(ch)) {
+      if (pending_dash && !slug.empty()) slug += '-';
+      pending_dash = false;
+      slug += static_cast<char>(std::tolower(ch));
+    } else {
+      pending_dash = true;
+    }
+  }
+  return slug.empty() ? "figure" : slug;
+}
+
+std::vector<model::FacilityConfig> make_facilities(
+    const std::vector<int>& locations, const std::vector<double>& units) {
+  if (locations.size() != units.size()) {
+    throw std::invalid_argument("make_facilities: size mismatch");
+  }
+  std::vector<model::FacilityConfig> configs;
+  configs.reserve(locations.size());
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    model::FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i + 1);
+    cfg.num_locations = locations[i];
+    cfg.units_per_location = units[i];
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+std::vector<model::FacilityConfig> fig4_facilities() {
+  return make_facilities({100, 400, 800}, {1.0, 1.0, 1.0});
+}
+
+}  // namespace fedshare::benchutil

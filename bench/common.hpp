@@ -1,0 +1,39 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/facility.hpp"
+
+namespace fedshare::benchutil {
+
+/// One plotted series (y values aligned with the sweep's x values).
+struct SweepSeries {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Prints a reproduced figure: heading, aligned data table, and an ASCII
+/// plot of all series over the common x grid. If the environment
+/// variable FEDSHARE_CSV_DIR is set, the raw series are additionally
+/// written to <dir>/<slug(title)>.csv for external re-plotting.
+void print_figure(std::ostream& out, const std::string& title,
+                  const std::string& x_name, const std::vector<double>& x,
+                  const std::vector<SweepSeries>& series,
+                  int value_precision = 4);
+
+/// Filesystem-safe slug of a figure title (lowercase alnum and dashes),
+/// exposed for tests of the CSV export path.
+[[nodiscard]] std::string slugify(const std::string& title);
+
+/// Facility configs with the given location counts L_i and per-location
+/// units R_i (names F1, F2, ...). Sizes must match.
+[[nodiscard]] std::vector<model::FacilityConfig> make_facilities(
+    const std::vector<int>& locations, const std::vector<double>& units);
+
+/// The three-facility setting of Figs. 4-5: L = (100, 400, 800), R = 1.
+[[nodiscard]] std::vector<model::FacilityConfig> fig4_facilities();
+
+}  // namespace fedshare::benchutil

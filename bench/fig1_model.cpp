@@ -1,0 +1,73 @@
+// Reproduces Fig. 1: the federation model illustration — three
+// facilities contributing resource units on 30 distinct locations, with
+// overlapping coverage where capacities add. Rendered as a per-location
+// contribution map plus the derived quantities the model uses (L_i,
+// overlap o_ij, pooled capacities).
+#include <iostream>
+
+#include "common.hpp"
+#include "io/table.hpp"
+#include "model/location_space.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  // Three facilities on a 30-location universe, sampled so their sets
+  // overlap (as in the paper's illustration).
+  const auto configs =
+      benchutil::make_facilities({12, 10, 16}, {2.0, 3.0, 1.0});
+  const auto space = model::LocationSpace::overlapping(configs, 30, 2010);
+
+  io::print_heading(std::cout,
+                    "Fig. 1 — federation model: 3 facilities, 30 locations");
+  const auto pool = space.pool_for(game::Coalition::grand(3));
+  const auto ids = space.pooled_location_ids(game::Coalition::grand(3));
+
+  io::Table map({"location", "F1", "F2", "F3", "pooled units"});
+  std::size_t pool_idx = 0;
+  for (int loc = 0; loc < 30; ++loc) {
+    std::vector<std::string> row{std::to_string(loc)};
+    double total = 0.0;
+    for (int f = 0; f < 3; ++f) {
+      bool covers = false;
+      for (const int l : space.locations_of(f)) {
+        if (l == loc) covers = true;
+      }
+      row.push_back(covers ? io::format_double(
+                                 space.facility(f).effective_units(), 0)
+                           : "-");
+      if (covers) total += space.facility(f).effective_units();
+    }
+    if (pool_idx < ids.size() && ids[pool_idx] == loc) {
+      row.push_back(io::format_double(pool.capacity[pool_idx], 0));
+      ++pool_idx;
+    } else {
+      row.push_back("-");
+    }
+    map.add_row(std::move(row));
+    (void)total;
+  }
+  map.print(std::cout);
+
+  io::print_heading(std::cout, "Derived model quantities");
+  io::Table derived({"quantity", "value"});
+  derived.set_align(0, io::Align::kLeft);
+  derived.add_row({"L1, L2, L3", "12, 10, 16"});
+  derived.add_row({"distinct locations |union L_i|",
+                   std::to_string(space.distinct_locations(
+                       game::Coalition::grand(3)))});
+  derived.add_row({"overlap o(1,2)",
+                   io::format_double(space.overlap(0, 1), 3)});
+  derived.add_row({"overlap o(1,3)",
+                   io::format_double(space.overlap(0, 2), 3)});
+  derived.add_row({"overlap o(2,3)",
+                   io::format_double(space.overlap(1, 2), 3)});
+  derived.add_row({"total pooled units",
+                   io::format_double(pool.total_capacity(), 0)});
+  derived.print(std::cout);
+
+  std::cout << "\nAs in the paper's figure: where location sets overlap the\n"
+               "available units add, but the location counts (the source\n"
+               "of diversity value) do not.\n";
+  return 0;
+}

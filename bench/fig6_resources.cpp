@@ -1,0 +1,54 @@
+// Reproduces Fig. 6: shares vs the threshold l when per-location
+// resources differ — R = (80, 20, 10) with L = (100, 400, 800), so every
+// facility contributes the same total L_i * R_i = 8000. Demand is a
+// saturating stream of identical experiments (r = t = 1, d = 1).
+//
+// Expected shape (paper): despite identical total resources the Shapley
+// shares diverge sharply once l exceeds facility location counts —
+// "facilities offering exactly the same amount of total resources can
+// have very different contributions"; the proportional scheme stays flat
+// at 1/3 each.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/sharing.hpp"
+#include "io/table.hpp"
+#include "model/federation.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto configs =
+      benchutil::make_facilities({100, 400, 800}, {80.0, 20.0, 10.0});
+  std::vector<double> x;
+  std::vector<benchutil::SweepSeries> series(6);
+  for (int i = 0; i < 3; ++i) {
+    series[static_cast<std::size_t>(i)].name = "phi" + std::to_string(i + 1);
+    series[static_cast<std::size_t>(i + 3)].name =
+        "pi" + std::to_string(i + 1);
+  }
+
+  for (int l = 0; l <= 1400; l += 50) {
+    model::Federation fed(model::LocationSpace::disjoint(configs),
+                          model::DemandProfile::saturating(l));
+    const auto shapley = game::shapley_shares(fed.build_game());
+    const auto prop = game::proportional_shares(fed.availability_weights());
+    x.push_back(l);
+    for (std::size_t i = 0; i < 3; ++i) {
+      series[i].y.push_back(shapley[i]);
+      series[i + 3].y.push_back(prop[i]);
+    }
+  }
+
+  benchutil::print_figure(
+      std::cout,
+      "Fig. 6 — profit shares vs l, R = (80, 20, 10), saturating demand",
+      "l", x, series);
+
+  std::cout << "Expected shape: all pi-hat = 1/3 (equal L_i*R_i); phi-hat\n"
+               "equal at small l, then facility 3 (the diversity provider)\n"
+               "gains as l grows past the smaller facilities' location\n"
+               "counts; equal thirds again once only the grand coalition\n"
+               "can serve.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 8: shares vs the demand volume K (number of
+// experiments), for l = 250, R = (80, 60, 20), L = (100, 400, 800).
+// Plots phi-hat (Shapley), pi-hat (availability-proportional) and
+// rho-hat (consumption-proportional, Eq. 7) per facility.
+//
+// Expected shape (paper): pi-hat is flat in K; both phi-hat and rho-hat
+// depend on the demand volume; at low K consumption spreads one unit per
+// location so rho tracks L_i rather than L_i * R_i.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/sharing.hpp"
+#include "io/table.hpp"
+#include "model/federation.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto configs =
+      benchutil::make_facilities({100, 400, 800}, {80.0, 60.0, 20.0});
+
+  std::vector<double> x;
+  std::vector<benchutil::SweepSeries> series(9);
+  for (int i = 0; i < 3; ++i) {
+    series[static_cast<std::size_t>(i)].name = "phi" + std::to_string(i + 1);
+    series[static_cast<std::size_t>(i + 3)].name =
+        "pi" + std::to_string(i + 1);
+    series[static_cast<std::size_t>(i + 6)].name =
+        "rho" + std::to_string(i + 1);
+  }
+
+  for (int k = 5; k <= 100; k += 5) {
+    model::Federation fed(model::LocationSpace::disjoint(configs),
+                          model::DemandProfile::uniform(k, 250.0));
+    const auto shapley = game::shapley_shares(fed.build_game());
+    const auto prop = game::proportional_shares(fed.availability_weights());
+    const auto consumed =
+        game::proportional_shares(fed.consumption_weights());
+    x.push_back(k);
+    for (std::size_t i = 0; i < 3; ++i) {
+      series[i].y.push_back(shapley[i]);
+      series[i + 3].y.push_back(prop[i]);
+      series[i + 6].y.push_back(consumed[i]);
+    }
+  }
+
+  benchutil::print_figure(std::cout,
+                          "Fig. 8 — profit shares vs demand volume K "
+                          "(l = 250)",
+                          "K", x, series);
+
+  std::cout << "Expected shape: pi-hat flat; rho-hat starts near the\n"
+               "location shares (100, 400, 800)/1300 at low K and drifts\n"
+               "toward capacity shares as locations saturate; phi-hat also\n"
+               "moves with K — demand volume belongs in the policy.\n";
+  return 0;
+}

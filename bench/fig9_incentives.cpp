@@ -1,0 +1,58 @@
+// Reproduces Fig. 9: facility 1's absolute profit as a function of its
+// own contribution L1 (0..1000), under Shapley and proportional sharing,
+// for thresholds l in {0, 400, 800}. Same configuration as Fig. 8
+// (R = (80, 60, 20)) but demand exceeds capacity (saturating).
+//
+// Expected shape (paper): under proportional sharing profit grows
+// smoothly with L1; under Shapley it jumps around the coalition
+// threshold points when diversity is important (l > 0) — "powerful
+// incentives for resource provision around the threshold points", at the
+// cost of potential instability.
+#include <iostream>
+
+#include "common.hpp"
+#include "io/table.hpp"
+#include "policy/incentives.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  auto configs =
+      benchutil::make_facilities({100, 400, 800}, {80.0, 60.0, 20.0});
+  const double thresholds[] = {0.0, 400.0, 800.0};
+
+  std::vector<int> grid;
+  for (int l1 = 0; l1 <= 1000; l1 += 50) grid.push_back(l1);
+  std::vector<double> x(grid.begin(), grid.end());
+
+  std::vector<benchutil::SweepSeries> series;
+  const policy::ShapleyPolicy shapley;
+  const policy::ProportionalAvailabilityPolicy proportional;
+  for (const double l : thresholds) {
+    const auto demand = model::DemandProfile::saturating(l);
+    for (const policy::SharingPolicy* pol :
+         {static_cast<const policy::SharingPolicy*>(&shapley),
+          static_cast<const policy::SharingPolicy*>(&proportional)}) {
+      const auto curve =
+          policy::provision_curve(configs, /*facility_index=*/0, grid,
+                                  demand, *pol);
+      benchutil::SweepSeries s;
+      s.name = (pol == &shapley ? std::string("phi1,l=")
+                                : std::string("pi1,l=")) +
+               io::format_double(l, 0);
+      for (const auto& pt : curve) s.y.push_back(pt.payoff);
+      series.push_back(std::move(s));
+    }
+  }
+
+  benchutil::print_figure(std::cout,
+                          "Fig. 9 — profit of facility 1 vs its locations "
+                          "L1 (saturating demand)",
+                          "L1", x, series, 1);
+
+  std::cout << "Expected shape: proportional curves rise smoothly with L1;\n"
+               "Shapley curves for l = 400 and l = 800 jump near the\n"
+               "coalition-threshold points and dominate the proportional\n"
+               "payoff exactly where facility 1's diversity is pivotal.\n";
+  return 0;
+}

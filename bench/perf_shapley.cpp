@@ -1,0 +1,73 @@
+// A2/A5 microbenchmarks: Shapley engines and the game pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/shapley.hpp"
+#include "model/federation.hpp"
+
+namespace {
+
+using namespace fedshare;
+
+game::TabularGame make_game(int n) {
+  std::vector<int> locations;
+  std::vector<model::FacilityConfig> configs;
+  for (int i = 0; i < n; ++i) {
+    model::FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i);
+    cfg.num_locations = 20 + 10 * (i % 5);
+    cfg.units_per_location = 1.0 + (i % 3);
+    configs.push_back(cfg);
+  }
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::uniform(20, 80.0));
+  return fed.build_game();
+}
+
+void BM_ShapleyExact(benchmark::State& state) {
+  const auto g = make_game(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::shapley_exact(g));
+  }
+}
+BENCHMARK(BM_ShapleyExact)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ShapleyPermutations(benchmark::State& state) {
+  const auto g = make_game(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::shapley_permutations(g));
+  }
+}
+BENCHMARK(BM_ShapleyPermutations)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_ShapleyMonteCarlo(benchmark::State& state) {
+  const auto g = make_game(12);
+  const auto samples = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::shapley_monte_carlo(g, samples, 3));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples) *
+                          state.iterations());
+}
+BENCHMARK(BM_ShapleyMonteCarlo)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BuildGame(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<model::FacilityConfig> configs;
+  for (int i = 0; i < n; ++i) {
+    model::FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i);
+    cfg.num_locations = 20 + 10 * (i % 5);
+    cfg.units_per_location = 1.0 + (i % 3);
+    configs.push_back(cfg);
+  }
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::uniform(20, 80.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fed.build_game());
+  }
+}
+BENCHMARK(BM_BuildGame)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// A5 microbenchmarks: the simplex substrate on the LP shapes this
+// library actually solves — least-core programs and allocation
+// relaxations.
+#include <benchmark/benchmark.h>
+
+#include "alloc/lp_relax.hpp"
+#include "core/core_solution.hpp"
+#include "core/nucleolus.hpp"
+#include "lp/simplex.hpp"
+#include "model/federation.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace fedshare;
+
+game::TabularGame make_game(int n) {
+  std::vector<model::FacilityConfig> configs;
+  for (int i = 0; i < n; ++i) {
+    model::FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i);
+    cfg.num_locations = 20 + 10 * (i % 5);
+    cfg.units_per_location = 1.0 + (i % 3);
+    configs.push_back(cfg);
+  }
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::uniform(20, 80.0));
+  return fed.build_game();
+}
+
+void BM_RandomDenseLp(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  sim::Xoshiro256 rng(7);
+  lp::Problem prob(vars, lp::Objective::kMaximize);
+  for (std::size_t v = 0; v < vars; ++v) {
+    prob.set_objective_coefficient(v, rng.uniform(0.1, 1.0));
+  }
+  for (std::size_t c = 0; c < vars; ++c) {
+    std::vector<double> row(vars);
+    for (double& x : row) x = rng.uniform(0.0, 1.0);
+    prob.add_constraint(std::move(row), lp::Relation::kLessEqual,
+                        rng.uniform(5.0, 10.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(prob));
+  }
+}
+BENCHMARK(BM_RandomDenseLp)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LeastCore(benchmark::State& state) {
+  const auto g = make_game(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::least_core(g));
+  }
+}
+BENCHMARK(BM_LeastCore)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_Nucleolus(benchmark::State& state) {
+  const auto g = make_game(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::nucleolus(g));
+  }
+}
+BENCHMARK(BM_Nucleolus)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_LpRelaxAllocation(benchmark::State& state) {
+  const auto locations = static_cast<std::size_t>(state.range(0));
+  alloc::LocationPool pool;
+  sim::Xoshiro256 rng(9);
+  for (std::size_t l = 0; l < locations; ++l) {
+    pool.capacity.push_back(1.0 + static_cast<double>(rng.below(4)));
+  }
+  std::vector<alloc::RequestClass> classes(2);
+  classes[0].count = 10;
+  classes[0].min_locations = 2;
+  classes[1].count = 5;
+  classes[1].min_locations = 4;
+  classes[1].units_per_location = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::lp_upper_bound(pool, classes));
+  }
+}
+BENCHMARK(BM_LpRelaxAllocation)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Subscription-fee settlement for PlanetLab-style industrial customers
+// (the paper's Sec. 4 intro: "subscription fees are paid by industrial
+// users of the system, such as Google and HP. The default policy at
+// present is for each top-level authority to retain the totality of the
+// fees that it brings in.") — compare that status quo against pooled
+// settlement with Shapley or proportional splits.
+#include <iostream>
+
+#include "io/table.hpp"
+#include "market/revenue.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto space = model::LocationSpace::disjoint(
+      {{"PLC", 300, 4.0, 1.0}, {"PLE", 180, 3.0, 1.0},
+       {"PLJ", 80, 2.0, 1.0}});
+
+  // Industrial customers, each sponsored by the authority that signed
+  // them. Google checks service reachability world-wide (huge diversity
+  // requirement); HP runs medium-scale service trials; a regional CDN
+  // startup needs only local presence.
+  std::vector<market::Customer> customers(3);
+  customers[0].name = "google";
+  customers[0].demand.count = 2.0;
+  customers[0].demand.min_locations = 450.0;
+  customers[0].sponsor_facility = 0;  // signed by PLC
+  customers[1].name = "hp";
+  customers[1].demand.count = 3.0;
+  customers[1].demand.min_locations = 200.0;
+  customers[1].sponsor_facility = 0;  // also PLC
+  customers[2].name = "eu-cdn";
+  customers[2].demand.count = 4.0;
+  customers[2].demand.min_locations = 100.0;
+  customers[2].sponsor_facility = 1;  // signed by PLE
+
+  market::RevenueModel revenue;
+  revenue.mu = 0.8;  // 80% of generated utility is monetisable
+
+  const auto report = market::evaluate_settlement(space, customers, revenue);
+
+  io::print_heading(std::cout, "Fee settlement regimes (mu = 0.8)");
+  io::Table table({"facility", "status quo", "pooled+Shapley",
+                   "pooled+proportional"});
+  table.set_align(0, io::Align::kLeft);
+  const char* names[] = {"PLC", "PLE", "PLJ"};
+  for (int i = 0; i < 3; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    table.add_row({names[i],
+                   io::format_double(report.standalone_revenue[ui], 0),
+                   io::format_double(report.shapley_revenue[ui], 0),
+                   io::format_double(report.proportional_revenue[ui], 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nIndustry total: status quo "
+            << io::format_double(report.standalone_total(), 0)
+            << " vs federated " << io::format_double(report.total_profit, 0)
+            << " — federation grows the pie ("
+            << io::format_double(
+                   report.total_profit / report.standalone_total(), 2)
+            << "x) because diversity-hungry customers are only servable\n"
+               "on the pooled platform; the Shapley split then hands PLJ\n"
+               "a share for being pivotal to Google's 450-site footprint\n"
+               "even though PLJ signed no customer itself.\n";
+  return 0;
+}

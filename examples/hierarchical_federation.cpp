@@ -1,0 +1,69 @@
+// Hierarchical federation (Sec. 1.2): testbeds join through regional
+// authorities — G-Lab, EmanicsLab and VINI federate through PLE, which
+// peers with PLC and PLJ at the top level. The Owen value splits the
+// federation's value consistently with that structure: regions first
+// (quotient Shapley), then members within each region.
+#include <iostream>
+
+#include "io/table.hpp"
+#include "model/hierarchy.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  std::vector<model::Region> regions(3);
+  regions[0].name = "PLC";
+  regions[0].members = {{"PLC-core", 300, 4.0, 1.0}};
+  regions[1].name = "PLE";
+  regions[1].members = {{"PLE-core", 150, 4.0, 1.0},
+                        {"G-Lab", 60, 3.0, 1.0},
+                        {"EmanicsLab", 30, 2.0, 1.0},
+                        {"VINI", 20, 2.0, 1.0}};
+  regions[2].name = "PLJ";
+  regions[2].members = {{"PLJ-core", 80, 3.0, 1.0}};
+
+  // Diversity-hungry demand: experiments needing 450 distinct sites.
+  model::HierarchicalFederation fed(
+      regions, model::DemandProfile::uniform(10, 450.0));
+
+  io::print_heading(std::cout, "Top level: regional authorities");
+  const auto region_shares = fed.region_shares();
+  io::Table top({"region", "locations", "quotient Shapley share"});
+  top.set_align(0, io::Align::kLeft);
+  const int region_locations[] = {300, 260, 80};
+  for (int r = 0; r < fed.num_regions(); ++r) {
+    top.add_row({fed.region_name(static_cast<std::size_t>(r)),
+                 std::to_string(region_locations[r]),
+                 io::format_percent(
+                     region_shares[static_cast<std::size_t>(r)])});
+  }
+  top.print(std::cout);
+
+  io::print_heading(std::cout, "Facility level: Owen vs hierarchy-blind "
+                               "Shapley");
+  const auto owen = fed.owen_shares();
+  const auto flat = fed.flat_shapley_shares();
+  io::Table table({"facility", "region", "Owen", "flat Shapley"});
+  table.set_align(0, io::Align::kLeft);
+  table.set_align(1, io::Align::kLeft);
+  const char* names[] = {"PLC-core", "PLE-core", "G-Lab", "EmanicsLab",
+                         "VINI", "PLJ-core"};
+  for (int f = 0; f < fed.num_facilities(); ++f) {
+    table.add_row({names[f],
+                   fed.region_name(fed.region_of(f)),
+                   io::format_percent(owen[static_cast<std::size_t>(f)]),
+                   io::format_percent(flat[static_cast<std::size_t>(f)])});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nThe Owen shares of PLE's members sum exactly to PLE's\n"
+         "top-level share — the within-region split cannot leak value\n"
+         "across authorities, which is what makes two-level settlement\n"
+         "implementable: PLC never needs to know G-Lab's books.\n"
+         "Hierarchy-blind Shapley differs because it lets members\n"
+         "bargain around their authority (e.g. G-Lab siding with PLC in\n"
+         "a hypothetical ordering), which the federation's structure\n"
+         "forbids.\n";
+  return 0;
+}

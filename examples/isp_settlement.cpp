@@ -1,0 +1,85 @@
+// Generality demo: the Ma et al. ISP-settlement game (Sec. 5 related
+// work) expressed directly on the coalitional-game engine. Content,
+// transit and eyeball ISPs federate to deliver traffic; value exists
+// only for coalitions containing a content ISP, at least one transit
+// path, and an eyeball ISP. The Shapley shares quantify redundancy: a
+// second transit provider halves each transit provider's bargaining
+// power rather than adding value.
+#include <iostream>
+
+#include "core/core_solution.hpp"
+#include "core/shapley.hpp"
+#include "core/sharing.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using namespace fedshare;
+
+// Players: 0 = content ISP, 1 = transit A, 2 = transit B, 3 = eyeball.
+// V(S) = 100 (profit units) if S connects content to eyeballs through
+// any transit, else 0.
+double settlement_value(game::Coalition s) {
+  const bool content = s.contains(0);
+  const bool transit = s.contains(1) || s.contains(2);
+  const bool eyeball = s.contains(3);
+  return (content && transit && eyeball) ? 100.0 : 0.0;
+}
+
+// Single-transit variant (no redundancy).
+double single_transit_value(game::Coalition s) {
+  const bool content = s.contains(0);
+  const bool transit = s.contains(1);
+  const bool eyeball = s.contains(2);
+  return (content && transit && eyeball) ? 100.0 : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  io::print_heading(std::cout,
+                    "ISP settlement game (content / transit x2 / eyeball)");
+  const game::FunctionGame redundant(4, settlement_value);
+  const auto phi = game::shapley_exact(redundant);
+  io::Table table({"player", "Shapley payoff", "share"});
+  table.set_align(0, io::Align::kLeft);
+  const char* names[] = {"content ISP", "transit A", "transit B",
+                         "eyeball ISP"};
+  for (int i = 0; i < 4; ++i) {
+    table.add_row({names[i],
+                   io::format_double(phi[static_cast<std::size_t>(i)], 2),
+                   io::format_percent(
+                       phi[static_cast<std::size_t>(i)] / 100.0)});
+  }
+  table.print(std::cout);
+
+  io::print_heading(std::cout, "Same market with a single transit ISP");
+  const game::FunctionGame single(3, single_transit_value);
+  const auto phi_single = game::shapley_exact(single);
+  io::Table table2({"player", "Shapley payoff", "share"});
+  table2.set_align(0, io::Align::kLeft);
+  const char* names2[] = {"content ISP", "transit", "eyeball ISP"};
+  for (int i = 0; i < 3; ++i) {
+    table2.add_row(
+        {names2[i],
+         io::format_double(phi_single[static_cast<std::size_t>(i)], 2),
+         io::format_percent(
+             phi_single[static_cast<std::size_t>(i)] / 100.0)});
+  }
+  table2.print(std::cout);
+
+  std::cout
+      << "\nWith one transit path every player is essential and the value\n"
+         "splits evenly (33.3% each). Adding a redundant transit ISP\n"
+         "collapses the transit side's combined share (the paper's 'the\n"
+         "less overlapping, the more valuable one's contribution') while\n"
+         "content and eyeball gain — same engine, different federation.\n";
+
+  // Core check: with redundant transit the Shapley vector is NOT in the
+  // core (a coalition without one transit can object), illustrating why
+  // the paper discusses core membership separately from fairness.
+  std::vector<double> payoffs(phi.begin(), phi.end());
+  std::cout << "Shapley allocation in the core (redundant case): "
+            << (game::in_core(redundant, payoffs) ? "yes" : "no") << "\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Policy design loop (Sec. 4.4): compute normalised Shapley values
+// off-line across expected demand scenarios and use the averages as
+// static policy weights; then measure how far the static weights drift
+// from the live per-scenario Shapley shares and what the provision game
+// looks like under the resulting policy.
+#include <iostream>
+
+#include "io/table.hpp"
+#include "policy/equilibrium.hpp"
+#include "policy/policy.hpp"
+#include "policy/sensitivity.hpp"
+#include "policy/weights.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  std::vector<model::FacilityConfig> configs(3);
+  configs[0] = {.name = "F1", .num_locations = 100,
+                .units_per_location = 80.0};
+  configs[1] = {.name = "F2", .num_locations = 400,
+                .units_per_location = 60.0};
+  configs[2] = {.name = "F3", .num_locations = 800,
+                .units_per_location = 20.0};
+  const auto space = model::LocationSpace::disjoint(configs);
+
+  // Expected demand mixture: mostly P2P-like jobs (low diversity need),
+  // some CDN-scale deployments, occasional measurement sweeps.
+  const std::vector<policy::DemandScenario> scenarios{
+      {model::DemandProfile::uniform(60, 40.0), 0.6},
+      {model::DemandProfile::uniform(20, 100.0), 0.3},
+      {model::DemandProfile::uniform(10, 500.0), 0.1},
+  };
+
+  const auto weights = policy::offline_shapley_weights(space, scenarios);
+
+  io::print_heading(std::cout, "Offline phi-hat policy weights (Sec. 4.4)");
+  io::Table table({"scenario", "prob", "phi1", "phi2", "phi3"});
+  table.set_align(0, io::Align::kLeft);
+  const char* labels[] = {"P2P-like (l=40)", "CDN-like (l=100)",
+                          "measurement (l=500)"};
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    model::Federation fed(space, scenarios[s].demand);
+    const auto live = game::shapley_shares(fed.build_game());
+    table.add_row({labels[s], io::format_double(scenarios[s].probability, 1),
+                   io::format_double(live[0], 4),
+                   io::format_double(live[1], 4),
+                   io::format_double(live[2], 4)});
+  }
+  table.add_row({"weighted policy", "",
+                 io::format_double(weights[0], 4),
+                 io::format_double(weights[1], 4),
+                 io::format_double(weights[2], 4)});
+  table.print(std::cout);
+
+  // Drift of the static policy against each live scenario.
+  io::print_heading(std::cout, "Static-policy drift per scenario");
+  io::Table drift({"scenario", "max |static - live|"});
+  drift.set_align(0, io::Align::kLeft);
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    model::Federation fed(space, scenarios[s].demand);
+    const auto live = game::shapley_shares(fed.build_game());
+    drift.add_row({labels[s],
+                   io::format_double(policy::weight_drift(weights, live), 4)});
+  }
+  drift.print(std::cout);
+
+  // Provision game under the Shapley policy with mild location costs:
+  // does everyone still want to contribute fully?
+  io::print_heading(std::cout, "Provision game (Shapley policy, alpha=2)");
+  policy::ProvisionGame game;
+  game.base_configs = configs;
+  game.strategy_grids = {{0, 50, 100}, {0, 200, 400}, {0, 400, 800}};
+  game.demand = scenarios[2].demand;  // the diversity-hungry scenario
+  game.cost.alpha = 2.0;
+  const policy::ShapleyPolicy shapley_policy;
+  const auto br = policy::best_response_dynamics(
+      game, shapley_policy, {0, 0, 0});
+  std::cout << "Best-response dynamics from zero contribution: "
+            << (br.converged ? "converged" : "did not converge") << " in "
+            << br.rounds << " rounds to profile (";
+  for (std::size_t i = 0; i < br.profile.size(); ++i) {
+    std::cout << game.strategy_grids[i][br.profile[i]]
+              << (i + 1 < br.profile.size() ? ", " : ")");
+  }
+  std::cout << " locations\n";
+  const auto equilibria = policy::pure_nash_equilibria(game, shapley_policy);
+  std::cout << "Pure Nash equilibria found: " << equilibria.size() << "\n";
+
+  // Local sensitivity: payoff change per location added, under the
+  // diversity-hungry scenario — the policy designer's "what would one
+  // more site be worth, and to whom?"
+  io::print_heading(std::cout,
+                    "Payoff sensitivity d(payoff_i)/d(L_j), Shapley "
+                    "(delta = 25)");
+  const auto sensitivity = policy::share_sensitivity(
+      configs, scenarios[2].demand, shapley_policy, 25);
+  io::Table stable({"payoff of \\ adds", "F1", "F2", "F3"});
+  stable.set_align(0, io::Align::kLeft);
+  const char* fnames[] = {"F1", "F2", "F3"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    stable.add_row({fnames[i],
+                    io::format_double(sensitivity.dpayoff[i][0], 2),
+                    io::format_double(sensitivity.dpayoff[i][1], 2),
+                    io::format_double(sensitivity.dpayoff[i][2], 2)});
+  }
+  stable.print(std::cout);
+  return 0;
+}

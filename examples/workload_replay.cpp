@@ -1,0 +1,70 @@
+// Trace-driven evaluation: generate a synthetic diurnal workload (the
+// CoMon-style usage data of the paper's Sec. 4.3.2, which is not
+// publicly reproducible, substituted by an NHPP with the same shape),
+// then replay the *identical* trace against each coalition's pool — a
+// paired experiment isolating what federation changes.
+#include <iostream>
+
+#include "io/table.hpp"
+#include "model/location_space.hpp"
+#include "sim/workload.hpp"
+
+int main() {
+  using namespace fedshare;
+
+  const auto space = model::LocationSpace::disjoint(
+      {{"PLC", 60, 3.0, 1.0}, {"PLE", 40, 3.0, 1.0},
+       {"PLJ", 20, 2.0, 1.0}});
+
+  // Day/night modulated mixture of the paper's workload archetypes,
+  // scaled down to this pool.
+  std::vector<sim::TrafficClass> classes(2);
+  classes[0].request.min_locations = 15.0;  // P2P-like
+  classes[0].request.holding_time = 0.3;
+  classes[0].arrival_rate = 3.0;
+  classes[1].request.min_locations = 90.0;  // measurement-like
+  classes[1].request.holding_time = 1.0;
+  classes[1].arrival_rate = 0.4;
+
+  sim::DiurnalPattern pattern;
+  pattern.period = 24.0;
+  pattern.depth = 0.7;
+  const auto trace =
+      sim::generate_workload(classes, 24.0 * 30, 1234, pattern);
+  const auto counts = trace.arrivals_per_class();
+
+  io::print_heading(std::cout, "Synthetic 30-day diurnal trace");
+  std::cout << "events: " << trace.events.size() << " (P2P-like "
+            << counts[0] << ", measurement-like " << counts[1] << ")\n";
+
+  io::print_heading(std::cout, "Paired replay across coalitions");
+  io::Table table({"pool", "P2P block", "meas block", "utility rate"});
+  table.set_align(0, io::Align::kLeft);
+  const char* names[] = {"PLC", "PLE", "PLJ"};
+  sim::SimConfig cfg;
+  cfg.warmup = 24.0;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = sim::replay_workload(
+        space.pool_for(game::Coalition::single(i)), classes, trace, cfg);
+    table.add_row({std::string(names[i]) + " alone",
+                   io::format_percent(
+                       r.per_class[0].blocking_probability()),
+                   io::format_percent(
+                       r.per_class[1].blocking_probability()),
+                   io::format_double(r.utility_rate, 1)});
+  }
+  const auto fed = sim::replay_workload(
+      space.pool_for(game::Coalition::grand(3)), classes, trace, cfg);
+  table.add_row({"federated",
+                 io::format_percent(fed.per_class[0].blocking_probability()),
+                 io::format_percent(fed.per_class[1].blocking_probability()),
+                 io::format_double(fed.utility_rate, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nBecause every row replays the same arrivals, the\n"
+               "differences are pure pool effects: only the federated\n"
+               "pool reaches the 90 distinct locations the measurement\n"
+               "class needs, and the diurnal peaks that overflow a single\n"
+               "facility are absorbed by the union.\n";
+  return 0;
+}

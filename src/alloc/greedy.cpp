@@ -1,0 +1,221 @@
+#include "alloc/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedshare::alloc {
+
+double slot_budget(const std::vector<double>& capacities,
+                   double units_per_location, double m) {
+  if (units_per_location <= 0.0) {
+    throw std::invalid_argument("slot_budget: units_per_location must be > 0");
+  }
+  double total = 0.0;
+  for (const double c : capacities) {
+    total += std::min(c / units_per_location, m);
+  }
+  return total;
+}
+
+double max_feasible_experiments(const std::vector<double>& capacities,
+                                double units_per_location, double threshold) {
+  if (threshold < 1.0) {
+    throw std::invalid_argument(
+        "max_feasible_experiments: threshold must be >= 1");
+  }
+  // U(1) < threshold means not even one experiment fits.
+  if (slot_budget(capacities, units_per_location, 1.0) < threshold) {
+    return 0.0;
+  }
+  // U(m) - m*threshold is concave with a non-negative value at m = 1;
+  // find its upper root by bisection on [1, U(inf)/threshold].
+  double lo = 1.0;
+  double hi = slot_budget(capacities, units_per_location,
+                          std::numeric_limits<double>::infinity()) /
+              threshold;
+  if (hi <= lo) return lo;
+  // If even hi is feasible (possible when U saturates exactly), take it.
+  if (slot_budget(capacities, units_per_location, hi) >= hi * threshold) {
+    return hi;
+  }
+  for (int iter = 0; iter < 300; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (slot_budget(capacities, units_per_location, mid) >= mid * threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-13 * std::max(1.0, hi)) break;
+  }
+  return lo;
+}
+
+namespace {
+
+// Convex classes (d > 1): concentrate. Experiments are filled one by one,
+// each taking every location that still has a free slot for it, while the
+// threshold is met. Experiment j (1-based) can use location l iff
+// s_l >= j; its location count is U(j) - U(j-1). Consumes its usage from
+// `remaining` directly.
+ClassOutcome allocate_convex_class(std::vector<double>& remaining,
+                                   const RequestClass& rc) {
+  ClassOutcome out;
+  const double r = rc.units_per_location;
+  const double threshold = rc.effective_threshold();
+  const double m_star = max_feasible_experiments(remaining, r, threshold);
+  if (m_star <= 0.0) return out;
+
+  double total_utility = 0.0;
+  double total_slots = 0.0;
+  double served = 0.0;
+  const auto max_m =
+      static_cast<long>(std::floor(std::min(rc.count, m_star)));
+  double prev_budget = 0.0;
+  for (long j = 1; j <= max_m; ++j) {
+    const double budget = slot_budget(remaining, r, static_cast<double>(j));
+    const double x = budget - prev_budget;
+    if (x < threshold) break;
+    total_utility += std::pow(x, rc.exponent);
+    total_slots = budget;
+    served += 1.0;
+    prev_budget = budget;
+  }
+  if (served == 0.0) return out;
+  out.served = served;
+  out.locations_per_experiment = total_slots / served;
+  out.utility = total_utility;
+  out.units = r * total_slots;
+  for (double& cap : remaining) {
+    const double take = r * std::min(cap / r, served);
+    cap -= take;
+  }
+  return out;
+}
+
+}  // namespace
+
+AllocationResult allocate_greedy(const LocationPool& pool,
+                                 const std::vector<RequestClass>& classes) {
+  pool.validate();
+  for (const auto& rc : classes) rc.validate();
+
+  const std::size_t num_loc = pool.num_locations();
+  AllocationResult result;
+  result.per_class.resize(classes.size());
+  result.units_per_location.assign(num_loc, 0.0);
+
+  // Admission priority: cheapest units-per-utility first (ascending r);
+  // within equal cost, hardest diversity threshold first — frugal
+  // reservations mean the easy classes lose nothing by waiting, while
+  // threshold-gated classes must be admitted before the slack is spread.
+  std::vector<std::size_t> order(classes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (classes[a].units_per_location !=
+                         classes[b].units_per_location) {
+                       return classes[a].units_per_location <
+                              classes[b].units_per_location;
+                     }
+                     return classes[a].min_locations >
+                            classes[b].min_locations;
+                   });
+
+  std::vector<double> remaining = pool.capacity;
+  std::vector<std::vector<double>> used(
+      classes.size(), std::vector<double>(num_loc, 0.0));
+  std::vector<double> served(classes.size(), 0.0);
+
+  // Phase 1 — frugal admission: each admitted experiment reserves exactly
+  // its threshold in location-slots, spread across locations pro-rata to
+  // the water-filling profile min(s_l, m) so a feasible assignment of
+  // distinct locations exists.
+  for (const std::size_t idx : order) {
+    const RequestClass& rc = classes[idx];
+    if (rc.count <= 0.0 || num_loc == 0) continue;
+    if (rc.exponent > 1.0) {
+      // Convex classes take their full concentrated allocation here; the
+      // per-location usage is min(s_l, served) slots.
+      std::vector<double> before = remaining;
+      ClassOutcome oc = allocate_convex_class(remaining, rc);
+      for (std::size_t l = 0; l < num_loc; ++l) {
+        used[idx][l] = before[l] - remaining[l];
+      }
+      served[idx] = oc.served;
+      result.per_class[idx] = std::move(oc);
+      continue;
+    }
+    const double r = rc.units_per_location;
+    const double threshold = rc.effective_threshold();
+    const double m_star = max_feasible_experiments(remaining, r, threshold);
+    const double m = std::min(rc.count, m_star);
+    if (m <= 0.0) continue;
+    served[idx] = m;
+    // Reserve m * threshold slots from the most-abundant locations first
+    // (best-fit): scarce locations stay free for later, tighter classes.
+    std::vector<std::size_t> loc_order(num_loc);
+    std::iota(loc_order.begin(), loc_order.end(), std::size_t{0});
+    std::stable_sort(loc_order.begin(), loc_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return remaining[a] > remaining[b];
+                     });
+    double need = m * threshold;
+    for (const std::size_t l : loc_order) {
+      if (need <= 1e-12) break;
+      const double take_slots =
+          std::min({remaining[l] / r, m, need});
+      used[idx][l] += take_slots * r;
+      remaining[l] -= take_slots * r;
+      need -= take_slots;
+    }
+  }
+
+  // Phase 2 — fill: leftover capacity goes to already-admitted concave
+  // classes (utility is non-decreasing in slots for d <= 1), capped per
+  // location at the class's water-filling ceiling min(s_l^orig, m).
+  for (const std::size_t idx : order) {
+    const RequestClass& rc = classes[idx];
+    if (served[idx] <= 0.0 || rc.exponent > 1.0) continue;
+    const double r = rc.units_per_location;
+    for (std::size_t l = 0; l < num_loc; ++l) {
+      const double ceiling =
+          r * std::min(pool.capacity[l] / r, served[idx]);
+      const double extra =
+          std::min(remaining[l], ceiling - used[idx][l]);
+      if (extra > 0.0) {
+        used[idx][l] += extra;
+        remaining[l] -= extra;
+      }
+    }
+  }
+
+  // Assemble outcomes.
+  for (std::size_t idx = 0; idx < classes.size(); ++idx) {
+    const RequestClass& rc = classes[idx];
+    if (rc.exponent <= 1.0) {
+      ClassOutcome oc;
+      if (served[idx] > 0.0) {
+        const double units = std::accumulate(used[idx].begin(),
+                                             used[idx].end(), 0.0);
+        const double slots = units / rc.units_per_location;
+        const double x = slots / served[idx];
+        oc.served = served[idx];
+        oc.locations_per_experiment = x;
+        oc.utility = served[idx] * std::pow(x, rc.exponent);
+        oc.units = units;
+      }
+      result.per_class[idx] = oc;
+    }
+    result.total_utility += result.per_class[idx].utility;
+    result.total_units += result.per_class[idx].units;
+    for (std::size_t l = 0; l < num_loc; ++l) {
+      result.units_per_location[l] += used[idx][l];
+    }
+  }
+  return result;
+}
+
+}  // namespace fedshare::alloc

@@ -1,0 +1,51 @@
+// Two-phase water-filling allocator ("admit frugally, then fill").
+//
+// With per-location slots s_l = C_l / r, define
+//
+//   U(m) = sum_l min(s_l, m)   — the most location-slots m experiments can
+//                                consume (each uses a location at most once),
+//   m*   = max m with U(m) >= m * threshold (feasibility is an interval
+//          because U is concave and m*threshold is linear).
+//
+// Phase 1 (admission): classes are visited by priority — ascending r
+// (cheapest utility per unit first), then *descending* threshold, so
+// diversity-gated classes are admitted before slack is spread. Each
+// admitted concave-class experiment reserves exactly its threshold in
+// slots, pro-rata to the water-filling profile min(s_l, m). Convex
+// classes (d > 1) instead take their full concentrated allocation
+// (experiments filled one by one with every available distinct location).
+//
+// Phase 2 (fill): leftover capacity is granted to the admitted concave
+// classes up to their per-location ceiling min(s_l, m) — for d <= 1,
+// utility m^(1-d) * slots^d is non-decreasing in slots, and an equal
+// split among the class's experiments is optimal under concavity.
+//
+// On single-class instances and the paper's configurations (d = 1,
+// common r) this is exactly optimal; under adversarial multi-class
+// contention it is a heuristic, which tests/test_alloc_property.cpp
+// sandwiches between the exact integer solver and the LP upper bound on
+// randomized small instances.
+#pragma once
+
+#include "alloc/allocation.hpp"
+
+namespace fedshare::alloc {
+
+/// Allocates `classes` on `pool`, returning per-class outcomes and
+/// per-location consumption. Inputs are validated; see file comment for
+/// the algorithm and its optimality domain.
+[[nodiscard]] AllocationResult allocate_greedy(
+    const LocationPool& pool, const std::vector<RequestClass>& classes);
+
+/// The slot-budget function U(m) = sum_l min(capacity_l / r, m) used by
+/// the greedy (exposed for tests and the analytic benches).
+[[nodiscard]] double slot_budget(const std::vector<double>& capacities,
+                                 double units_per_location, double m);
+
+/// Largest m with U(m) >= m * threshold (0 if even one experiment cannot
+/// reach the threshold). `threshold` must be >= 1.
+[[nodiscard]] double max_feasible_experiments(
+    const std::vector<double>& capacities, double units_per_location,
+    double threshold);
+
+}  // namespace fedshare::alloc

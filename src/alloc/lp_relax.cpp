@@ -1,0 +1,56 @@
+#include "alloc/lp_relax.hpp"
+
+#include <stdexcept>
+
+#include "lp/simplex.hpp"
+
+namespace fedshare::alloc {
+
+double lp_upper_bound(const LocationPool& pool,
+                      const std::vector<RequestClass>& classes) {
+  pool.validate();
+  for (const auto& rc : classes) {
+    rc.validate();
+    if (rc.exponent > 1.0) {
+      throw std::invalid_argument(
+          "lp_upper_bound: only valid for exponents <= 1");
+    }
+  }
+  const std::size_t num_loc = pool.num_locations();
+  const std::size_t num_cls = classes.size();
+  if (num_loc == 0 || num_cls == 0) return 0.0;
+
+  // Variable y[c * num_loc + l]: class-c experiment-assignments at
+  // location l. Objective: one utility unit per assignment (d <= 1 bound).
+  lp::Problem prob(num_cls * num_loc, lp::Objective::kMaximize);
+  for (std::size_t v = 0; v < num_cls * num_loc; ++v) {
+    prob.set_objective_coefficient(v, 1.0);
+  }
+  // Capacity: sum_c y_{c,l} * r_c <= C_l.
+  for (std::size_t l = 0; l < num_loc; ++l) {
+    std::vector<double> row(num_cls * num_loc, 0.0);
+    for (std::size_t c = 0; c < num_cls; ++c) {
+      row[c * num_loc + l] = classes[c].units_per_location;
+    }
+    prob.add_constraint(std::move(row), lp::Relation::kLessEqual,
+                        pool.capacity[l]);
+  }
+  // Per-location class cap: y_{c,l} <= count_c (an experiment uses a
+  // location at most once, so at most count_c class-c uses per location).
+  for (std::size_t c = 0; c < num_cls; ++c) {
+    for (std::size_t l = 0; l < num_loc; ++l) {
+      std::vector<double> row(num_cls * num_loc, 0.0);
+      row[c * num_loc + l] = 1.0;
+      prob.add_constraint(std::move(row), lp::Relation::kLessEqual,
+                          classes[c].count);
+    }
+  }
+
+  const lp::Solution sol = lp::solve(prob);
+  if (!sol.optimal()) {
+    throw std::runtime_error("lp_upper_bound: LP solve failed");
+  }
+  return sol.objective;
+}
+
+}  // namespace fedshare::alloc

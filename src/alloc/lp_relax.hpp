@@ -1,0 +1,20 @@
+// LP relaxation of the allocation problem (upper bound, d <= 1).
+//
+// Relaxes Eq. (2): assignments become fractional (y_{c,l} in [0, count_c])
+// and diversity thresholds are dropped. For d <= 1, per-experiment utility
+// satisfies u(x) = x^d <= x on x >= 1, so the LP optimum bounds the true
+// optimum from above. Used by tests to sandwich the greedy allocator and
+// by the simplex performance bench.
+#pragma once
+
+#include "alloc/allocation.hpp"
+
+namespace fedshare::alloc {
+
+/// Upper bound on total utility via the LP relaxation. All class
+/// exponents must be <= 1 (throws std::invalid_argument otherwise).
+/// Throws std::runtime_error if the LP fails to solve.
+[[nodiscard]] double lp_upper_bound(const LocationPool& pool,
+                                    const std::vector<RequestClass>& classes);
+
+}  // namespace fedshare::alloc

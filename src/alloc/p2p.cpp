@@ -1,0 +1,147 @@
+#include "alloc/p2p.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedshare::alloc {
+
+double demand_utility(const RequestClass& demand, double slots) {
+  demand.validate();
+  if (slots <= 0.0 || demand.count <= 0.0) return 0.0;
+  const double threshold = demand.effective_threshold();
+  if (slots < threshold) return 0.0;
+  if (demand.exponent <= 1.0) {
+    // Serve as many users as the budget allows (each needs >= threshold
+    // slots), then split the whole budget equally — optimal under
+    // concavity.
+    const double m = std::min(demand.count, slots / threshold);
+    const double x = slots / m;
+    return m * std::pow(x, demand.exponent);
+  }
+  // Convex: concentrate. Users are served sequentially with `threshold`
+  // slots minimum; the optimum gives all surplus to one user.
+  const double m = std::min(demand.count, std::floor(slots / threshold));
+  if (m < 1.0) return 0.0;
+  const double surplus = slots - m * threshold;
+  return (m - 1.0) * std::pow(threshold, demand.exponent) +
+         std::pow(threshold + surplus, demand.exponent);
+}
+
+P2PResult allocate_p2p(double total_slots,
+                       const std::vector<RequestClass>& demands,
+                       const std::vector<double>& standalone_slots,
+                       double resolution) {
+  if (demands.size() != standalone_slots.size()) {
+    throw std::invalid_argument(
+        "allocate_p2p: demands and standalone_slots size mismatch");
+  }
+  if (!(total_slots >= 0.0)) {
+    throw std::invalid_argument("allocate_p2p: total_slots must be >= 0");
+  }
+  if (!(resolution > 0.0 && resolution <= 0.5)) {
+    throw std::invalid_argument("allocate_p2p: resolution out of (0, 0.5]");
+  }
+  const std::size_t n = demands.size();
+  P2PResult result;
+  result.slots.assign(n, 0.0);
+  result.utilities.assign(n, 0.0);
+  result.shares.assign(n, 0.0);
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // IR floors: the least x_i achieving the standalone utility. Since
+  // u^f is non-decreasing in slots, the standalone slot budget itself is
+  // a valid (if not minimal) floor; shrink it by bisection where utility
+  // allows (flat regions caused by thresholds).
+  std::vector<double> floor_slots(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double target = demand_utility(demands[i], standalone_slots[i]);
+    if (target <= 0.0) continue;
+    double lo = 0.0;
+    double hi = standalone_slots[i];
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (demand_utility(demands[i], mid) >= target - 1e-12) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    floor_slots[i] = hi;
+  }
+  const double floor_total =
+      std::accumulate(floor_slots.begin(), floor_slots.end(), 0.0);
+  if (floor_total > total_slots + 1e-9) {
+    return result;  // infeasible: pooled capacity below IR floors
+  }
+
+  result.slots = floor_slots;
+  double remaining = total_slots - floor_total;
+
+  // Marginal-utility ascent. The chunk is sized so one step can cross a
+  // threshold jump (min over facilities of their effective threshold)
+  // but never below the resolution grain.
+  double chunk = total_slots * resolution;
+  for (const auto& d : demands) {
+    chunk = std::max(chunk, 1e-12);
+    (void)d;
+  }
+  if (chunk <= 0.0) chunk = 1e-6;
+  while (remaining > 1e-9) {
+    const double step = std::min(chunk, remaining);
+    std::size_t best = n;
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Look ahead far enough to clear facility i's threshold if the
+      // plain step would land in its dead zone.
+      const double here = demand_utility(demands[i], result.slots[i]);
+      double gain = demand_utility(demands[i], result.slots[i] + step) - here;
+      if (gain <= 0.0) {
+        const double jump =
+            demands[i].effective_threshold() - result.slots[i];
+        if (jump > 0.0 && jump <= remaining) {
+          const double jump_gain =
+              demand_utility(demands[i], result.slots[i] + jump) - here;
+          if (jump_gain > 0.0) gain = jump_gain * step / jump;  // pro-rata
+        }
+      }
+      if (gain > best_gain + 1e-15) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == n) break;  // no facility benefits from more slots
+    // If the winner is mid-threshold-jump, grant the full jump at once.
+    const double jump = demands[best].effective_threshold() -
+                        result.slots[best];
+    const double grant =
+        (jump > 0.0 && jump <= remaining &&
+         demand_utility(demands[best], result.slots[best] + step) <=
+             demand_utility(demands[best], result.slots[best]))
+            ? jump
+            : step;
+    result.slots[best] += grant;
+    remaining -= grant;
+  }
+
+  result.feasible = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.utilities[i] = demand_utility(demands[i], result.slots[i]);
+    result.total_utility += result.utilities[i];
+  }
+  if (result.total_utility > 1e-12) {
+    for (std::size_t i = 0; i < n; ++i) {
+      result.shares[i] = result.utilities[i] / result.total_utility;
+    }
+  } else {
+    std::fill(result.shares.begin(), result.shares.end(),
+              1.0 / static_cast<double>(n));
+  }
+  return result;
+}
+
+}  // namespace fedshare::alloc

@@ -1,0 +1,49 @@
+// P2P-scenario allocator (the paper's Eq. 3).
+//
+// In the P2P scenario the federation's value flows to facilities through
+// the resources allocated to their own affiliated users, so allocation
+// and value sharing are the same decision. Each facility i has an
+// aggregate demand (a RequestClass from its users); the allocator splits
+// the pooled location-slot budget into x_i per facility, maximising
+// sum_i u^f_i(x_i) subject to individual rationality:
+// u^f_i(x_i) >= u^f_i(standalone_i) — each facility must do at least as
+// well as acting alone (Eq. 3's second constraint).
+//
+// The facility-level utility u^f_i(x) treats the facility's users as
+// identical experiments sharing x location-slots (equal split for
+// d <= 1, concentration for d > 1), mirroring greedy.hpp at the
+// aggregate level. Thresholds make u^f non-concave, so the solver first
+// reserves each facility's IR floor and then distributes the remaining
+// budget by discrete marginal-utility ascent (chunked so threshold jumps
+// are visible to the search).
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocation.hpp"
+
+namespace fedshare::alloc {
+
+/// Aggregate utility of giving `slots` location-slots to a facility whose
+/// users form `demand`. Pure closed form; exposed for tests.
+[[nodiscard]] double demand_utility(const RequestClass& demand, double slots);
+
+/// Outcome of the P2P allocation.
+struct P2PResult {
+  bool feasible = false;            ///< IR floors all satisfiable
+  std::vector<double> slots;        ///< x_i per facility
+  std::vector<double> utilities;    ///< u^f_i(x_i)
+  std::vector<double> shares;       ///< s_i = u_i / sum_j u_j (Sec. 3.1)
+  double total_utility = 0.0;
+};
+
+/// Splits `total_slots` of pooled capacity across facilities.
+/// `demands[i]` is facility i's aggregate user demand and
+/// `standalone_slots[i]` the slot budget it could muster alone (its IR
+/// reference point). `resolution` controls the ascent granularity
+/// (fraction of total_slots per step; default 1/2000).
+[[nodiscard]] P2PResult allocate_p2p(
+    double total_slots, const std::vector<RequestClass>& demands,
+    const std::vector<double>& standalone_slots, double resolution = 5e-4);
+
+}  // namespace fedshare::alloc

@@ -1,0 +1,221 @@
+#include "cli/runner.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/game_io.hpp"
+#include "core/owen.hpp"
+#include "core/shapley.hpp"
+#include "core/properties.hpp"
+#include "core/sharing.hpp"
+#include "io/table.hpp"
+
+namespace fedshare::cli {
+
+namespace {
+
+// Region names per facility (empty string = none), in facility order.
+std::vector<std::string> region_labels(const io::Config& config) {
+  std::vector<std::string> labels;
+  for (const auto* section : config.sections_named("facility")) {
+    labels.push_back(section->find("region").value_or(""));
+  }
+  return labels;
+}
+
+// Builds the coalition structure implied by the region labels, plus the
+// distinct region display names (singletons use the facility name).
+struct Hierarchy {
+  game::CoalitionStructure structure;
+  std::vector<std::string> block_names;
+};
+
+std::optional<Hierarchy> hierarchy_from_labels(
+    const std::vector<std::string>& labels,
+    const std::vector<std::string>& facility_names) {
+  bool any = false;
+  for (const auto& l : labels) {
+    if (!l.empty()) any = true;
+  }
+  if (!any) return std::nullopt;
+  Hierarchy h;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::string& label = labels[i];
+    if (label.empty()) {
+      h.structure.unions.push_back(
+          game::Coalition::single(static_cast<int>(i)));
+      h.block_names.push_back(facility_names[i]);
+      continue;
+    }
+    bool merged = false;
+    for (std::size_t b = 0; b < h.block_names.size(); ++b) {
+      if (h.block_names[b] == label) {
+        h.structure.unions[b] =
+            h.structure.unions[b].with(static_cast<int>(i));
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      h.structure.unions.push_back(
+          game::Coalition::single(static_cast<int>(i)));
+      h.block_names.push_back(label);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+model::Federation federation_from_config(const io::Config& config) {
+  const auto facility_sections = config.sections_named("facility");
+  if (facility_sections.empty()) {
+    throw io::ConfigError("config needs at least one [facility] section");
+  }
+  if (facility_sections.size() > 12) {
+    throw io::ConfigError(
+        "at most 12 facilities supported (2^n coalition values)");
+  }
+  std::vector<model::FacilityConfig> configs;
+  for (const auto* section : facility_sections) {
+    model::FacilityConfig cfg;
+    cfg.name = section->find("name").value_or(
+        "F" + std::to_string(configs.size() + 1));
+    const double locations = section->get_double("locations");
+    if (locations < 0.0 || locations != std::floor(locations)) {
+      throw io::ConfigError("'locations' must be a non-negative integer",
+                            section->line);
+    }
+    cfg.num_locations = static_cast<int>(locations);
+    cfg.units_per_location = section->get_double_or("units", 1.0);
+    cfg.availability = section->get_double_or("availability", 1.0);
+    configs.push_back(std::move(cfg));
+  }
+
+  const auto demand_sections = config.sections_named("demand");
+  if (demand_sections.empty()) {
+    throw io::ConfigError("config needs at least one [demand] section");
+  }
+  model::DemandProfile demand;
+  for (const auto* section : demand_sections) {
+    model::RequestClass rc;
+    rc.count = section->get_double_or("count", 1.0);
+    rc.min_locations = section->get_double_or("min_locations", 0.0);
+    rc.units_per_location = section->get_double_or("units", 1.0);
+    rc.exponent = section->get_double_or("exponent", 1.0);
+    rc.holding_time = section->get_double_or("holding_time", 1.0);
+    demand.classes.push_back(rc);
+  }
+
+  try {
+    demand.validate();
+    return model::Federation(model::LocationSpace::disjoint(configs),
+                             std::move(demand));
+  } catch (const std::invalid_argument& e) {
+    throw io::ConfigError(e.what());
+  }
+}
+
+std::string run_report(const io::Config& config) {
+  const model::Federation fed = federation_from_config(config);
+  int precision = 4;
+  const auto options = config.sections_named("options");
+  if (!options.empty()) {
+    precision =
+        static_cast<int>(options.front()->get_double_or("precision", 4.0));
+  }
+
+  std::ostringstream out;
+  const int n = fed.num_facilities();
+  const auto g = fed.build_game();
+
+  io::print_heading(out, "Coalition values");
+  io::Table values({"coalition", "V(S)"});
+  values.set_align(0, io::Align::kLeft);
+  for (const auto& s : game::all_coalitions(n)) {
+    if (s.empty()) continue;
+    std::string label;
+    for (const int m : s.members()) {
+      if (!label.empty()) label += "+";
+      label += fed.space().facility(m).name();
+    }
+    values.add_row({label, io::format_double(g.value(s), precision)});
+  }
+  values.print(out);
+
+  const auto props = game::analyze_properties(g, 1e-9);
+  out << "\nGame properties: "
+      << (props.superadditive ? "superadditive" : "not superadditive")
+      << ", " << (props.convex ? "convex" : "not convex") << ", "
+      << (props.monotone ? "monotone" : "not monotone") << ", "
+      << (props.essential ? "essential" : "inessential") << "\n";
+
+  io::print_heading(out, "Sharing schemes");
+  std::vector<std::string> headers{"scheme"};
+  for (int i = 0; i < n; ++i) {
+    headers.push_back(fed.space().facility(i).name());
+  }
+  headers.emplace_back("in core");
+  io::Table table(std::move(headers));
+  table.set_align(0, io::Align::kLeft);
+  const auto outcomes = game::compare_schemes(
+      g, fed.availability_weights(), fed.consumption_weights());
+  for (const auto& o : outcomes) {
+    std::vector<std::string> row{game::to_string(o.scheme)};
+    for (int i = 0; i < n; ++i) {
+      row.push_back(
+          io::format_double(o.shares[static_cast<std::size_t>(i)],
+                            precision));
+    }
+    row.emplace_back(o.in_core ? "yes" : "no");
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  // Optional hierarchy section.
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) {
+    names.push_back(fed.space().facility(i).name());
+  }
+  if (const auto hierarchy =
+          hierarchy_from_labels(region_labels(config), names)) {
+    io::print_heading(out, "Hierarchy (Owen value)");
+    const auto owen = game::normalize_shares(
+        game::owen_value(g, hierarchy->structure));
+    const auto quotient = game::normalize_shares(game::shapley_exact(
+        game::quotient_game(g, hierarchy->structure)));
+    io::Table htable(std::vector<std::string>{"facility", "block", "Owen share"});
+    htable.set_align(0, io::Align::kLeft);
+    htable.set_align(1, io::Align::kLeft);
+    for (int i = 0; i < n; ++i) {
+      htable.add_row(
+          {names[static_cast<std::size_t>(i)],
+           hierarchy->block_names[hierarchy->structure.union_of(i)],
+           io::format_double(owen[static_cast<std::size_t>(i)],
+                             precision)});
+    }
+    htable.print(out);
+    io::Table rtable(std::vector<std::string>{"block", "quotient Shapley share"});
+    rtable.set_align(0, io::Align::kLeft);
+    for (std::size_t b = 0; b < hierarchy->block_names.size(); ++b) {
+      rtable.add_row({hierarchy->block_names[b],
+                      io::format_double(quotient[b], precision)});
+    }
+    out << '\n';
+    rtable.print(out);
+  }
+  return out.str();
+}
+
+std::string run_report_from_string(const std::string& text) {
+  return run_report(io::Config::parse_string(text));
+}
+
+std::string dump_game_text(const io::Config& config) {
+  const model::Federation fed = federation_from_config(config);
+  std::ostringstream out;
+  game::save_game(out, fed.build_game());
+  return out.str();
+}
+
+}  // namespace fedshare::cli

@@ -1,0 +1,51 @@
+// The fedshare CLI engine: parse a federation config, build the game,
+// and render a sharing report. Kept as a library so tests can drive it
+// without spawning processes; tools/fedshare_cli.cpp is the thin main.
+//
+// Config format (INI, see io/config.hpp):
+//
+//   [facility]            # one block per facility (>= 1 required)
+//   name = PLC
+//   locations = 300       # L_i (required)
+//   units = 4             # R_i (default 1)
+//   availability = 1.0    # T_i (default 1)
+//
+//   [demand]              # one block per request class (>= 1 required)
+//   count = 10            # experiments (default 1)
+//   min_locations = 450   # threshold l (default 0)
+//   units = 1             # r per location (default 1)
+//   exponent = 1          # utility shape d (default 1)
+//
+//   [options]             # optional
+//   precision = 4         # digits in the report
+//
+// Facilities may optionally declare `region = <name>`; when any does,
+// the report adds a hierarchy section (quotient Shapley per region and
+// structure-consistent Owen shares per facility). Facilities without a
+// region form their own singleton block.
+#pragma once
+
+#include <string>
+
+#include "io/config.hpp"
+#include "model/federation.hpp"
+
+namespace fedshare::cli {
+
+/// Builds a Federation from a parsed config. Throws io::ConfigError on
+/// missing/invalid sections or values.
+[[nodiscard]] model::Federation federation_from_config(
+    const io::Config& config);
+
+/// Full report: coalition values, game properties, and every sharing
+/// scheme with core membership. Deterministic text output.
+[[nodiscard]] std::string run_report(const io::Config& config);
+
+/// Convenience: parse `text` and report; rethrows io::ConfigError.
+[[nodiscard]] std::string run_report_from_string(const std::string& text);
+
+/// The federation's characteristic function serialized in the
+/// fedshare-game v1 format (see core/game_io.hpp), for `--dump-game`.
+[[nodiscard]] std::string dump_game_text(const io::Config& config);
+
+}  // namespace fedshare::cli

@@ -1,0 +1,23 @@
+// Banzhaf power index — an alternative marginal-contribution valuation.
+//
+// Not used by the paper's headline results, but included in the sharing-
+// scheme comparison suite: it weighs all coalitions equally instead of
+// averaging over orderings, so it highlights how sensitive "importance"
+// is to the averaging convention.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Raw Banzhaf values: beta_i = 2^-(n-1) * sum_{S not containing i}
+/// (V(S+i) - V(S)). Requires n in [1, 24].
+[[nodiscard]] std::vector<double> banzhaf_raw(const Game& game);
+
+/// Normalised Banzhaf index (raw values rescaled to sum to 1; equal shares
+/// if the raw values sum to ~0).
+[[nodiscard]] std::vector<double> banzhaf_index(const Game& game);
+
+}  // namespace fedshare::game

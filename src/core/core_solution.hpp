@@ -1,0 +1,42 @@
+// The core of a TU game (Sec. 3.2.1 of the paper) and the least-core LP.
+//
+// C = { v : sum_N v_i = V(N), sum_S v_i >= V(S) for all S }. Emptiness is
+// decided via the least-core linear program: minimise epsilon subject to
+// x(S) >= V(S) - epsilon; the core is non-empty iff epsilon* <= 0.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Result of the least-core LP.
+struct LeastCoreResult {
+  bool solved = false;            ///< LP solved to optimality
+  double epsilon = 0.0;           ///< minimal uniform excess bound
+  std::vector<double> allocation; ///< an optimal allocation x
+};
+
+/// Solves the least-core LP. Requires 1 <= n <= 12 (the LP has 2^n - 2
+/// coalition rows).
+[[nodiscard]] LeastCoreResult least_core(const Game& game);
+
+/// Whether `allocation` lies in the core of `game`, up to `tolerance`.
+/// Checks efficiency (|x(N) - V(N)| <= tolerance) and coalitional
+/// rationality for every proper coalition. `allocation` must have one
+/// entry per player.
+[[nodiscard]] bool in_core(const Game& game,
+                           const std::vector<double>& allocation,
+                           double tolerance = 1e-6);
+
+/// Whether the core is non-empty (least-core epsilon <= tolerance).
+[[nodiscard]] bool core_nonempty(const Game& game, double tolerance = 1e-6);
+
+/// The maximum violation of `allocation` over all proper coalitions:
+/// max_S (V(S) - x(S)); <= 0 means the allocation satisfies every
+/// coalition. Does not check efficiency.
+[[nodiscard]] double max_core_violation(const Game& game,
+                                        const std::vector<double>& allocation);
+
+}  // namespace fedshare::game

@@ -1,0 +1,94 @@
+#include "core/dividends.hpp"
+
+#include <stdexcept>
+
+namespace fedshare::game {
+
+std::vector<double> harsanyi_dividends(const Game& game) {
+  const int n = game.num_players();
+  if (n > 24) {
+    throw std::invalid_argument("harsanyi_dividends: n must be <= 24");
+  }
+  const TabularGame tab = tabulate(game);
+  std::vector<double> d = tab.values();
+  // Fast Moebius transform: subtract the sub-lattice contribution one
+  // coordinate at a time.
+  const std::uint64_t count = d.size();
+  for (int bit = 0; bit < n; ++bit) {
+    const std::uint64_t step = std::uint64_t{1} << bit;
+    for (std::uint64_t mask = 0; mask < count; ++mask) {
+      if (mask & step) d[mask] -= d[mask ^ step];
+    }
+  }
+  return d;
+}
+
+TabularGame game_from_dividends(int num_players,
+                                const std::vector<double>& dividends) {
+  if (num_players < 0 || num_players > 24) {
+    throw std::invalid_argument("game_from_dividends: n must be in [0, 24]");
+  }
+  const std::uint64_t count = std::uint64_t{1} << num_players;
+  if (dividends.size() != count) {
+    throw std::invalid_argument(
+        "game_from_dividends: need exactly 2^n dividends");
+  }
+  std::vector<double> v = dividends;
+  // Fast zeta transform (inverse of the Moebius transform).
+  for (int bit = 0; bit < num_players; ++bit) {
+    const std::uint64_t step = std::uint64_t{1} << bit;
+    for (std::uint64_t mask = 0; mask < count; ++mask) {
+      if (mask & step) v[mask] += v[mask ^ step];
+    }
+  }
+  return TabularGame(num_players, std::move(v));
+}
+
+std::vector<double> shapley_from_dividends(const Game& game) {
+  const int n = game.num_players();
+  const std::vector<double> d = harsanyi_dividends(game);
+  std::vector<double> phi(static_cast<std::size_t>(n), 0.0);
+  for (std::uint64_t mask = 1; mask < d.size(); ++mask) {
+    const double share =
+        d[mask] / static_cast<double>(__builtin_popcountll(mask));
+    std::uint64_t b = mask;
+    while (b != 0) {
+      phi[static_cast<std::size_t>(__builtin_ctzll(b))] += share;
+      b &= b - 1;
+    }
+  }
+  return phi;
+}
+
+std::vector<std::vector<double>> interaction_index(const Game& game) {
+  const int n = game.num_players();
+  if (n > 20) {
+    throw std::invalid_argument("interaction_index: n must be <= 20");
+  }
+  const std::vector<double> d = harsanyi_dividends(game);
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<std::vector<double>> index(nn, std::vector<double>(nn, 0.0));
+  for (std::uint64_t mask = 1; mask < d.size(); ++mask) {
+    const int size = __builtin_popcountll(mask);
+    if (size < 2 || d[mask] == 0.0) continue;
+    const double share = d[mask] / static_cast<double>(size - 1);
+    // Add to every pair inside the coalition.
+    std::vector<int> members;
+    std::uint64_t b = mask;
+    while (b != 0) {
+      members.push_back(__builtin_ctzll(b));
+      b &= b - 1;
+    }
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t c = a + 1; c < members.size(); ++c) {
+        const auto i = static_cast<std::size_t>(members[a]);
+        const auto j = static_cast<std::size_t>(members[c]);
+        index[i][j] += share;
+        index[j][i] += share;
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace fedshare::game

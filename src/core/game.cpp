@@ -1,0 +1,84 @@
+#include "core/game.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fedshare::game {
+
+TabularGame::TabularGame(int num_players, std::vector<double> values)
+    : num_players_(num_players), values_(std::move(values)) {
+  if (num_players < 0 || num_players > 24) {
+    throw std::invalid_argument("TabularGame: n must be in [0, 24]");
+  }
+  const std::size_t expected = std::size_t{1} << num_players;
+  if (values_.size() != expected) {
+    throw std::invalid_argument("TabularGame: need exactly 2^n values");
+  }
+  if (std::abs(values_[0]) > 1e-12) {
+    throw std::invalid_argument("TabularGame: V(empty) must be 0");
+  }
+}
+
+double TabularGame::value(Coalition coalition) const {
+  const std::uint64_t idx = coalition.bits();
+  if (idx >= values_.size()) {
+    throw std::out_of_range("TabularGame::value: coalition out of range");
+  }
+  return values_[idx];
+}
+
+TabularGame TabularGame::zero_normalized() const {
+  std::vector<double> out(values_.size());
+  for (std::uint64_t mask = 0; mask < values_.size(); ++mask) {
+    double singles = 0.0;
+    std::uint64_t b = mask;
+    while (b != 0) {
+      const int p = __builtin_ctzll(b);
+      singles += values_[std::uint64_t{1} << p];
+      b &= b - 1;
+    }
+    out[mask] = values_[mask] - singles;
+  }
+  return TabularGame(num_players_, std::move(out));
+}
+
+FunctionGame::FunctionGame(int num_players, ValueFn fn)
+    : num_players_(num_players), fn_(std::move(fn)) {
+  if (num_players < 0 || num_players > Coalition::kMaxPlayers) {
+    throw std::invalid_argument("FunctionGame: bad player count");
+  }
+  if (!fn_) {
+    throw std::invalid_argument("FunctionGame: null value function");
+  }
+}
+
+double FunctionGame::value(Coalition coalition) const {
+  if (!coalition.is_subset_of(Coalition::grand(num_players_))) {
+    throw std::out_of_range("FunctionGame::value: coalition out of range");
+  }
+  return fn_(coalition);
+}
+
+TabularGame tabulate(const Game& game) {
+  const int n = game.num_players();
+  if (n > 24) {
+    throw std::invalid_argument("tabulate: n must be <= 24");
+  }
+  const std::uint64_t count = std::uint64_t{1} << n;
+  std::vector<double> values(count);
+  for (std::uint64_t mask = 0; mask < count; ++mask) {
+    values[mask] = game.value(Coalition::from_bits(mask));
+  }
+  return TabularGame(n, std::move(values));
+}
+
+double standalone_total(const Game& game) {
+  double total = 0.0;
+  for (int i = 0; i < game.num_players(); ++i) {
+    total += game.value(Coalition::single(i));
+  }
+  return total;
+}
+
+}  // namespace fedshare::game

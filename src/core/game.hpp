@@ -1,0 +1,85 @@
+// Transferable-utility coalitional games.
+//
+// A Game maps coalitions to values (the characteristic function V).
+// Concrete games either tabulate all 2^n values (TabularGame) or wrap a
+// callable (FunctionGame); tabulate() converts any game to tabular form,
+// which the exact solvers use to avoid recomputing V.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/coalition.hpp"
+
+namespace fedshare::game {
+
+/// Abstract transferable-utility game. Implementations must be
+/// deterministic: value(S) may be called many times for the same S.
+/// Convention: value(empty) == 0.
+class Game {
+ public:
+  virtual ~Game() = default;
+
+  /// Number of players n (players are 0..n-1).
+  [[nodiscard]] virtual int num_players() const = 0;
+
+  /// Characteristic function V(S). `coalition` must only contain players
+  /// < num_players().
+  [[nodiscard]] virtual double value(Coalition coalition) const = 0;
+
+  /// V of the grand coalition (convenience).
+  [[nodiscard]] double grand_value() const {
+    return value(Coalition::grand(num_players()));
+  }
+};
+
+/// A game defined by an explicit table of 2^n values indexed by coalition
+/// bitmask. This is the workhorse representation for exact algorithms.
+class TabularGame final : public Game {
+ public:
+  /// `values` must have exactly 2^num_players entries, values[0] == 0.
+  TabularGame(int num_players, std::vector<double> values);
+
+  [[nodiscard]] int num_players() const override { return num_players_; }
+  [[nodiscard]] double value(Coalition coalition) const override;
+
+  /// Direct access to the value table (index = coalition bitmask).
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Returns the 0-normalisation of this game:
+  /// V0(S) = V(S) - sum_{i in S} V({i}).
+  [[nodiscard]] TabularGame zero_normalized() const;
+
+ private:
+  int num_players_;
+  std::vector<double> values_;
+};
+
+/// A game defined by a callable. No caching: wrap with tabulate() before
+/// running exponential algorithms.
+class FunctionGame final : public Game {
+ public:
+  using ValueFn = std::function<double(Coalition)>;
+
+  /// `fn` must return 0 for the empty coalition.
+  FunctionGame(int num_players, ValueFn fn);
+
+  [[nodiscard]] int num_players() const override { return num_players_; }
+  [[nodiscard]] double value(Coalition coalition) const override;
+
+ private:
+  int num_players_;
+  ValueFn fn_;
+};
+
+/// Evaluates `game` on every coalition and returns the tabular form.
+/// Requires num_players() <= 24.
+[[nodiscard]] TabularGame tabulate(const Game& game);
+
+/// Sum of V({i}) over all players (the "act alone" total).
+[[nodiscard]] double standalone_total(const Game& game);
+
+}  // namespace fedshare::game

@@ -1,0 +1,29 @@
+// Plain-text serialization for tabular games.
+//
+// Computing V(S) can be expensive (allocation runs, DES campaigns);
+// save_game/load_game let a characteristic function be computed once,
+// stored, inspected, and shared between tools. Format:
+//
+//   fedshare-game v1
+//   players <n>
+//   <value of coalition mask 0>
+//   <value of coalition mask 1>
+//   ...            (2^n lines, index = coalition bitmask)
+//
+// Lines starting with '#' and blank lines are ignored on load.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Writes `game` in the fedshare-game v1 format.
+void save_game(std::ostream& out, const TabularGame& game);
+
+/// Parses a fedshare-game v1 stream; throws std::runtime_error with a
+/// description on malformed input.
+[[nodiscard]] TabularGame load_game(std::istream& in);
+
+}  // namespace fedshare::game

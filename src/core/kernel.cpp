@@ -1,0 +1,154 @@
+#include "core/kernel.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedshare::game {
+
+namespace {
+
+// All pairwise surpluses in one sweep over the 2^n coalitions.
+// surpluses[i][j] = s_ij(x) for i != j.
+std::vector<std::vector<double>> all_surpluses(
+    const TabularGame& tab, const std::vector<double>& x) {
+  const int n = tab.num_players();
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<std::vector<double>> s(
+      nn, std::vector<double>(nn, -std::numeric_limits<double>::infinity()));
+  const std::uint64_t count = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask < count - 1; ++mask) {
+    double excess = tab.values()[mask];
+    std::uint64_t b = mask;
+    while (b != 0) {
+      excess -= x[static_cast<std::size_t>(__builtin_ctzll(b))];
+      b &= b - 1;
+    }
+    b = mask;
+    while (b != 0) {
+      const auto i = static_cast<std::size_t>(__builtin_ctzll(b));
+      for (std::size_t j = 0; j < nn; ++j) {
+        if (((mask >> j) & 1u) == 0 && excess > s[i][j]) {
+          s[i][j] = excess;
+        }
+      }
+      b &= b - 1;
+    }
+  }
+  return s;
+}
+
+void check_allocation(const Game& game,
+                      const std::vector<double>& allocation) {
+  if (allocation.size() != static_cast<std::size_t>(game.num_players())) {
+    throw std::invalid_argument("kernel: allocation size must equal n");
+  }
+}
+
+}  // namespace
+
+double surplus(const Game& game, const std::vector<double>& allocation,
+               int i, int j) {
+  const int n = game.num_players();
+  if (n > 20) {
+    throw std::invalid_argument("surplus: n must be <= 20");
+  }
+  check_allocation(game, allocation);
+  if (i < 0 || j < 0 || i >= n || j >= n || i == j) {
+    throw std::invalid_argument("surplus: need distinct players in range");
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  const std::uint64_t count = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask < count; ++mask) {
+    if (((mask >> i) & 1u) == 0 || ((mask >> j) & 1u) != 0) continue;
+    double excess = game.value(Coalition::from_bits(mask));
+    std::uint64_t b = mask;
+    while (b != 0) {
+      excess -= allocation[static_cast<std::size_t>(__builtin_ctzll(b))];
+      b &= b - 1;
+    }
+    best = std::max(best, excess);
+  }
+  return best;
+}
+
+double max_surplus_imbalance(const Game& game,
+                             const std::vector<double>& allocation) {
+  const int n = game.num_players();
+  if (n > 12) {
+    throw std::invalid_argument("max_surplus_imbalance: n must be <= 12");
+  }
+  check_allocation(game, allocation);
+  if (n < 2) return 0.0;
+  const TabularGame tab = tabulate(game);
+  const auto s = all_surpluses(tab, allocation);
+  double worst = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto ui = static_cast<std::size_t>(i);
+      const auto uj = static_cast<std::size_t>(j);
+      worst = std::max(worst, std::abs(s[ui][uj] - s[uj][ui]));
+    }
+  }
+  return worst;
+}
+
+PrekernelResult prekernel_point(const Game& game, std::vector<double> start,
+                                int max_iterations, double tolerance) {
+  const int n = game.num_players();
+  if (n < 1 || n > 12) {
+    throw std::invalid_argument("prekernel_point: n must be in [1, 12]");
+  }
+  const TabularGame tab = tabulate(game);
+  PrekernelResult result;
+  if (start.empty()) {
+    start.assign(static_cast<std::size_t>(n),
+                 tab.grand_value() / static_cast<double>(n));
+  }
+  check_allocation(game, start);
+  result.allocation = std::move(start);
+  if (n == 1) {
+    result.converged = true;
+    result.allocation = {tab.grand_value()};
+    return result;
+  }
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const auto s = all_surpluses(tab, result.allocation);
+    double worst = 0.0;
+    int wi = 0;
+    int wj = 1;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double gap = std::abs(s[static_cast<std::size_t>(i)]
+                                     [static_cast<std::size_t>(j)] -
+                                    s[static_cast<std::size_t>(j)]
+                                     [static_cast<std::size_t>(i)]);
+        if (gap > worst) {
+          worst = gap;
+          wi = i;
+          wj = j;
+        }
+      }
+    }
+    result.iterations = iter + 1;
+    result.max_imbalance = worst;
+    if (worst <= tolerance) {
+      result.converged = true;
+      return result;
+    }
+    // Transfer half the gap from the player with the lower surplus to
+    // the one with the higher (Stearns' scheme; efficiency preserved).
+    const double delta = 0.5 * (s[static_cast<std::size_t>(wi)]
+                                 [static_cast<std::size_t>(wj)] -
+                                s[static_cast<std::size_t>(wj)]
+                                 [static_cast<std::size_t>(wi)]);
+    result.allocation[static_cast<std::size_t>(wi)] += delta;
+    result.allocation[static_cast<std::size_t>(wj)] -= delta;
+  }
+  result.max_imbalance = max_surplus_imbalance(game, result.allocation);
+  result.converged = result.max_imbalance <= tolerance;
+  return result;
+}
+
+}  // namespace fedshare::game

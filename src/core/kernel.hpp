@@ -1,0 +1,44 @@
+// The pre-kernel: the bargaining-equilibrium solution behind the
+// nucleolus.
+//
+// For an allocation x, the surplus of i against j is
+// s_ij(x) = max over coalitions S with i in S, j not in S of V(S) - x(S)
+// — the best objection i can raise against j. A pre-kernel point
+// balances every pair: s_ij = s_ji. The nucleolus always lies in the
+// pre-kernel, which the tests exploit to cross-validate both solvers.
+// Computed by Stearns' transfer scheme (repeatedly settle the most
+// unbalanced pair).
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Surplus s_ij(x) of player i against j (i != j). Requires n <= 20.
+[[nodiscard]] double surplus(const Game& game,
+                             const std::vector<double>& allocation, int i,
+                             int j);
+
+/// Largest pairwise imbalance max_{i != j} |s_ij - s_ji| at `allocation`.
+[[nodiscard]] double max_surplus_imbalance(
+    const Game& game, const std::vector<double>& allocation);
+
+/// Result of the transfer scheme.
+struct PrekernelResult {
+  bool converged = false;
+  std::vector<double> allocation;
+  double max_imbalance = 0.0;  ///< at the returned allocation
+  int iterations = 0;
+};
+
+/// Finds a pre-kernel point by Stearns' transfer scheme, starting from
+/// `start` (defaults to the equal split of V(N) when empty). Each step
+/// transfers half the surplus gap of the currently worst pair. Requires
+/// 1 <= n <= 12.
+[[nodiscard]] PrekernelResult prekernel_point(
+    const Game& game, std::vector<double> start = {},
+    int max_iterations = 20000, double tolerance = 1e-9);
+
+}  // namespace fedshare::game

@@ -1,0 +1,167 @@
+#include "core/nucleolus.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "lp/simplex.hpp"
+
+namespace fedshare::game {
+
+namespace {
+
+constexpr double kTol = 1e-7;
+
+// Shared LP scaffolding for one round of the scheme. Variables are
+// x_0..x_{n-1} and epsilon (all free). `fixed` holds (mask, rhs) pairs
+// meaning x(S) == rhs; `active` holds masks with x(S) + eps >= V(S).
+struct RoundContext {
+  int n = 0;
+  double grand_value = 0.0;
+  const std::vector<double>* values = nullptr;
+  std::vector<std::pair<std::uint64_t, double>> fixed;
+  std::vector<std::uint64_t> active;
+
+  [[nodiscard]] lp::Problem base_problem() const {
+    const auto nv = static_cast<std::size_t>(n);
+    lp::Problem prob(nv + 1, lp::Objective::kMinimize);
+    for (std::size_t i = 0; i <= nv; ++i) prob.set_free(i);
+
+    std::vector<double> eff(nv + 1, 0.0);
+    for (std::size_t i = 0; i < nv; ++i) eff[i] = 1.0;
+    prob.add_constraint(std::move(eff), lp::Relation::kEqual, grand_value);
+
+    for (const auto& [mask, rhs] : fixed) {
+      prob.add_constraint(row_for(mask, 0.0), lp::Relation::kEqual, rhs);
+    }
+    for (const std::uint64_t mask : active) {
+      prob.add_constraint(row_for(mask, 1.0), lp::Relation::kGreaterEqual,
+                          (*values)[mask]);
+    }
+    return prob;
+  }
+
+  [[nodiscard]] std::vector<double> row_for(std::uint64_t mask,
+                                            double eps_coeff) const {
+    std::vector<double> row(static_cast<std::size_t>(n) + 1, 0.0);
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) row[static_cast<std::size_t>(i)] = 1.0;
+    }
+    row[static_cast<std::size_t>(n)] = eps_coeff;
+    return row;
+  }
+};
+
+}  // namespace
+
+NucleolusResult nucleolus(const Game& game) {
+  const int n = game.num_players();
+  if (n < 1 || n > 10) {
+    throw std::invalid_argument("nucleolus: n must be in [1, 10]");
+  }
+  NucleolusResult out;
+  if (n == 1) {
+    out.solved = true;
+    out.allocation = {game.grand_value()};
+    return out;
+  }
+
+  const TabularGame tab = tabulate(game);
+  const std::uint64_t grand = (std::uint64_t{1} << n) - 1;
+
+  RoundContext ctx;
+  ctx.n = n;
+  ctx.grand_value = tab.values()[grand];
+  ctx.values = &tab.values();
+  ctx.active.reserve(grand - 1);
+  for (std::uint64_t mask = 1; mask < grand; ++mask) ctx.active.push_back(mask);
+
+  const auto nv = static_cast<std::size_t>(n);
+  std::vector<double> allocation;
+
+  // Each round fixes at least one coalition, so at most 2^n rounds; in
+  // practice the allocation becomes unique after <= n-1 rounds.
+  while (!ctx.active.empty()) {
+    // 1. Least-core step over the remaining coalitions.
+    lp::Problem prob = ctx.base_problem();
+    prob.set_objective_coefficient(nv, 1.0);
+    const lp::Solution sol = lp::solve(prob);
+    if (!sol.optimal()) return out;
+    const double eps = sol.x[nv];
+    out.levels.push_back(eps);
+    allocation.assign(sol.x.begin(), sol.x.begin() + n);
+
+    // 2. A coalition is permanently tight iff x(S) cannot exceed
+    //    V(S) - eps in any optimal solution. Test by maximizing x(S)
+    //    with eps pinned to the optimum.
+    std::vector<std::uint64_t> still_active;
+    bool fixed_any = false;
+    const lp::Problem base = ctx.base_problem();
+    for (const std::uint64_t mask : ctx.active) {
+      lp::Problem aux_max(nv + 1, lp::Objective::kMaximize);
+      for (std::size_t i = 0; i <= nv; ++i) aux_max.set_free(i);
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1u) {
+          aux_max.set_objective_coefficient(static_cast<std::size_t>(i), 1.0);
+        }
+      }
+      for (const auto& c : base.constraints()) {
+        aux_max.add_constraint(c.coefficients, c.relation, c.rhs);
+      }
+      std::vector<double> pin(nv + 1, 0.0);
+      pin[nv] = 1.0;
+      aux_max.add_constraint(std::move(pin), lp::Relation::kEqual, eps);
+      const lp::Solution aux_sol = lp::solve(aux_max);
+      if (!aux_sol.optimal()) return out;
+      const double max_xs = aux_sol.objective;
+      const double bound = tab.values()[mask] - eps;
+      if (max_xs <= bound + kTol) {
+        ctx.fixed.emplace_back(mask, bound);
+        fixed_any = true;
+      } else {
+        still_active.push_back(mask);
+      }
+    }
+    ctx.active = std::move(still_active);
+    if (!fixed_any) break;  // numerically stuck; current allocation stands
+
+    // 3. Stop early once the allocation is pinned down: every player's
+    //    payoff range under the fixed constraints is a point.
+    if (!ctx.active.empty()) {
+      bool unique = true;
+      for (int i = 0; i < n && unique; ++i) {
+        double extremes[2];
+        for (int dir = 0; dir < 2; ++dir) {
+          lp::Problem p(nv + 1, dir == 0 ? lp::Objective::kMinimize
+                                         : lp::Objective::kMaximize);
+          for (std::size_t v2 = 0; v2 <= nv; ++v2) p.set_free(v2);
+          p.set_objective_coefficient(static_cast<std::size_t>(i), 1.0);
+          const lp::Problem base = ctx.base_problem();
+          for (const auto& c : base.constraints()) {
+            p.add_constraint(c.coefficients, c.relation, c.rhs);
+          }
+          // Pin eps at the current level: the later rounds only shrink
+          // the feasible set, so a unique x-projection here is final.
+          std::vector<double> pin_eps(nv + 1, 0.0);
+          pin_eps[nv] = 1.0;
+          p.add_constraint(std::move(pin_eps), lp::Relation::kEqual, eps);
+          const lp::Solution s2 = lp::solve(p);
+          if (!s2.optimal()) {
+            unique = false;
+            extremes[dir] = 0.0;
+            break;
+          }
+          extremes[dir] = s2.objective;
+        }
+        if (unique && extremes[1] - extremes[0] > kTol) unique = false;
+      }
+      if (unique) break;
+    }
+  }
+
+  out.solved = true;
+  out.allocation = std::move(allocation);
+  return out;
+}
+
+}  // namespace fedshare::game

@@ -1,0 +1,27 @@
+// Nucleolus of a TU game (Sec. 3.2.3 of the paper).
+//
+// Computed with the classical iterative scheme: solve the least-core LP,
+// permanently fix the coalitions whose excess is maximal in every optimal
+// solution (decided by one auxiliary LP per candidate), and recurse on the
+// rest until the allocation is unique. If the core is non-empty the result
+// lies in the core (the paper's stated property, which our tests assert).
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Result of a nucleolus computation.
+struct NucleolusResult {
+  bool solved = false;             ///< all LPs solved to optimality
+  std::vector<double> allocation;  ///< the nucleolus payoff vector
+  std::vector<double> levels;      ///< epsilon level fixed at each round
+};
+
+/// Computes the nucleolus. Requires 1 <= n <= 10 (each round solves up to
+/// 2^n auxiliary LPs over 2^n rows).
+[[nodiscard]] NucleolusResult nucleolus(const Game& game);
+
+}  // namespace fedshare::game

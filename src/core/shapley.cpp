@@ -1,0 +1,235 @@
+#include "core/shapley.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedshare::game {
+
+namespace {
+
+// splitmix64: small, fast, deterministic PRNG for permutation sampling.
+// (sim/rng.hpp hosts the full RNG suite; core stays dependency-light.)
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  // Uniform integer in [0, bound) by rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> shapley_exact(const Game& game) {
+  const int n = game.num_players();
+  if (n == 0) return {};
+  if (n > 24) {
+    throw std::invalid_argument(
+        "shapley_exact: n must be <= 24; use shapley_monte_carlo");
+  }
+  const TabularGame tab = tabulate(game);
+  const std::vector<double>& v = tab.values();
+
+  // weight[s] = s! (n-s-1)! / n! for |S| = s, computed in log space to
+  // stay finite for n up to 24.
+  std::vector<double> log_fact(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int k = 2; k <= n; ++k) {
+    log_fact[static_cast<std::size_t>(k)] =
+        log_fact[static_cast<std::size_t>(k - 1)] + std::log(k);
+  }
+  std::vector<double> weight(static_cast<std::size_t>(n), 0.0);
+  for (int s = 0; s < n; ++s) {
+    weight[static_cast<std::size_t>(s)] = std::exp(
+        log_fact[static_cast<std::size_t>(s)] +
+        log_fact[static_cast<std::size_t>(n - s - 1)] -
+        log_fact[static_cast<std::size_t>(n)]);
+  }
+
+  std::vector<double> phi(static_cast<std::size_t>(n), 0.0);
+  const std::uint64_t count = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < count; ++mask) {
+    const int s = __builtin_popcountll(mask);
+    const double w = weight[static_cast<std::size_t>(s)];
+    const double base = v[mask];
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) continue;
+      const std::uint64_t with_i = mask | (std::uint64_t{1} << i);
+      phi[static_cast<std::size_t>(i)] += w * (v[with_i] - base);
+    }
+  }
+  return phi;
+}
+
+std::vector<double> shapley_permutations(const Game& game) {
+  const int n = game.num_players();
+  if (n == 0) return {};
+  if (n > 10) {
+    throw std::invalid_argument(
+        "shapley_permutations: n must be <= 10 (n! blowup); use "
+        "shapley_exact");
+  }
+  const TabularGame tab = tabulate(game);
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
+  std::uint64_t permutations = 0;
+  do {
+    Coalition prefix;
+    double prev = 0.0;
+    for (const int p : order) {
+      const Coalition next = prefix.with(p);
+      const double val = tab.value(next);
+      sum[static_cast<std::size_t>(p)] += val - prev;
+      prefix = next;
+      prev = val;
+    }
+    ++permutations;
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  for (double& s : sum) s /= static_cast<double>(permutations);
+  return sum;
+}
+
+MonteCarloShapley shapley_monte_carlo(const Game& game, std::uint64_t samples,
+                                      std::uint64_t seed) {
+  const int n = game.num_players();
+  if (samples < 2) {
+    throw std::invalid_argument("shapley_monte_carlo: need samples >= 2");
+  }
+  MonteCarloShapley result;
+  result.samples = samples;
+  result.phi.assign(static_cast<std::size_t>(n), 0.0);
+  result.standard_error.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  SplitMix64 rng{seed ^ 0xa02bdbf7bb3c0a7ULL};
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
+
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    // Fisher-Yates shuffle.
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)], order[j]);
+    }
+    Coalition prefix;
+    double prev = 0.0;
+    for (const int p : order) {
+      const Coalition next = prefix.with(p);
+      const double val = game.value(next);
+      const double marginal = val - prev;
+      sum[static_cast<std::size_t>(p)] += marginal;
+      sum_sq[static_cast<std::size_t>(p)] += marginal * marginal;
+      prefix = next;
+      prev = val;
+    }
+  }
+
+  const auto count = static_cast<double>(samples);
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const double mean = sum[ui] / count;
+    result.phi[ui] = mean;
+    const double variance =
+        std::max(0.0, (sum_sq[ui] / count - mean * mean) * count /
+                          (count - 1.0));
+    result.standard_error[ui] = std::sqrt(variance / count);
+  }
+  return result;
+}
+
+MonteCarloShapley shapley_monte_carlo_antithetic(const Game& game,
+                                                 std::uint64_t samples,
+                                                 std::uint64_t seed) {
+  const int n = game.num_players();
+  if (samples < 2 || samples % 2 != 0) {
+    throw std::invalid_argument(
+        "shapley_monte_carlo_antithetic: need an even number of samples "
+        ">= 2");
+  }
+  MonteCarloShapley result;
+  result.samples = samples;
+  result.phi.assign(static_cast<std::size_t>(n), 0.0);
+  result.standard_error.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  SplitMix64 rng{seed ^ 0x9d2c5680aa60ce77ULL};
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> pair_marginal(static_cast<std::size_t>(n), 0.0);
+
+  const std::uint64_t pairs = samples / 2;
+  for (std::uint64_t p = 0; p < pairs; ++p) {
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)], order[j]);
+    }
+    std::fill(pair_marginal.begin(), pair_marginal.end(), 0.0);
+    for (int pass = 0; pass < 2; ++pass) {
+      Coalition prefix;
+      double prev = 0.0;
+      for (int k = 0; k < n; ++k) {
+        const int player =
+            pass == 0 ? order[static_cast<std::size_t>(k)]
+                      : order[static_cast<std::size_t>(n - 1 - k)];
+        const Coalition next = prefix.with(player);
+        const double val = game.value(next);
+        pair_marginal[static_cast<std::size_t>(player)] +=
+            0.5 * (val - prev);
+        prefix = next;
+        prev = val;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      sum[ui] += pair_marginal[ui];
+      sum_sq[ui] += pair_marginal[ui] * pair_marginal[ui];
+    }
+  }
+
+  const auto count = static_cast<double>(pairs);
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const double mean = sum[ui] / count;
+    result.phi[ui] = mean;
+    const double variance =
+        count > 1.0
+            ? std::max(0.0, (sum_sq[ui] / count - mean * mean) * count /
+                                (count - 1.0))
+            : 0.0;
+    result.standard_error[ui] = std::sqrt(variance / count);
+  }
+  return result;
+}
+
+std::vector<double> normalize_shares(const std::vector<double>& values) {
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  std::vector<double> out(values.size());
+  if (values.empty()) return out;
+  if (std::abs(total) < 1e-12) {
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(out.size()));
+    return out;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = values[i] / total;
+  return out;
+}
+
+}  // namespace fedshare::game

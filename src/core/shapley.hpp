@@ -1,0 +1,60 @@
+// Shapley value computation (the paper's Eq. 4 and its normalisation,
+// Eq. 5).
+//
+// Three engines are provided:
+//  * shapley_exact       — marginal-contribution subset formula,
+//                          O(2^n * n); the default for n <= 24.
+//  * shapley_permutations— direct enumeration of all n! orderings,
+//                          O(n! * n); cross-check for n <= 10.
+//  * shapley_monte_carlo — uniform permutation sampling with standard
+//                          errors; for large n (hierarchical federations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Exact Shapley values, phi[i] for each player, via the subset formula
+/// phi_i = sum_{S not containing i} |S|!(n-|S|-1)!/n! (V(S+i) - V(S)).
+/// The game is tabulated once; requires n <= 24.
+[[nodiscard]] std::vector<double> shapley_exact(const Game& game);
+
+/// Exact Shapley values by enumerating all n! player orderings and
+/// averaging marginal contributions. Exponentially slower than
+/// shapley_exact; kept as an independent cross-check. Requires n <= 10.
+[[nodiscard]] std::vector<double> shapley_permutations(const Game& game);
+
+/// Monte-Carlo Shapley estimate.
+struct MonteCarloShapley {
+  std::vector<double> phi;             ///< estimated Shapley values
+  std::vector<double> standard_error;  ///< per-player standard errors
+  std::uint64_t samples = 0;           ///< permutations drawn
+};
+
+/// Estimates Shapley values by sampling `samples` uniform permutations
+/// (each sample evaluates V n+1 times along a random ordering).
+/// Deterministic given `seed`. Requires samples >= 2.
+[[nodiscard]] MonteCarloShapley shapley_monte_carlo(const Game& game,
+                                                    std::uint64_t samples,
+                                                    std::uint64_t seed);
+
+/// Antithetic variant: permutations are drawn in (pi, reverse(pi)) pairs
+/// and each pair's marginal contributions are averaged before entering
+/// the estimator. For monotone games a player early in pi is late in the
+/// reverse, so the pair's marginals are negatively correlated and the
+/// standard error drops at equal V-evaluation cost. `samples` counts
+/// permutations (must be even and >= 2).
+[[nodiscard]] MonteCarloShapley shapley_monte_carlo_antithetic(
+    const Game& game, std::uint64_t samples, std::uint64_t seed);
+
+/// Normalises a value vector to shares of the total: out[i] = v[i] / sum(v).
+/// For Shapley values this is the paper's phi-hat (Eq. 5), since
+/// efficiency makes sum(phi) = V(N). If the total is ~0, returns equal
+/// shares (the paper's "no value generated" edge: nothing to divide).
+[[nodiscard]] std::vector<double> normalize_shares(
+    const std::vector<double>& values);
+
+}  // namespace fedshare::game

@@ -1,0 +1,112 @@
+#include "core/sharing.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/banzhaf.hpp"
+#include "core/core_solution.hpp"
+#include "core/nucleolus.hpp"
+#include "core/shapley.hpp"
+
+namespace fedshare::game {
+
+const char* to_string(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kShapley: return "shapley";
+    case Scheme::kProportionalAvailability: return "prop-availability";
+    case Scheme::kProportionalConsumption: return "prop-consumption";
+    case Scheme::kEqual: return "equal";
+    case Scheme::kNucleolus: return "nucleolus";
+    case Scheme::kBanzhaf: return "banzhaf";
+  }
+  return "unknown";
+}
+
+std::vector<double> equal_shares(int num_players) {
+  if (num_players < 1) {
+    throw std::invalid_argument("equal_shares: need at least one player");
+  }
+  return std::vector<double>(static_cast<std::size_t>(num_players),
+                             1.0 / num_players);
+}
+
+std::vector<double> proportional_shares(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("proportional_shares: empty weights");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument(
+          "proportional_shares: weights must be non-negative");
+    }
+    total += w;
+  }
+  if (total < 1e-12) return equal_shares(static_cast<int>(weights.size()));
+  std::vector<double> out(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) out[i] = weights[i] / total;
+  return out;
+}
+
+std::vector<double> shapley_shares(const Game& game) {
+  return normalize_shares(shapley_exact(game));
+}
+
+std::vector<double> nucleolus_shares(const Game& game) {
+  const NucleolusResult r = nucleolus(game);
+  if (!r.solved) {
+    throw std::runtime_error("nucleolus_shares: computation failed");
+  }
+  const double total = game.grand_value();
+  if (std::abs(total) < 1e-12) return equal_shares(game.num_players());
+  std::vector<double> out(r.allocation.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = r.allocation[i] / total;
+  }
+  return out;
+}
+
+std::vector<SchemeOutcome> compare_schemes(
+    const Game& game, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights) {
+  const int n = game.num_players();
+  const double total = game.grand_value();
+
+  std::vector<SchemeOutcome> out;
+  auto push = [&](Scheme scheme, std::vector<double> shares) {
+    SchemeOutcome o;
+    o.scheme = scheme;
+    o.payoffs.resize(shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      o.payoffs[i] = shares[i] * total;
+    }
+    o.shares = std::move(shares);
+    if (n <= 16) o.in_core = in_core(game, o.payoffs);
+    out.push_back(std::move(o));
+  };
+
+  push(Scheme::kShapley, shapley_shares(game));
+  if (!availability_weights.empty()) {
+    if (availability_weights.size() != static_cast<std::size_t>(n)) {
+      throw std::invalid_argument(
+          "compare_schemes: availability weight count must equal n");
+    }
+    push(Scheme::kProportionalAvailability,
+         proportional_shares(availability_weights));
+  }
+  if (!consumption_weights.empty()) {
+    if (consumption_weights.size() != static_cast<std::size_t>(n)) {
+      throw std::invalid_argument(
+          "compare_schemes: consumption weight count must equal n");
+    }
+    push(Scheme::kProportionalConsumption,
+         proportional_shares(consumption_weights));
+  }
+  push(Scheme::kEqual, equal_shares(n));
+  if (n <= 10) push(Scheme::kNucleolus, nucleolus_shares(game));
+  push(Scheme::kBanzhaf, banzhaf_index(game));
+  return out;
+}
+
+}  // namespace fedshare::game

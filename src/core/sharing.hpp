@@ -1,0 +1,66 @@
+// Value-sharing schemes (Sec. 3.2 of the paper).
+//
+// All schemes produce a share vector s with sum(s) = 1; the payoff of
+// facility i is then s_i * V(N). The paper compares:
+//   * the normalised Shapley value phi-hat (Eq. 5),
+//   * availability-proportional sharing pi-hat (Eq. 6),
+//   * consumption-proportional sharing rho-hat (Eq. 7),
+//   * equal split, and
+//   * the nucleolus.
+// The model layer supplies the weight vectors for the proportional
+// schemes (L_i * R_i for availability; allocated units for consumption).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Identifiers for the sharing schemes compared throughout the benches.
+enum class Scheme {
+  kShapley,
+  kProportionalAvailability,
+  kProportionalConsumption,
+  kEqual,
+  kNucleolus,
+  kBanzhaf,
+};
+
+/// Human-readable scheme name.
+[[nodiscard]] const char* to_string(Scheme scheme) noexcept;
+
+/// Equal split: 1/n each. Requires n >= 1.
+[[nodiscard]] std::vector<double> equal_shares(int num_players);
+
+/// Proportional shares from non-negative weights: s_i = w_i / sum(w).
+/// If all weights are ~0, falls back to equal shares. Negative weights
+/// throw std::invalid_argument.
+[[nodiscard]] std::vector<double> proportional_shares(
+    const std::vector<double>& weights);
+
+/// Normalised Shapley shares of `game` (phi-hat, Eq. 5).
+[[nodiscard]] std::vector<double> shapley_shares(const Game& game);
+
+/// Nucleolus-based shares (allocation / V(N)); falls back to equal shares
+/// when V(N) is ~0. Requires n <= 10.
+[[nodiscard]] std::vector<double> nucleolus_shares(const Game& game);
+
+/// One scheme's outcome in a comparison run.
+struct SchemeOutcome {
+  Scheme scheme;
+  std::vector<double> shares;    ///< sums to 1
+  std::vector<double> payoffs;   ///< shares * V(N)
+  bool in_core = false;          ///< payoff vector lies in the core
+};
+
+/// Computes every scheme on `game`. `availability_weights` and
+/// `consumption_weights` feed the two proportional schemes; pass empty
+/// vectors to skip those schemes. Core membership of each payoff vector
+/// is checked when n <= 16.
+[[nodiscard]] std::vector<SchemeOutcome> compare_schemes(
+    const Game& game, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights);
+
+}  // namespace fedshare::game

@@ -1,0 +1,116 @@
+#include "core/values_ext.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedshare::game {
+
+std::optional<TauValueResult> tau_value(const Game& game) {
+  const int n = game.num_players();
+  if (n < 1 || n > 20) {
+    throw std::invalid_argument("tau_value: n must be in [1, 20]");
+  }
+  const TabularGame tab = tabulate(game);
+  const std::vector<double>& v = tab.values();
+  const std::uint64_t grand = (std::uint64_t{1} << n) - 1;
+
+  TauValueResult r;
+  r.utopia.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    r.utopia[static_cast<std::size_t>(i)] =
+        v[grand] - v[grand & ~(std::uint64_t{1} << i)];
+  }
+  // Minimal right: m_i = max_{S ni i} (V(S) - sum_{j in S\{i}} M_j).
+  r.minimal_right.assign(static_cast<std::size_t>(n),
+                         -std::numeric_limits<double>::infinity());
+  for (std::uint64_t mask = 1; mask <= grand; ++mask) {
+    double utopia_sum = 0.0;
+    std::uint64_t b = mask;
+    while (b != 0) {
+      utopia_sum += r.utopia[static_cast<std::size_t>(__builtin_ctzll(b))];
+      b &= b - 1;
+    }
+    b = mask;
+    while (b != 0) {
+      const int i = __builtin_ctzll(b);
+      const auto ui = static_cast<std::size_t>(i);
+      const double remainder = v[mask] - (utopia_sum - r.utopia[ui]);
+      r.minimal_right[ui] = std::max(r.minimal_right[ui], remainder);
+      b &= b - 1;
+    }
+  }
+
+  // Quasi-balancedness.
+  double m_total = 0.0;
+  double utopia_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (r.minimal_right[ui] > r.utopia[ui] + 1e-9) return std::nullopt;
+    m_total += r.minimal_right[ui];
+    utopia_total += r.utopia[ui];
+  }
+  const double total = v[grand];
+  if (m_total > total + 1e-9 || total > utopia_total + 1e-9) {
+    return std::nullopt;
+  }
+
+  // tau = m + lambda (M - m), lambda solving efficiency.
+  const double gap = utopia_total - m_total;
+  r.lambda = gap < 1e-12 ? 0.0 : (total - m_total) / gap;
+  r.tau.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    r.tau[ui] = r.minimal_right[ui] +
+                r.lambda * (r.utopia[ui] - r.minimal_right[ui]);
+  }
+  return r;
+}
+
+std::vector<double> solidarity_value(const Game& game) {
+  const int n = game.num_players();
+  if (n < 1 || n > 20) {
+    throw std::invalid_argument("solidarity_value: n must be in [1, 20]");
+  }
+  const TabularGame tab = tabulate(game);
+  const std::vector<double>& v = tab.values();
+  const std::uint64_t count = std::uint64_t{1} << n;
+
+  // weight[s] = (n-s)! (s-1)! / n! for |S| = s (per-member coalition
+  // weight), in log space.
+  std::vector<double> log_fact(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int k = 2; k <= n; ++k) {
+    log_fact[static_cast<std::size_t>(k)] =
+        log_fact[static_cast<std::size_t>(k - 1)] + std::log(k);
+  }
+  std::vector<double> weight(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int s = 1; s <= n; ++s) {
+    weight[static_cast<std::size_t>(s)] =
+        std::exp(log_fact[static_cast<std::size_t>(n - s)] +
+                 log_fact[static_cast<std::size_t>(s - 1)] -
+                 log_fact[static_cast<std::size_t>(n)]);
+  }
+
+  std::vector<double> psi(static_cast<std::size_t>(n), 0.0);
+  for (std::uint64_t mask = 1; mask < count; ++mask) {
+    const int s = __builtin_popcountll(mask);
+    // Average marginal contribution within S.
+    double avg = 0.0;
+    std::uint64_t b = mask;
+    while (b != 0) {
+      const int j = __builtin_ctzll(b);
+      avg += v[mask] - v[mask & ~(std::uint64_t{1} << j)];
+      b &= b - 1;
+    }
+    avg /= static_cast<double>(s);
+    const double w = weight[static_cast<std::size_t>(s)] * avg;
+    b = mask;
+    while (b != 0) {
+      psi[static_cast<std::size_t>(__builtin_ctzll(b))] += w;
+      b &= b - 1;
+    }
+  }
+  return psi;
+}
+
+}  // namespace fedshare::game

@@ -1,0 +1,36 @@
+// Additional one-point solution concepts beyond the paper's lineup:
+// the tau-value (Tijs) and the solidarity value (Nowak & Radzik).
+// Both are cheap to compute exactly and make useful foils in the
+// sharing-scheme comparisons: tau interpolates between every player's
+// "minimal right" and "utopia payoff"; solidarity replaces a player's
+// own marginal contribution with the coalition's average one, softening
+// the diversity premium the Shapley value awards.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace fedshare::game {
+
+/// Components of the tau-value computation.
+struct TauValueResult {
+  std::vector<double> utopia;        ///< M_i = V(N) - V(N \ {i})
+  std::vector<double> minimal_right; ///< m_i (best guaranteed remainder)
+  std::vector<double> tau;           ///< the tau-value itself
+  double lambda = 0.0;               ///< interpolation coefficient
+};
+
+/// Computes the tau-value. Returns nullopt when the game is not
+/// quasi-balanced (m <= M componentwise and sum(m) <= V(N) <= sum(M)
+/// fail), in which case tau is undefined. Requires 1 <= n <= 20.
+[[nodiscard]] std::optional<TauValueResult> tau_value(const Game& game);
+
+/// The solidarity value: like Shapley, but a coalition S credits each
+/// member with the *average* marginal contribution
+/// A(S) = (1/|S|) * sum_{j in S} (V(S) - V(S \ {j})). Efficient by
+/// construction. Requires 1 <= n <= 20.
+[[nodiscard]] std::vector<double> solidarity_value(const Game& game);
+
+}  // namespace fedshare::game

@@ -1,0 +1,46 @@
+#include "lp/problem.hpp"
+
+#include <stdexcept>
+
+namespace fedshare::lp {
+
+Problem::Problem(std::size_t num_variables, Objective sense)
+    : sense_(sense), objective_(num_variables, 0.0),
+      free_(num_variables, false) {
+  if (num_variables == 0) {
+    throw std::invalid_argument("Problem: need at least one variable");
+  }
+}
+
+void Problem::set_objective_coefficient(std::size_t variable,
+                                        double coefficient) {
+  if (variable >= objective_.size()) {
+    throw std::out_of_range("Problem: variable index out of range");
+  }
+  objective_[variable] = coefficient;
+}
+
+void Problem::set_free(std::size_t variable) {
+  if (variable >= free_.size()) {
+    throw std::out_of_range("Problem: variable index out of range");
+  }
+  free_[variable] = true;
+}
+
+void Problem::add_constraint(std::vector<double> coefficients,
+                             Relation relation, double rhs) {
+  if (coefficients.size() != objective_.size()) {
+    throw std::invalid_argument(
+        "Problem::add_constraint: coefficient count must match variables");
+  }
+  constraints_.push_back({std::move(coefficients), relation, rhs});
+}
+
+bool Problem::is_free(std::size_t variable) const {
+  if (variable >= free_.size()) {
+    throw std::out_of_range("Problem: variable index out of range");
+  }
+  return free_[variable];
+}
+
+}  // namespace fedshare::lp

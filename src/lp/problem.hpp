@@ -1,0 +1,67 @@
+// Linear-program builder.
+//
+// A Problem holds `maximize/minimize c^T x` subject to linear constraints
+// `a^T x {<=,==,>=} b`. Variables are non-negative by default; individual
+// variables can be declared free (they are split internally by the solver).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedshare::lp {
+
+/// Constraint relation.
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+/// Optimization direction.
+enum class Objective { kMaximize, kMinimize };
+
+/// One linear constraint: coefficients (dense, one per variable), relation,
+/// right-hand side.
+struct Constraint {
+  std::vector<double> coefficients;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program over a fixed number of variables.
+class Problem {
+ public:
+  /// Creates a problem with `num_variables` variables (>= 1), all with
+  /// objective coefficient 0 and non-negativity bounds.
+  explicit Problem(std::size_t num_variables,
+                   Objective sense = Objective::kMaximize);
+
+  /// Sets the objective coefficient of one variable.
+  void set_objective_coefficient(std::size_t variable, double coefficient);
+
+  /// Declares a variable free (may take negative values).
+  void set_free(std::size_t variable);
+
+  /// Adds a constraint; `coefficients` must have one entry per variable.
+  void add_constraint(std::vector<double> coefficients, Relation relation,
+                      double rhs);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return objective_.size();
+  }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+  [[nodiscard]] Objective sense() const noexcept { return sense_; }
+  [[nodiscard]] const std::vector<double>& objective() const noexcept {
+    return objective_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  [[nodiscard]] bool is_free(std::size_t variable) const;
+
+ private:
+  Objective sense_;
+  std::vector<double> objective_;
+  std::vector<bool> free_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace fedshare::lp

@@ -1,0 +1,289 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lp/matrix.hpp"
+
+namespace fedshare::lp {
+
+namespace {
+
+// Internal tableau: rows = constraints, columns = structural variables
+// (free variables split into x+ - x-), then slack/surplus, then artificial
+// variables, then the right-hand side as the final column.
+struct Tableau {
+  Matrix body;                  // m x (total_cols + 1)
+  std::vector<double> cost;     // phase-2 reduced-cost row, size total_cols+1
+  std::vector<std::size_t> basis;  // basic variable per row
+  std::size_t total_cols = 0;
+  std::size_t artificial_begin = 0;
+};
+
+// One simplex phase: pivot on `cost` until no improving column remains.
+// Uses Bland's rule (smallest eligible index) which precludes cycling.
+SolveStatus run_phase(Tableau& t, std::vector<double>& cost,
+                      const SimplexOptions& opt,
+                      bool forbid_artificial_entering) {
+  const std::size_t m = t.body.rows();
+  const std::size_t rhs_col = t.total_cols;
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    // Entering column: smallest index with a positive reduced profit
+    // (we maximize, so we look for cost[j] < -tol after canonicalizing
+    // cost as "row to be driven non-negative").
+    std::size_t enter = t.total_cols;
+    const std::size_t limit =
+        forbid_artificial_entering ? t.artificial_begin : t.total_cols;
+    for (std::size_t j = 0; j < limit; ++j) {
+      if (cost[j] < -opt.tolerance) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == t.total_cols) return SolveStatus::kOptimal;
+
+    // Leaving row: minimum ratio test, ties broken by smallest basis index
+    // (Bland).
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = t.body(r, enter);
+      if (a > opt.tolerance) {
+        const double ratio = t.body(r, rhs_col) / a;
+        if (ratio < best_ratio - opt.tolerance ||
+            (std::abs(ratio - best_ratio) <= opt.tolerance && leave < m &&
+             t.basis[r] < t.basis[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) return SolveStatus::kUnbounded;
+
+    // Pivot.
+    const double pivot = t.body(leave, enter);
+    t.body.scale_row(leave, 1.0 / pivot);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == leave) continue;
+      const double f = t.body(r, enter);
+      if (f != 0.0) t.body.add_scaled_row(r, leave, -f);
+    }
+    const double cf = cost[enter];
+    if (cf != 0.0) {
+      const double* prow = t.body.row_data(leave);
+      for (std::size_t c = 0; c <= t.total_cols; ++c) {
+        cost[c] -= cf * prow[c];
+      }
+    }
+    t.basis[leave] = enter;
+  }
+  return SolveStatus::kIterationLimit;
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+
+  // Map original variables to structural columns; free variables get a
+  // second (negated) column.
+  std::vector<std::size_t> pos_col(n), neg_col(n, SIZE_MAX);
+  std::size_t structural = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    pos_col[v] = structural++;
+    if (problem.is_free(v)) neg_col[v] = structural++;
+  }
+
+  // Count slack and artificial columns.
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const auto& c : problem.constraints()) {
+    // After sign-normalisation (rhs >= 0), <= gets a slack; >= gets a
+    // surplus plus an artificial; == gets an artificial. A <= row whose
+    // rhs was negative flips to >=.
+    Relation rel = c.relation;
+    if (c.rhs < 0.0) {
+      if (rel == Relation::kLessEqual) rel = Relation::kGreaterEqual;
+      else if (rel == Relation::kGreaterEqual) rel = Relation::kLessEqual;
+    }
+    switch (rel) {
+      case Relation::kLessEqual: ++num_slack; break;
+      case Relation::kGreaterEqual: ++num_slack; ++num_artificial; break;
+      case Relation::kEqual: ++num_artificial; break;
+    }
+  }
+
+  Tableau t;
+  t.total_cols = structural + num_slack + num_artificial;
+  t.artificial_begin = structural + num_slack;
+  t.body = Matrix(m == 0 ? 1 : m, t.total_cols + 1, 0.0);
+  t.basis.assign(m, 0);
+
+  // Handle the degenerate no-constraint case directly.
+  if (m == 0) {
+    Solution s;
+    // Unbounded iff any objective coefficient pushes a variable up.
+    const double sense = problem.sense() == Objective::kMaximize ? 1.0 : -1.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double c = sense * problem.objective()[v];
+      if (c > 0.0 || (problem.is_free(v) && c < 0.0)) {
+        s.status = SolveStatus::kUnbounded;
+        return s;
+      }
+    }
+    s.status = SolveStatus::kOptimal;
+    s.objective = 0.0;
+    s.x.assign(n, 0.0);
+    return s;
+  }
+
+  std::size_t slack_cursor = structural;
+  std::size_t art_cursor = t.artificial_begin;
+  std::vector<bool> has_artificial_row(m, false);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& c = problem.constraints()[r];
+    double sign = 1.0;
+    Relation rel = c.relation;
+    if (c.rhs < 0.0) {
+      sign = -1.0;
+      if (rel == Relation::kLessEqual) rel = Relation::kGreaterEqual;
+      else if (rel == Relation::kGreaterEqual) rel = Relation::kLessEqual;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      const double a = sign * c.coefficients[v];
+      t.body(r, pos_col[v]) += a;
+      if (neg_col[v] != SIZE_MAX) t.body(r, neg_col[v]) -= a;
+    }
+    t.body(r, t.total_cols) = sign * c.rhs;
+    switch (rel) {
+      case Relation::kLessEqual:
+        t.body(r, slack_cursor) = 1.0;
+        t.basis[r] = slack_cursor++;
+        break;
+      case Relation::kGreaterEqual:
+        t.body(r, slack_cursor) = -1.0;
+        ++slack_cursor;
+        t.body(r, art_cursor) = 1.0;
+        t.basis[r] = art_cursor++;
+        has_artificial_row[r] = true;
+        break;
+      case Relation::kEqual:
+        t.body(r, art_cursor) = 1.0;
+        t.basis[r] = art_cursor++;
+        has_artificial_row[r] = true;
+        break;
+    }
+  }
+
+  Solution result;
+
+  // Phase 1: minimize the sum of artificials. As a "driven non-negative"
+  // cost row: start with +1 on each artificial, then subtract the rows in
+  // which artificials are basic so reduced costs of the basis are zero.
+  if (num_artificial > 0) {
+    std::vector<double> phase1(t.total_cols + 1, 0.0);
+    for (std::size_t j = t.artificial_begin; j < t.total_cols; ++j) {
+      phase1[j] = 1.0;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (has_artificial_row[r]) {
+        const double* row = t.body.row_data(r);
+        for (std::size_t cidx = 0; cidx <= t.total_cols; ++cidx) {
+          phase1[cidx] -= row[cidx];
+        }
+      }
+    }
+    const SolveStatus s1 = run_phase(t, phase1, options, false);
+    if (s1 == SolveStatus::kIterationLimit) {
+      result.status = s1;
+      return result;
+    }
+    // -phase1[rhs] is the attained sum of artificials.
+    if (-phase1[t.total_cols] > 1e-6) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    // Pivot any artificial still in the basis out (degenerate rows), or
+    // leave it at value zero if its row is all-zero over real columns.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis[r] >= t.artificial_begin) {
+        std::size_t enter = t.total_cols;
+        for (std::size_t j = 0; j < t.artificial_begin; ++j) {
+          if (std::abs(t.body(r, j)) > options.tolerance) {
+            enter = j;
+            break;
+          }
+        }
+        if (enter == t.total_cols) continue;  // redundant row
+        const double pivot = t.body(r, enter);
+        t.body.scale_row(r, 1.0 / pivot);
+        for (std::size_t rr = 0; rr < m; ++rr) {
+          if (rr == r) continue;
+          const double f = t.body(rr, enter);
+          if (f != 0.0) t.body.add_scaled_row(rr, r, -f);
+        }
+        t.basis[r] = enter;
+      }
+    }
+  }
+
+  // Phase 2: the real objective. Build the canonical reduced-cost row for
+  // maximization (cost[j] = -c_j, then zero out basic columns).
+  const double sense = problem.sense() == Objective::kMaximize ? 1.0 : -1.0;
+  std::vector<double> phase2(t.total_cols + 1, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const double c = sense * problem.objective()[v];
+    phase2[pos_col[v]] = -c;
+    if (neg_col[v] != SIZE_MAX) phase2[neg_col[v]] = c;
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const double cb = -phase2[t.basis[r]];
+    if (cb != 0.0) {
+      const double* row = t.body.row_data(r);
+      for (std::size_t cidx = 0; cidx <= t.total_cols; ++cidx) {
+        phase2[cidx] += cb * row[cidx];
+      }
+    }
+  }
+  const SolveStatus s2 = run_phase(t, phase2, options, true);
+  if (s2 != SolveStatus::kOptimal) {
+    result.status = s2;
+    return result;
+  }
+
+  // Extract the solution.
+  std::vector<double> structural_values(structural, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < structural) {
+      structural_values[t.basis[r]] = t.body(r, t.total_cols);
+    }
+  }
+  result.x.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    result.x[v] = structural_values[pos_col[v]];
+    if (neg_col[v] != SIZE_MAX) result.x[v] -= structural_values[neg_col[v]];
+  }
+  double obj = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    obj += problem.objective()[v] * result.x[v];
+  }
+  result.objective = obj;
+  result.status = SolveStatus::kOptimal;
+  return result;
+}
+
+}  // namespace fedshare::lp

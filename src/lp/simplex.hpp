@@ -1,0 +1,44 @@
+// Two-phase primal simplex solver over a dense tableau.
+//
+// Scope: the LPs in this library are small (core membership, least-core,
+// nucleolus steps, allocation relaxations — tens of rows/columns), so a
+// dense tableau with Bland's anti-cycling rule is both simple and robust.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace fedshare::lp {
+
+/// Solver outcome.
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Human-readable status name (for logs and test messages).
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+/// Result of a solve. `x` holds values for the problem's original
+/// variables (free variables already recombined); it is empty unless
+/// status == kOptimal.
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+/// Solver knobs.
+struct SimplexOptions {
+  int max_iterations = 20000;  ///< per phase
+  double tolerance = 1e-9;     ///< pivot / feasibility tolerance
+};
+
+/// Solves `problem` with the two-phase primal simplex method.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SimplexOptions& options = {});
+
+}  // namespace fedshare::lp

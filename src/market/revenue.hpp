@@ -1,0 +1,59 @@
+// Commercial-scenario revenue modelling (Sec. 3.1 and the PlanetLab fee
+// case of Sec. 4).
+//
+// External customers (the paper's set E — e.g. Google's and HP's annual
+// PlanetLab subscriptions) pay for service from the federated
+// infrastructure. Profit is P = mu * sum_k u_k(x_k), with mu <= 1 the
+// utility-to-money conversion of the underlying market. Each customer is
+// *brought in* by one facility (its account owner), which matters under
+// the status-quo policy ("each top-level authority retains the totality
+// of the fees that it brings in") but not under federation-wide
+// settlement. RevenueModel evaluates both and the Shapley alternative.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/federation.hpp"
+
+namespace fedshare::market {
+
+/// One paying customer: demand plus the facility that owns the account.
+struct Customer {
+  std::string name;
+  model::RequestClass demand;  ///< what the subscription entitles them to
+  int sponsor_facility = 0;    ///< who signed them (retains fees today)
+};
+
+/// Revenue model parameters.
+struct RevenueModel {
+  double mu = 1.0;  ///< monetary units per utility unit, in (0, 1]
+
+  /// Throws std::invalid_argument when mu is out of (0, 1].
+  void validate() const;
+};
+
+/// Result of a settlement evaluation.
+struct SettlementReport {
+  double total_profit = 0.0;  ///< P = mu * V(N) with all customers pooled
+  /// Per-facility revenue under the status quo: each facility serves only
+  /// its own customers on its own infrastructure and keeps the proceeds.
+  std::vector<double> standalone_revenue;
+  /// Per-facility revenue when fees are pooled and split by the Shapley
+  /// shares of the federated game over the pooled customer demand.
+  std::vector<double> shapley_revenue;
+  /// Same, split proportionally to availability weights (Eq. 6).
+  std::vector<double> proportional_revenue;
+
+  /// Sum of standalone revenues (the unfederated industry total).
+  [[nodiscard]] double standalone_total() const;
+};
+
+/// Evaluates the three settlement regimes for `customers` on the
+/// federation's location space. Sponsor indices must be valid facility
+/// ids. Requires <= 12 facilities.
+[[nodiscard]] SettlementReport evaluate_settlement(
+    const model::LocationSpace& space, const std::vector<Customer>& customers,
+    const RevenueModel& revenue);
+
+}  // namespace fedshare::market

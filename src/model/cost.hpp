@@ -1,0 +1,52 @@
+// Cost model (the paper's Sec. 2.3.2).
+//
+// c_i(L_i, R_i, T_i) = alpha*L_i + beta*R_i + gamma*T_i, typically with
+// alpha < beta < gamma, plus a fixed per-federation cost c_F covering the
+// administrative/technical/legal overhead of federating. The paper's
+// numerical analysis ignores provision costs (pre-federation sunk
+// investments); the model is kept for the incentive analyses in
+// policy/incentives.hpp.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "model/facility.hpp"
+
+namespace fedshare::model {
+
+/// Linear provision-cost model plus fixed federation cost.
+struct CostModel {
+  double alpha = 0.0;  ///< weight on locations L_i
+  double beta = 0.0;   ///< weight on per-location units R_i
+  double gamma = 0.0;  ///< weight on availability T_i
+  double federation_fixed_cost = 0.0;  ///< c_F, paid once by the coalition
+
+  /// Provision cost of one facility: alpha*L + beta*R + gamma*T.
+  [[nodiscard]] double facility_cost(const Facility& facility) const;
+
+  /// Net value of a coalition: gross value minus member provision costs
+  /// minus c_F (0 members => 0, no fixed cost).
+  [[nodiscard]] double net_value(double gross_value,
+                                 const std::vector<Facility>& members) const;
+
+  /// Throws std::invalid_argument on negative parameters.
+  void validate() const;
+};
+
+}  // namespace fedshare::model
+
+namespace fedshare::model {
+
+/// The net-value game: V_net(S) = V(S) - sum of member provision costs
+/// - c_F for non-empty S (empty coalition stays 0). Because the cost
+/// terms are additive across players (c_F split aside), the paper's
+/// Sec. 2.3.2 claim — "our solutions for dividing the value will not be
+/// significantly affected by the actual costs involved" — holds exactly
+/// for the Shapley value: phi_i(V_net) = phi_i(V) - c_i - c_F/n, which
+/// tests assert via Shapley additivity.
+[[nodiscard]] game::TabularGame net_value_game(
+    const game::Game& gross, const std::vector<Facility>& facilities,
+    const CostModel& cost);
+
+}  // namespace fedshare::model

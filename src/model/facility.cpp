@@ -1,0 +1,74 @@
+#include "model/facility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedshare::model {
+
+void FacilityConfig::validate() const {
+  if (num_locations < 0) {
+    throw std::invalid_argument("FacilityConfig: num_locations must be >= 0");
+  }
+  if (!std::isfinite(units_per_location) || units_per_location < 0.0) {
+    throw std::invalid_argument(
+        "FacilityConfig: units_per_location must be >= 0");
+  }
+  if (!std::isfinite(availability) || availability <= 0.0 ||
+      availability > 1.0) {
+    throw std::invalid_argument(
+        "FacilityConfig: availability must be in (0, 1]");
+  }
+  if (!custom_units.empty()) {
+    if (custom_units.size() != static_cast<std::size_t>(num_locations)) {
+      throw std::invalid_argument(
+          "FacilityConfig: custom_units must have num_locations entries");
+    }
+    for (const double u : custom_units) {
+      if (!std::isfinite(u) || u < 0.0) {
+        throw std::invalid_argument(
+            "FacilityConfig: custom_units must be finite and >= 0");
+      }
+    }
+  }
+}
+
+Facility::Facility(int id, FacilityConfig config)
+    : id_(id), config_(std::move(config)) {
+  if (id < 0) {
+    throw std::invalid_argument("Facility: id must be >= 0");
+  }
+  config_.validate();
+}
+
+double Facility::effective_units() const noexcept {
+  if (config_.custom_units.empty()) {
+    return config_.units_per_location * config_.availability;
+  }
+  if (config_.num_locations == 0) return 0.0;
+  double total = 0.0;
+  for (const double u : config_.custom_units) total += u;
+  return total * config_.availability / config_.num_locations;
+}
+
+double Facility::effective_units_at(int local_index) const {
+  if (local_index < 0 || local_index >= config_.num_locations) {
+    throw std::out_of_range("Facility::effective_units_at: bad index");
+  }
+  const double units =
+      config_.custom_units.empty()
+          ? config_.units_per_location
+          : config_.custom_units[static_cast<std::size_t>(local_index)];
+  return units * config_.availability;
+}
+
+double Facility::availability_weight() const noexcept {
+  if (config_.custom_units.empty()) {
+    return config_.num_locations * config_.units_per_location *
+           config_.availability;
+  }
+  double total = 0.0;
+  for (const double u : config_.custom_units) total += u;
+  return total * config_.availability;
+}
+
+}  // namespace fedshare::model

@@ -1,0 +1,64 @@
+// Resource providers (the paper's Sec. 2.1).
+//
+// A facility i contributes L_i distinct locations, R_i resource units at
+// each (the bottleneck-resource aggregation the paper describes), and is
+// available a fraction T_i of the time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedshare::model {
+
+/// Static description of a facility's contribution.
+struct FacilityConfig {
+  std::string name;                 ///< e.g. "PLC", "PLE", "PLJ"
+  int num_locations = 0;            ///< L_i
+  double units_per_location = 1.0;  ///< R_i (uniform)
+  double availability = 1.0;        ///< T_i in (0, 1]
+  /// Optional heterogeneous capacities R_il (the paper's general model,
+  /// Sec. 2.1): when non-empty it must have num_locations entries and
+  /// overrides units_per_location.
+  std::vector<double> custom_units;
+
+  /// Throws std::invalid_argument if any field is out of domain.
+  void validate() const;
+};
+
+/// A facility registered in a federation (id = player index in the game).
+class Facility {
+ public:
+  Facility(int id, FacilityConfig config);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return config_.name;
+  }
+  [[nodiscard]] int num_locations() const noexcept {
+    return config_.num_locations;
+  }
+  [[nodiscard]] double units_per_location() const noexcept {
+    return config_.units_per_location;
+  }
+  [[nodiscard]] double availability() const noexcept {
+    return config_.availability;
+  }
+
+  /// Time-discounted capacity at each location: R_i * T_i (uniform case;
+  /// with custom units, the mean across locations).
+  [[nodiscard]] double effective_units() const noexcept;
+
+  /// Time-discounted capacity at the facility's k-th location (0-based):
+  /// R_ik * T_i. Throws std::out_of_range on a bad index.
+  [[nodiscard]] double effective_units_at(int local_index) const;
+
+  /// The paper's Eq. 6 weight: sum_l R_il * T_i (= L_i * R_i * T_i in
+  /// the uniform case).
+  [[nodiscard]] double availability_weight() const noexcept;
+
+ private:
+  int id_;
+  FacilityConfig config_;
+};
+
+}  // namespace fedshare::model

@@ -1,0 +1,43 @@
+#include "model/federation.hpp"
+
+#include <utility>
+
+#include "model/value.hpp"
+
+namespace fedshare::model {
+
+Federation::Federation(LocationSpace space, DemandProfile demand)
+    : space_(std::move(space)), demand_(std::move(demand)) {
+  demand_.validate();
+}
+
+double Federation::value(game::Coalition coalition) const {
+  return coalition_value(space_, demand_, coalition);
+}
+
+game::TabularGame Federation::build_game() const {
+  const game::FunctionGame fn(
+      num_facilities(),
+      [this](game::Coalition s) { return value(s); });
+  return game::tabulate(fn);
+}
+
+std::vector<double> Federation::availability_weights() const {
+  std::vector<double> weights;
+  weights.reserve(static_cast<std::size_t>(num_facilities()));
+  for (const auto& f : space_.facilities()) {
+    weights.push_back(f.availability_weight());
+  }
+  return weights;
+}
+
+std::vector<double> Federation::consumption_weights() const {
+  return model::consumption_weights(space_, demand_);
+}
+
+void Federation::set_demand(DemandProfile demand) {
+  demand.validate();
+  demand_ = std::move(demand);
+}
+
+}  // namespace fedshare::model

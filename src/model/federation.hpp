@@ -1,0 +1,58 @@
+// Federation: the top-level model object binding providers and demand.
+//
+// Wraps a LocationSpace and a DemandProfile into the coalitional game of
+// Sec. 3 and exposes the weight vectors the sharing schemes need. This is
+// the main entry point of the library's public API:
+//
+//   auto space = model::LocationSpace::disjoint({{"PLC", 100, 80},
+//                                                {"PLE", 400, 60},
+//                                                {"PLJ", 800, 20}});
+//   model::Federation fed(std::move(space),
+//                         model::DemandProfile::uniform(40, 250));
+//   auto shares = game::shapley_shares(fed.build_game());
+#pragma once
+
+#include <memory>
+
+#include "core/game.hpp"
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+
+namespace fedshare::model {
+
+/// A federation of facilities facing a demand profile.
+class Federation {
+ public:
+  Federation(LocationSpace space, DemandProfile demand);
+
+  [[nodiscard]] int num_facilities() const noexcept {
+    return space_.num_facilities();
+  }
+  [[nodiscard]] const LocationSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const DemandProfile& demand() const noexcept {
+    return demand_;
+  }
+
+  /// V(S) computed by the allocation engine (see model/value.hpp).
+  [[nodiscard]] double value(game::Coalition coalition) const;
+
+  /// The federation's TU game, tabulated (all 2^n coalition values).
+  /// Requires num_facilities() <= 24.
+  [[nodiscard]] game::TabularGame build_game() const;
+
+  /// Eq. 6 weights: L_i * R_i * T_i per facility.
+  [[nodiscard]] std::vector<double> availability_weights() const;
+
+  /// Eq. 7 weights: units consumed per facility under the grand
+  /// coalition's optimal allocation.
+  [[nodiscard]] std::vector<double> consumption_weights() const;
+
+  /// Replaces the demand profile (used by the demand-sweep benches).
+  void set_demand(DemandProfile demand);
+
+ private:
+  LocationSpace space_;
+  DemandProfile demand_;
+};
+
+}  // namespace fedshare::model

@@ -1,0 +1,85 @@
+#include "model/hierarchy.hpp"
+
+#include <stdexcept>
+
+#include "core/shapley.hpp"
+#include "model/value.hpp"
+
+namespace fedshare::model {
+
+namespace {
+
+LocationSpace flatten(const std::vector<Region>& regions) {
+  std::vector<FacilityConfig> configs;
+  for (const auto& region : regions) {
+    if (region.members.empty()) {
+      throw std::invalid_argument(
+          "HierarchicalFederation: region with no members");
+    }
+    for (const auto& member : region.members) configs.push_back(member);
+  }
+  if (configs.empty()) {
+    throw std::invalid_argument("HierarchicalFederation: no regions");
+  }
+  return LocationSpace::disjoint(configs);
+}
+
+}  // namespace
+
+HierarchicalFederation::HierarchicalFederation(std::vector<Region> regions,
+                                               DemandProfile demand)
+    : space_(flatten(regions)), demand_(std::move(demand)) {
+  demand_.validate();
+  int next = 0;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    region_names_.push_back(regions[r].name);
+    game::Coalition members;
+    for (std::size_t k = 0; k < regions[r].members.size(); ++k) {
+      members = members.with(next);
+      region_of_.push_back(r);
+      ++next;
+    }
+    structure_.unions.push_back(members);
+  }
+  structure_.validate(num_facilities());
+}
+
+const std::string& HierarchicalFederation::region_name(
+    std::size_t index) const {
+  if (index >= region_names_.size()) {
+    throw std::out_of_range("HierarchicalFederation: bad region index");
+  }
+  return region_names_[index];
+}
+
+std::size_t HierarchicalFederation::region_of(int facility) const {
+  if (facility < 0 || facility >= num_facilities()) {
+    throw std::out_of_range("HierarchicalFederation: bad facility id");
+  }
+  return region_of_[static_cast<std::size_t>(facility)];
+}
+
+game::TabularGame HierarchicalFederation::build_game() const {
+  const game::FunctionGame fn(num_facilities(), [this](game::Coalition s) {
+    return coalition_value(space_, demand_, s);
+  });
+  return game::tabulate(fn);
+}
+
+game::TabularGame HierarchicalFederation::build_region_game() const {
+  return game::quotient_game(build_game(), structure_);
+}
+
+std::vector<double> HierarchicalFederation::region_shares() const {
+  return game::normalize_shares(game::shapley_exact(build_region_game()));
+}
+
+std::vector<double> HierarchicalFederation::owen_shares() const {
+  return game::normalize_shares(game::owen_value(build_game(), structure_));
+}
+
+std::vector<double> HierarchicalFederation::flat_shapley_shares() const {
+  return game::normalize_shares(game::shapley_exact(build_game()));
+}
+
+}  // namespace fedshare::model

@@ -1,0 +1,75 @@
+// Hierarchical federations (Sec. 1.2's PLC-PLE-PLJ layer structure).
+//
+// Regional authorities (PLE, PLC, ...) each bundle member testbeds
+// (G-Lab, EmanicsLab, VINI, ...). The top level shares the federation's
+// value across authorities; each authority redistributes internally.
+// HierarchicalFederation flattens the members into one location space,
+// builds the flat facility-level game, and exposes:
+//   * region_shares()        — Shapley of the quotient game (top level),
+//   * owen_shares()          — the structure-consistent per-facility
+//                              split (sums within a region to its
+//                              quotient Shapley share), and
+//   * flat_shapley_shares()  — what facilities would get if the
+//                              hierarchy were ignored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/owen.hpp"
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+
+namespace fedshare::model {
+
+/// A regional authority and its member facilities.
+struct Region {
+  std::string name;
+  std::vector<FacilityConfig> members;
+};
+
+/// Two-level federation: regions of facilities facing shared demand.
+class HierarchicalFederation {
+ public:
+  /// Regions must be non-empty and contain at least one member each.
+  HierarchicalFederation(std::vector<Region> regions, DemandProfile demand);
+
+  [[nodiscard]] int num_regions() const noexcept {
+    return static_cast<int>(region_names_.size());
+  }
+  [[nodiscard]] int num_facilities() const noexcept {
+    return space_.num_facilities();
+  }
+  [[nodiscard]] const std::string& region_name(std::size_t index) const;
+  [[nodiscard]] const LocationSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const game::CoalitionStructure& structure() const noexcept {
+    return structure_;
+  }
+
+  /// Region index of a (flattened) facility id.
+  [[nodiscard]] std::size_t region_of(int facility) const;
+
+  /// Flat facility-level game (V computed by the allocation engine).
+  [[nodiscard]] game::TabularGame build_game() const;
+
+  /// Quotient game between regions.
+  [[nodiscard]] game::TabularGame build_region_game() const;
+
+  /// Top-level shares: Shapley of the quotient game (one per region).
+  [[nodiscard]] std::vector<double> region_shares() const;
+
+  /// Structure-consistent per-facility shares (Owen value, normalised).
+  [[nodiscard]] std::vector<double> owen_shares() const;
+
+  /// Hierarchy-blind per-facility shares (plain Shapley, normalised).
+  [[nodiscard]] std::vector<double> flat_shapley_shares() const;
+
+ private:
+  LocationSpace space_;
+  DemandProfile demand_;
+  game::CoalitionStructure structure_;
+  std::vector<std::string> region_names_;
+  std::vector<std::size_t> region_of_;
+};
+
+}  // namespace fedshare::model

@@ -1,0 +1,155 @@
+#include "model/location_space.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace fedshare::model {
+
+LocationSpace LocationSpace::disjoint(std::vector<FacilityConfig> configs) {
+  LocationSpace space;
+  int next_location = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].validate();
+    space.facilities_.emplace_back(static_cast<int>(i), configs[i]);
+    std::vector<int> locs(static_cast<std::size_t>(configs[i].num_locations));
+    for (int& l : locs) l = next_location++;
+    space.facility_locations_.push_back(std::move(locs));
+  }
+  space.num_locations_ = next_location;
+  return space;
+}
+
+LocationSpace LocationSpace::overlapping(std::vector<FacilityConfig> configs,
+                                         int universe_size,
+                                         std::uint64_t seed) {
+  int max_l = 0;
+  for (const auto& c : configs) {
+    c.validate();
+    max_l = std::max(max_l, c.num_locations);
+  }
+  if (universe_size < max_l) {
+    throw std::invalid_argument(
+        "LocationSpace::overlapping: universe smaller than a facility's "
+        "location count");
+  }
+  LocationSpace space;
+  space.num_locations_ = universe_size;
+  sim::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    space.facilities_.emplace_back(static_cast<int>(i), configs[i]);
+    space.facility_locations_.push_back(sim::sample_without_replacement(
+        rng, universe_size, configs[i].num_locations));
+  }
+  return space;
+}
+
+const Facility& LocationSpace::facility(int id) const {
+  if (id < 0 || id >= num_facilities()) {
+    throw std::out_of_range("LocationSpace::facility: bad id");
+  }
+  return facilities_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& LocationSpace::locations_of(int facility) const {
+  if (facility < 0 || facility >= num_facilities()) {
+    throw std::out_of_range("LocationSpace::locations_of: bad id");
+  }
+  return facility_locations_[static_cast<std::size_t>(facility)];
+}
+
+void LocationSpace::check_coalition(game::Coalition coalition) const {
+  if (!coalition.is_subset_of(game::Coalition::grand(num_facilities()))) {
+    throw std::out_of_range(
+        "LocationSpace: coalition contains unknown facilities");
+  }
+}
+
+int LocationSpace::distinct_locations(game::Coalition coalition) const {
+  return static_cast<int>(pooled_location_ids(coalition).size());
+}
+
+double LocationSpace::overlap(int facility_a, int facility_b) const {
+  const auto& a = locations_of(facility_a);
+  const auto& b = locations_of(facility_b);
+  if (a.empty()) return 0.0;
+  std::vector<int> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(a.size());
+}
+
+std::vector<int> LocationSpace::pooled_location_ids(
+    game::Coalition coalition) const {
+  check_coalition(coalition);
+  std::vector<int> ids;
+  for (const int member : coalition.members()) {
+    const auto& locs = facility_locations_[static_cast<std::size_t>(member)];
+    ids.insert(ids.end(), locs.begin(), locs.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+alloc::LocationPool LocationSpace::pool_for(game::Coalition coalition) const {
+  check_coalition(coalition);
+  std::map<int, double> capacity;  // ordered: pool index = rank of id
+  for (const int member : coalition.members()) {
+    const auto mi = static_cast<std::size_t>(member);
+    const auto& locs = facility_locations_[mi];
+    for (std::size_t k = 0; k < locs.size(); ++k) {
+      capacity[locs[k]] +=
+          facilities_[mi].effective_units_at(static_cast<int>(k));
+    }
+  }
+  alloc::LocationPool pool;
+  pool.capacity.reserve(capacity.size());
+  for (const auto& [loc, cap] : capacity) pool.capacity.push_back(cap);
+  return pool;
+}
+
+std::vector<double> LocationSpace::attribute_consumption(
+    game::Coalition coalition,
+    const std::vector<double>& units_per_location) const {
+  check_coalition(coalition);
+  const std::vector<int> ids = pooled_location_ids(coalition);
+  if (units_per_location.size() != ids.size()) {
+    throw std::invalid_argument(
+        "attribute_consumption: consumption vector does not match the "
+        "coalition's pool");
+  }
+  // capacity_by_loc[pool index][facility] share.
+  std::vector<double> consumed(static_cast<std::size_t>(num_facilities()),
+                               0.0);
+  // Build per-location contributor lists.
+  std::map<int, std::size_t> rank;
+  for (std::size_t i = 0; i < ids.size(); ++i) rank[ids[i]] = i;
+  std::vector<double> total_cap(ids.size(), 0.0);
+  for (const int member : coalition.members()) {
+    const auto mi = static_cast<std::size_t>(member);
+    const auto& locs = facility_locations_[mi];
+    for (std::size_t k = 0; k < locs.size(); ++k) {
+      total_cap[rank[locs[k]]] +=
+          facilities_[mi].effective_units_at(static_cast<int>(k));
+    }
+  }
+  for (const int member : coalition.members()) {
+    const auto mi = static_cast<std::size_t>(member);
+    const auto& locs = facility_locations_[mi];
+    for (std::size_t k = 0; k < locs.size(); ++k) {
+      const std::size_t idx = rank[locs[k]];
+      if (total_cap[idx] > 0.0) {
+        consumed[mi] +=
+            units_per_location[idx] *
+            facilities_[mi].effective_units_at(static_cast<int>(k)) /
+            total_cap[idx];
+      }
+    }
+  }
+  return consumed;
+}
+
+}  // namespace fedshare::model

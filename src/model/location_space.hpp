@@ -1,0 +1,81 @@
+// Location space with overlap (the paper's Sec. 2.1 and Fig. 1).
+//
+// Facilities contribute resources at locations; location sets may be
+// disjoint (the configurations of Figs. 4-9) or overlapping (each
+// facility's L_i locations sampled uniformly from a universe of size L,
+// which realises the paper's pairwise overlap probabilities o_ij). Where
+// sets overlap, capacities add (Fig. 1's note).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "core/coalition.hpp"
+#include "model/facility.hpp"
+
+namespace fedshare::model {
+
+/// Immutable assignment of facilities to locations.
+class LocationSpace {
+ public:
+  /// Disjoint layout: facility i occupies its own L_i fresh locations.
+  static LocationSpace disjoint(std::vector<FacilityConfig> configs);
+
+  /// Overlapping layout: each facility's L_i locations are sampled
+  /// uniformly without replacement from a universe of `universe_size`
+  /// locations (>= max L_i). Deterministic given `seed`. The expected
+  /// pairwise overlap is L_i * L_j / universe_size locations.
+  static LocationSpace overlapping(std::vector<FacilityConfig> configs,
+                                   int universe_size, std::uint64_t seed);
+
+  [[nodiscard]] int num_facilities() const noexcept {
+    return static_cast<int>(facilities_.size());
+  }
+  [[nodiscard]] const Facility& facility(int id) const;
+  [[nodiscard]] const std::vector<Facility>& facilities() const noexcept {
+    return facilities_;
+  }
+
+  /// Size of the location universe.
+  [[nodiscard]] int num_locations() const noexcept { return num_locations_; }
+
+  /// The location ids where `facility` provides resources (ascending).
+  [[nodiscard]] const std::vector<int>& locations_of(int facility) const;
+
+  /// Number of distinct locations covered by a coalition (the paper's
+  /// |union of L_i| driving the diversity value).
+  [[nodiscard]] int distinct_locations(game::Coalition coalition) const;
+
+  /// Fraction of facility a's locations also covered by facility b
+  /// (the empirical overlap o_ab); 0 when a has no locations.
+  [[nodiscard]] double overlap(int facility_a, int facility_b) const;
+
+  /// Pooled per-location capacities for a coalition: one entry per
+  /// distinct covered location (ascending location id), capacities of
+  /// co-located members summed, each scaled by availability T_i.
+  [[nodiscard]] alloc::LocationPool pool_for(game::Coalition coalition) const;
+
+  /// Location ids corresponding to pool_for(coalition)'s entries.
+  [[nodiscard]] std::vector<int> pooled_location_ids(
+      game::Coalition coalition) const;
+
+  /// Splits an allocation's per-location consumed units (aligned with
+  /// pool_for(coalition)) across facilities, pro-rata to each facility's
+  /// capacity at that location. Returns consumed units per facility
+  /// (all facilities; non-members get 0).
+  [[nodiscard]] std::vector<double> attribute_consumption(
+      game::Coalition coalition,
+      const std::vector<double>& units_per_location) const;
+
+ private:
+  LocationSpace() = default;
+
+  std::vector<Facility> facilities_;
+  std::vector<std::vector<int>> facility_locations_;  // ascending ids
+  int num_locations_ = 0;
+
+  void check_coalition(game::Coalition coalition) const;
+};
+
+}  // namespace fedshare::model

@@ -1,0 +1,33 @@
+#include "model/utility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "io/table.hpp"
+
+namespace fedshare::model {
+
+ThresholdUtility::ThresholdUtility(double threshold, double exponent)
+    : threshold_(threshold), exponent_(exponent) {
+  if (!std::isfinite(threshold) || threshold < 0.0) {
+    throw std::invalid_argument("ThresholdUtility: threshold must be >= 0");
+  }
+  if (!std::isfinite(exponent) || exponent <= 0.0) {
+    throw std::invalid_argument("ThresholdUtility: exponent must be > 0");
+  }
+}
+
+double ThresholdUtility::value(double x) const {
+  if (!std::isfinite(x) || x < 0.0) {
+    throw std::invalid_argument("ThresholdUtility::value: x must be >= 0");
+  }
+  if (x < threshold_ || x == 0.0) return 0.0;
+  return std::pow(x, exponent_);
+}
+
+std::string ThresholdUtility::describe() const {
+  return "step-power(l=" + io::format_double(threshold_, 0) +
+         ", d=" + io::format_double(exponent_, 2) + ")";
+}
+
+}  // namespace fedshare::model

@@ -1,0 +1,42 @@
+// User utility functions (the paper's Eq. 1 and Fig. 2).
+//
+// The satisfaction of an experiment assigned x distinct locations:
+// u(x) = x^d if x >= l, else 0 — zero below the diversity threshold l,
+// then linear (d = 1), concave (d < 1) or convex (d > 1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace fedshare::model {
+
+/// Abstract utility-of-diversity function u(x) on x >= 0.
+class Utility {
+ public:
+  virtual ~Utility() = default;
+
+  /// Utility of x distinct locations; must be >= 0 and return 0 at x = 0.
+  [[nodiscard]] virtual double value(double x) const = 0;
+
+  /// Short description for reports, e.g. "step-power(l=50, d=1)".
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// The paper's threshold-power utility (Eq. 1).
+class ThresholdUtility final : public Utility {
+ public:
+  /// threshold l >= 0, exponent d > 0 (throws std::invalid_argument).
+  ThresholdUtility(double threshold, double exponent);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+ private:
+  double threshold_;
+  double exponent_;
+};
+
+}  // namespace fedshare::model

@@ -1,0 +1,30 @@
+#include "model/value.hpp"
+
+#include "alloc/greedy.hpp"
+
+namespace fedshare::model {
+
+alloc::AllocationResult coalition_allocation(const LocationSpace& space,
+                                             const DemandProfile& demand,
+                                             game::Coalition coalition) {
+  demand.validate();
+  const alloc::LocationPool pool = space.pool_for(coalition);
+  return alloc::allocate_greedy(pool, demand.classes);
+}
+
+double coalition_value(const LocationSpace& space, const DemandProfile& demand,
+                       game::Coalition coalition) {
+  if (coalition.empty()) return 0.0;
+  return coalition_allocation(space, demand, coalition).total_utility;
+}
+
+std::vector<double> consumption_weights(const LocationSpace& space,
+                                        const DemandProfile& demand) {
+  const game::Coalition grand =
+      game::Coalition::grand(space.num_facilities());
+  const alloc::AllocationResult result =
+      coalition_allocation(space, demand, grand);
+  return space.attribute_consumption(grand, result.units_per_location);
+}
+
+}  // namespace fedshare::model

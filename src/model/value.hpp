@@ -1,0 +1,34 @@
+// The coalition-value engine: V(S) from first principles.
+//
+// Pools the coalition's locations, runs the resource allocator against
+// the demand profile, and reports the attained total utility (the
+// commercial-scenario profit, P = V = sum_k u_k(x_k), Sec. 4). The
+// closed-form values the paper derives for its examples (Sec. 4.1) are
+// asserted against this engine in tests — the engine never hard-codes
+// them.
+#pragma once
+
+#include "alloc/allocation.hpp"
+#include "core/coalition.hpp"
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+
+namespace fedshare::model {
+
+/// Full allocation outcome for a coalition facing `demand`.
+[[nodiscard]] alloc::AllocationResult coalition_allocation(
+    const LocationSpace& space, const DemandProfile& demand,
+    game::Coalition coalition);
+
+/// V(S): total utility the coalition can generate (0 for the empty
+/// coalition).
+[[nodiscard]] double coalition_value(const LocationSpace& space,
+                                     const DemandProfile& demand,
+                                     game::Coalition coalition);
+
+/// Consumption weights for Eq. 7: units consumed from each facility's
+/// resources under the grand coalition's optimal allocation.
+[[nodiscard]] std::vector<double> consumption_weights(
+    const LocationSpace& space, const DemandProfile& demand);
+
+}  // namespace fedshare::model

@@ -1,0 +1,144 @@
+#include "policy/equilibrium.hpp"
+
+#include <stdexcept>
+
+#include "model/federation.hpp"
+
+namespace fedshare::policy {
+
+namespace {
+
+void validate_game(const ProvisionGame& game) {
+  if (game.base_configs.size() != game.strategy_grids.size()) {
+    throw std::invalid_argument(
+        "ProvisionGame: one strategy grid per facility required");
+  }
+  for (const auto& grid : game.strategy_grids) {
+    if (grid.empty()) {
+      throw std::invalid_argument("ProvisionGame: empty strategy grid");
+    }
+    for (const int l : grid) {
+      if (l < 0) {
+        throw std::invalid_argument(
+            "ProvisionGame: negative location strategy");
+      }
+    }
+  }
+  game.demand.validate();
+  game.cost.validate();
+}
+
+void validate_profile(const ProvisionGame& game, const Profile& profile) {
+  if (profile.size() != game.strategy_grids.size()) {
+    throw std::invalid_argument("Profile: wrong size");
+  }
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (profile[i] >= game.strategy_grids[i].size()) {
+      throw std::invalid_argument("Profile: strategy index out of range");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> profile_payoffs(const ProvisionGame& game,
+                                    const SharingPolicy& policy,
+                                    const Profile& profile) {
+  validate_game(game);
+  validate_profile(game, profile);
+  std::vector<model::FacilityConfig> configs = game.base_configs;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].num_locations = game.strategy_grids[i][profile[i]];
+  }
+  model::Federation fed(model::LocationSpace::disjoint(configs), game.demand);
+  const std::vector<double> shares = policy.shares(fed);
+  const double total =
+      fed.value(game::Coalition::grand(fed.num_facilities()));
+  std::vector<double> payoffs(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    payoffs[i] =
+        shares[i] * total - game.cost.alpha * configs[i].num_locations;
+  }
+  return payoffs;
+}
+
+BestResponseResult best_response_dynamics(const ProvisionGame& game,
+                                          const SharingPolicy& policy,
+                                          const Profile& start,
+                                          int max_rounds) {
+  validate_game(game);
+  validate_profile(game, start);
+  BestResponseResult result;
+  result.profile = start;
+  for (int round = 0; round < max_rounds; ++round) {
+    ++result.rounds;
+    bool any_change = false;
+    for (std::size_t i = 0; i < result.profile.size(); ++i) {
+      Profile trial = result.profile;
+      std::size_t best_idx = result.profile[i];
+      trial[i] = best_idx;
+      double best_payoff = profile_payoffs(game, policy, trial)[i];
+      for (std::size_t s = 0; s < game.strategy_grids[i].size(); ++s) {
+        if (s == result.profile[i]) continue;
+        trial[i] = s;
+        const double payoff = profile_payoffs(game, policy, trial)[i];
+        if (payoff > best_payoff + 1e-9) {
+          best_payoff = payoff;
+          best_idx = s;
+        }
+      }
+      if (best_idx != result.profile[i]) {
+        result.profile[i] = best_idx;
+        any_change = true;
+      }
+    }
+    if (!any_change) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.payoffs = profile_payoffs(game, policy, result.profile);
+  return result;
+}
+
+std::vector<Profile> pure_nash_equilibria(const ProvisionGame& game,
+                                          const SharingPolicy& policy) {
+  validate_game(game);
+  std::size_t total = 1;
+  for (const auto& grid : game.strategy_grids) {
+    total *= grid.size();
+    if (total > 4096) {
+      throw std::invalid_argument(
+          "pure_nash_equilibria: strategy space exceeds 4096 profiles");
+    }
+  }
+  const std::size_t n = game.strategy_grids.size();
+  std::vector<Profile> equilibria;
+  Profile profile(n, 0);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    // Decode idx into a profile (mixed radix).
+    std::size_t rem = idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      profile[i] = rem % game.strategy_grids[i].size();
+      rem /= game.strategy_grids[i].size();
+    }
+    const std::vector<double> payoffs =
+        profile_payoffs(game, policy, profile);
+    bool is_nash = true;
+    for (std::size_t i = 0; i < n && is_nash; ++i) {
+      Profile trial = profile;
+      for (std::size_t s = 0; s < game.strategy_grids[i].size(); ++s) {
+        if (s == profile[i]) continue;
+        trial[i] = s;
+        if (profile_payoffs(game, policy, trial)[i] > payoffs[i] + 1e-9) {
+          is_nash = false;
+          break;
+        }
+      }
+    }
+    if (is_nash) equilibria.push_back(profile);
+  }
+  return equilibria;
+}
+
+}  // namespace fedshare::policy

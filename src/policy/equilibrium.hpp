@@ -1,0 +1,55 @@
+// The resource-provision game (the paper's Sec. 3.3 and Fig. 3 loop).
+//
+// Facilities choose how many locations to contribute from a discrete
+// strategy grid; payoffs are policy-share * V(N) minus provision cost.
+// We provide best-response dynamics and exhaustive pure-Nash search for
+// small games — the machinery behind the paper's "evolution and possible
+// equilibria" discussion and the stability remark in Sec. 4.4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/cost.hpp"
+#include "model/demand.hpp"
+#include "policy/policy.hpp"
+
+namespace fedshare::policy {
+
+/// The provision game: each facility picks its location count from its
+/// strategy grid; the rest of its config stays fixed.
+struct ProvisionGame {
+  std::vector<model::FacilityConfig> base_configs;
+  std::vector<std::vector<int>> strategy_grids;  ///< per facility, ascending
+  model::DemandProfile demand;
+  model::CostModel cost;  ///< alpha prices each contributed location
+};
+
+/// One strategy profile: chosen grid index per facility.
+using Profile = std::vector<std::size_t>;
+
+/// Payoff of every facility at `profile`: share_i * V(N) - alpha * L_i.
+[[nodiscard]] std::vector<double> profile_payoffs(const ProvisionGame& game,
+                                                  const SharingPolicy& policy,
+                                                  const Profile& profile);
+
+/// Result of best-response dynamics.
+struct BestResponseResult {
+  Profile profile;                ///< final profile
+  std::vector<double> payoffs;    ///< payoffs at the final profile
+  int rounds = 0;                 ///< full sweeps performed
+  bool converged = false;         ///< no facility wanted to deviate
+};
+
+/// Iterates best responses (facilities in index order) from `start` until
+/// a fixed point or `max_rounds` sweeps.
+[[nodiscard]] BestResponseResult best_response_dynamics(
+    const ProvisionGame& game, const SharingPolicy& policy,
+    const Profile& start, int max_rounds = 50);
+
+/// All pure Nash equilibria by exhaustive profile enumeration. The
+/// product of grid sizes must be <= 4096 (throws otherwise).
+[[nodiscard]] std::vector<Profile> pure_nash_equilibria(
+    const ProvisionGame& game, const SharingPolicy& policy);
+
+}  // namespace fedshare::policy

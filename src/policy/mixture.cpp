@@ -1,0 +1,70 @@
+#include "policy/mixture.hpp"
+
+#include <stdexcept>
+
+#include "core/sharing.hpp"
+#include "model/federation.hpp"
+
+namespace fedshare::policy {
+
+std::vector<double> MixtureEstimate::concurrency() const {
+  std::vector<double> out(arrival_rates.size());
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c] = arrival_rates[c] * mean_holding[c];
+  }
+  return out;
+}
+
+MixtureEstimate estimate_mixture(const sim::Workload& workload,
+                                 std::size_t num_classes) {
+  if (!(workload.horizon > 0.0)) {
+    throw std::invalid_argument("estimate_mixture: horizon must be > 0");
+  }
+  workload.validate(num_classes);
+  MixtureEstimate est;
+  est.arrival_rates.assign(num_classes, 0.0);
+  est.mixture.assign(num_classes, 0.0);
+  est.mean_holding.assign(num_classes, 0.0);
+  std::vector<std::uint64_t> counts(num_classes, 0);
+  for (const auto& e : workload.events) {
+    ++counts[e.class_index];
+    est.mean_holding[e.class_index] += e.holding_time;
+    ++est.total_events;
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (counts[c] > 0) {
+      est.mean_holding[c] /= static_cast<double>(counts[c]);
+    }
+    est.arrival_rates[c] =
+        static_cast<double>(counts[c]) / workload.horizon;
+    if (est.total_events > 0) {
+      est.mixture[c] = static_cast<double>(counts[c]) /
+                       static_cast<double>(est.total_events);
+    }
+  }
+  return est;
+}
+
+std::vector<double> adaptive_weights(
+    const model::LocationSpace& space, const MixtureEstimate& estimate,
+    const std::vector<model::RequestClass>& class_shapes) {
+  if (class_shapes.size() != estimate.arrival_rates.size()) {
+    throw std::invalid_argument(
+        "adaptive_weights: one shape per estimated class required");
+  }
+  const std::vector<double> concurrency = estimate.concurrency();
+  model::DemandProfile demand;
+  for (std::size_t c = 0; c < class_shapes.size(); ++c) {
+    if (concurrency[c] <= 0.0) continue;
+    model::RequestClass rc = class_shapes[c];
+    rc.count = concurrency[c];
+    demand.classes.push_back(rc);
+  }
+  if (demand.classes.empty()) {
+    return game::equal_shares(space.num_facilities());
+  }
+  model::Federation fed(space, std::move(demand));
+  return game::shapley_shares(fed.build_game());
+}
+
+}  // namespace fedshare::policy

@@ -1,0 +1,50 @@
+// Demand-mixture estimation and adaptive policy weights (Sec. 4.3.2:
+// "it is important to be able to classify experiments into a few
+// meaningful categories and, based on the expected mixture, adjust the
+// federation policies implemented in practice").
+//
+// estimate_mixture() reduces an observed workload trace to per-class
+// arrival rates, mixture shares and mean holding times; via Little's law
+// the expected concurrent demand per class is rate * mean holding, which
+// adaptive_weights() feeds into the value engine to produce up-to-date
+// normalised Shapley weights — the live counterpart of the offline
+// weights in policy/weights.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+#include "sim/workload.hpp"
+
+namespace fedshare::policy {
+
+/// Summary statistics of an observed workload.
+struct MixtureEstimate {
+  std::vector<double> arrival_rates;  ///< events per unit time, per class
+  std::vector<double> mixture;        ///< arrival shares (sums to 1)
+  std::vector<double> mean_holding;   ///< observed mean holding times
+  std::uint64_t total_events = 0;
+
+  /// Expected concurrent experiments per class (Little's law:
+  /// rate * mean holding).
+  [[nodiscard]] std::vector<double> concurrency() const;
+};
+
+/// Estimates the mixture from a trace. `num_classes` fixes the vector
+/// sizes (classes with no events get rate 0 and mean holding 0).
+/// Requires a positive trace horizon.
+[[nodiscard]] MixtureEstimate estimate_mixture(const sim::Workload& workload,
+                                               std::size_t num_classes);
+
+/// Adaptive policy weights: builds a demand profile whose class counts
+/// are the estimated concurrent demand (shapes — thresholds, units, d —
+/// taken from `class_shapes`) and returns the normalised Shapley values
+/// of the resulting federation game. `class_shapes` must have one entry
+/// per estimated class.
+[[nodiscard]] std::vector<double> adaptive_weights(
+    const model::LocationSpace& space, const MixtureEstimate& estimate,
+    const std::vector<model::RequestClass>& class_shapes);
+
+}  // namespace fedshare::policy

@@ -1,0 +1,41 @@
+// P2P-scenario value sharing on a federation (Eq. 3 end-to-end).
+//
+// In the P2P scenario there is no money: each facility's payoff is the
+// utility its own affiliated users obtain from the pooled infrastructure,
+// so the allocation decision *is* the sharing decision. This bridges
+// model::LocationSpace to alloc::allocate_p2p and reports the price of
+// incentive compatibility: how much total utility the individual-
+// rationality constraints cost relative to the unconstrained commercial
+// optimum (the paper's Sec. 3.1 observation).
+#pragma once
+
+#include <vector>
+
+#include "alloc/p2p.hpp"
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+
+namespace fedshare::policy {
+
+/// Outcome of P2P value sharing across a federation.
+struct P2PFederationResult {
+  bool feasible = false;
+  std::vector<double> slots;      ///< location-slots granted per facility
+  std::vector<double> utilities;  ///< u^f_i — each facility's payoff
+  std::vector<double> shares;     ///< utilities normalised to sum 1
+  double total_utility = 0.0;
+  double commercial_optimum = 0.0;  ///< unconstrained total utility
+  /// commercial_optimum - total_utility (>= 0): what incentive
+  /// compatibility costs the federation.
+  double incentive_cost = 0.0;
+};
+
+/// Runs the P2P allocation for `facility_demands[i]` = facility i's
+/// aggregate user demand. All demands must use the same
+/// units_per_location (slots must be commensurable); throws
+/// std::invalid_argument otherwise or on size mismatch.
+[[nodiscard]] P2PFederationResult p2p_value_sharing(
+    const model::LocationSpace& space,
+    const std::vector<model::RequestClass>& facility_demands);
+
+}  // namespace fedshare::policy

@@ -1,0 +1,76 @@
+#include "policy/sensitivity.hpp"
+
+#include <stdexcept>
+
+#include "model/federation.hpp"
+
+namespace fedshare::policy {
+
+namespace {
+
+struct Outcome {
+  std::vector<double> shares;
+  std::vector<double> payoffs;
+};
+
+Outcome evaluate(const std::vector<model::FacilityConfig>& configs,
+                 const model::DemandProfile& demand,
+                 const SharingPolicy& policy) {
+  model::Federation fed(model::LocationSpace::disjoint(configs), demand);
+  Outcome out;
+  out.shares = policy.shares(fed);
+  const double total =
+      fed.value(game::Coalition::grand(fed.num_facilities()));
+  out.payoffs.resize(out.shares.size());
+  for (std::size_t i = 0; i < out.shares.size(); ++i) {
+    out.payoffs[i] = out.shares[i] * total;
+  }
+  return out;
+}
+
+}  // namespace
+
+SensitivityReport share_sensitivity(
+    const std::vector<model::FacilityConfig>& configs,
+    const model::DemandProfile& demand, const SharingPolicy& policy,
+    int delta_locations) {
+  if (delta_locations < 1) {
+    throw std::invalid_argument(
+        "share_sensitivity: delta_locations must be >= 1");
+  }
+  if (configs.empty()) {
+    throw std::invalid_argument("share_sensitivity: no facilities");
+  }
+  const std::size_t n = configs.size();
+  const Outcome base = evaluate(configs, demand, policy);
+
+  SensitivityReport report;
+  report.delta_locations = delta_locations;
+  report.payoffs = base.payoffs;
+  report.dpayoff.assign(n, std::vector<double>(n, 0.0));
+  report.dshare.assign(n, std::vector<double>(n, 0.0));
+
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<model::FacilityConfig> bumped = configs;
+    if (!bumped[j].custom_units.empty()) {
+      // Extend heterogeneous facilities with their mean capacity.
+      double mean = 0.0;
+      for (const double u : bumped[j].custom_units) mean += u;
+      mean /= static_cast<double>(bumped[j].custom_units.size());
+      for (int k = 0; k < delta_locations; ++k) {
+        bumped[j].custom_units.push_back(mean);
+      }
+    }
+    bumped[j].num_locations += delta_locations;
+    const Outcome moved = evaluate(bumped, demand, policy);
+    for (std::size_t i = 0; i < n; ++i) {
+      report.dpayoff[i][j] = (moved.payoffs[i] - base.payoffs[i]) /
+                             static_cast<double>(delta_locations);
+      report.dshare[i][j] = (moved.shares[i] - base.shares[i]) /
+                            static_cast<double>(delta_locations);
+    }
+  }
+  return report;
+}
+
+}  // namespace fedshare::policy

@@ -1,0 +1,37 @@
+// Share and payoff sensitivity to contributions.
+//
+// Policy designers reading Fig. 9 want the local version of it: if
+// facility j adds Delta locations, how does every facility's share and
+// payoff move under a given sharing policy? share_sensitivity()
+// estimates the full Jacobian by forward differences on the location
+// counts (the model is piecewise constant in l-thresholds, so a finite
+// Delta is the honest derivative here).
+#pragma once
+
+#include <vector>
+
+#include "model/demand.hpp"
+#include "policy/policy.hpp"
+
+namespace fedshare::policy {
+
+/// Finite-difference Jacobians at a configuration.
+struct SensitivityReport {
+  int delta_locations = 0;  ///< the step used
+  /// d(payoff_i) / d(L_j) estimates: payoff_change[i][j] is facility i's
+  /// payoff change per location added by facility j.
+  std::vector<std::vector<double>> dpayoff;
+  /// d(share_i) / d(L_j) estimates.
+  std::vector<std::vector<double>> dshare;
+  /// Baseline payoffs at the unperturbed configuration.
+  std::vector<double> payoffs;
+};
+
+/// Computes the sensitivity report under `policy`. `delta_locations`
+/// must be >= 1; configurations are rebuilt with disjoint locations.
+[[nodiscard]] SensitivityReport share_sensitivity(
+    const std::vector<model::FacilityConfig>& configs,
+    const model::DemandProfile& demand, const SharingPolicy& policy,
+    int delta_locations = 10);
+
+}  // namespace fedshare::policy

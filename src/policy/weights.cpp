@@ -1,0 +1,55 @@
+#include "policy/weights.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/sharing.hpp"
+#include "model/federation.hpp"
+
+namespace fedshare::policy {
+
+std::vector<double> offline_shapley_weights(
+    const model::LocationSpace& space,
+    const std::vector<DemandScenario>& scenarios) {
+  if (scenarios.empty()) {
+    throw std::invalid_argument("offline_shapley_weights: no scenarios");
+  }
+  double total_prob = 0.0;
+  for (const auto& s : scenarios) {
+    if (!(s.probability >= 0.0)) {
+      throw std::invalid_argument(
+          "offline_shapley_weights: negative probability");
+    }
+    total_prob += s.probability;
+  }
+  if (total_prob <= 0.0) {
+    throw std::invalid_argument(
+        "offline_shapley_weights: probabilities sum to zero");
+  }
+  const auto n = static_cast<std::size_t>(space.num_facilities());
+  std::vector<double> weights(n, 0.0);
+  for (const auto& s : scenarios) {
+    if (s.probability == 0.0) continue;
+    model::Federation fed(space, s.demand);  // copies the space
+    const std::vector<double> shares =
+        game::shapley_shares(fed.build_game());
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] += shares[i] * s.probability / total_prob;
+    }
+  }
+  return weights;
+}
+
+double weight_drift(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("weight_drift: size mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace fedshare::policy

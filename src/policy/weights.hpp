@@ -1,0 +1,35 @@
+// Offline policy weights (the paper's Sec. 4.4 proposal).
+//
+// "ϕ̂_i can be computed off-line and used as heuristic evaluators of the
+// individual contributions of facilities, given the mixture of expected
+// users": average the normalised Shapley values over a set of demand
+// scenarios, weighted by their expected probabilities, and use the result
+// as generic sharing / allocation weights.
+#pragma once
+
+#include <vector>
+
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+
+namespace fedshare::policy {
+
+/// A demand scenario with its expected probability.
+struct DemandScenario {
+  model::DemandProfile demand;
+  double probability = 1.0;
+};
+
+/// Probability-weighted average of the normalised Shapley values across
+/// scenarios (probabilities are renormalised; must be non-negative and
+/// not all zero). The result sums to 1.
+[[nodiscard]] std::vector<double> offline_shapley_weights(
+    const model::LocationSpace& space,
+    const std::vector<DemandScenario>& scenarios);
+
+/// Maximum absolute per-facility deviation between two weight vectors —
+/// used to quantify how far a static policy drifts from the live one.
+[[nodiscard]] double weight_drift(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace fedshare::policy

@@ -1,0 +1,58 @@
+#include "sim/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedshare::sim {
+
+double exponential(Xoshiro256& rng, double mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("exponential: mean must be > 0");
+  }
+  // Inverse CDF on (0, 1]: avoid log(0) by flipping the uniform.
+  const double u = 1.0 - rng.uniform();
+  return -mean * std::log(u);
+}
+
+double pareto(Xoshiro256& rng, double minimum, double shape) {
+  if (!(minimum > 0.0) || !(shape > 0.0)) {
+    throw std::invalid_argument("pareto: minimum and shape must be > 0");
+  }
+  const double u = 1.0 - rng.uniform();
+  return minimum / std::pow(u, 1.0 / shape);
+}
+
+double HoldingTimeModel::sample(Xoshiro256& rng, double mean) const {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("HoldingTimeModel: mean must be > 0");
+  }
+  switch (kind) {
+    case Kind::kDeterministic:
+      return mean;
+    case Kind::kExponential:
+      return exponential(rng, mean);
+    case Kind::kPareto: {
+      if (!(pareto_shape > 1.0)) {
+        throw std::invalid_argument(
+            "HoldingTimeModel: pareto_shape must be > 1 for a finite mean");
+      }
+      const double minimum = mean * (pareto_shape - 1.0) / pareto_shape;
+      return pareto(rng, minimum, pareto_shape);
+    }
+  }
+  return mean;
+}
+
+PoissonProcess::PoissonProcess(double rate, double start)
+    : rate_(rate), current_(start) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("PoissonProcess: rate must be > 0");
+  }
+}
+
+double PoissonProcess::next(Xoshiro256& rng) {
+  current_ += exponential(rng, 1.0 / rate_);
+  return current_;
+}
+
+}  // namespace fedshare::sim

@@ -1,0 +1,48 @@
+// Random variates for the discrete-event simulator.
+//
+// All samplers draw from Xoshiro256 and are deterministic given the seed.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fedshare::sim {
+
+/// Exponential variate with the given mean (> 0).
+[[nodiscard]] double exponential(Xoshiro256& rng, double mean);
+
+/// Pareto (Lomax-shifted) variate with minimum x_m > 0 and shape a > 0.
+/// Mean is finite only for a > 1 (x_m * a / (a - 1)); used for the
+/// heavy-tailed holding-time extension.
+[[nodiscard]] double pareto(Xoshiro256& rng, double minimum, double shape);
+
+/// Deterministic "variate": always returns `value` (> 0). Lets the
+/// simulator treat fixed holding times uniformly with random ones.
+struct HoldingTimeModel {
+  enum class Kind { kDeterministic, kExponential, kPareto };
+  Kind kind = Kind::kDeterministic;
+  double pareto_shape = 2.5;  ///< only for kPareto
+
+  /// Draws a holding time with the given mean under this model.
+  [[nodiscard]] double sample(Xoshiro256& rng, double mean) const;
+};
+
+/// Poisson-process arrival-time generator: successive calls return
+/// exponentially spaced absolute times starting from `start`.
+class PoissonProcess {
+ public:
+  /// rate > 0 events per unit time.
+  PoissonProcess(double rate, double start = 0.0);
+
+  /// Absolute time of the next arrival.
+  [[nodiscard]] double next(Xoshiro256& rng);
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+  double current_;
+};
+
+}  // namespace fedshare::sim

@@ -1,0 +1,104 @@
+#include "sim/loss_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedshare::sim {
+
+LossSystem::LossSystem(const alloc::LocationPool& pool,
+                       std::vector<alloc::RequestClass> classes,
+                       double warmup, LocationPolicy policy)
+    : classes_(std::move(classes)), free_units_(pool.capacity),
+      down_(pool.num_locations(), false), warmup_(warmup), policy_(policy),
+      last_change_(warmup) {
+  pool.validate();
+  for (const auto& rc : classes_) rc.validate();
+  if (warmup < 0.0) {
+    throw std::invalid_argument("LossSystem: warmup must be >= 0");
+  }
+  stats_.assign(classes_.size(), ClassStats{});
+}
+
+void LossSystem::add_outage(const Outage& outage) {
+  outage.validate(free_units_.size());
+  if (outage.start < events_.now()) {
+    throw std::invalid_argument(
+        "LossSystem::add_outage: outage starts in the past");
+  }
+  const std::size_t loc = outage.location;
+  events_.schedule(outage.start, [this, loc](double) { down_[loc] = true; });
+  events_.schedule(outage.end, [this, loc](double) { down_[loc] = false; });
+}
+
+void LossSystem::track_busy(double now, double delta) {
+  if (now >= warmup_) {
+    busy_integral_ += busy_now_ * (now - last_change_);
+    last_change_ = now;
+  }
+  busy_now_ += delta;
+}
+
+void LossSystem::advance_to(double now) { events_.run_until(now); }
+
+bool LossSystem::offer(std::size_t class_index, double now,
+                       double holding_time) {
+  if (class_index >= classes_.size()) {
+    throw std::invalid_argument("LossSystem::offer: bad class index");
+  }
+  if (!(holding_time > 0.0)) {
+    throw std::invalid_argument("LossSystem::offer: holding_time must be > 0");
+  }
+  if (now < events_.now()) {
+    throw std::invalid_argument("LossSystem::offer: time went backwards");
+  }
+  advance_to(now);
+
+  const alloc::RequestClass& rc = classes_[class_index];
+  ClassStats& stats = stats_[class_index];
+  const bool counted = now >= warmup_;
+  if (counted) ++stats.arrivals;
+
+  const double r = rc.units_per_location;
+  std::vector<std::size_t> eligible;
+  for (std::size_t l = 0; l < free_units_.size(); ++l) {
+    if (!down_[l] && free_units_[l] >= r - 1e-12) eligible.push_back(l);
+  }
+  const auto threshold = static_cast<std::size_t>(
+      std::ceil(rc.effective_threshold() - 1e-12));
+  if (eligible.size() < threshold) {
+    if (counted) ++stats.blocked;
+    return false;
+  }
+  std::size_t take = eligible.size();
+  if (policy_ == LocationPolicy::kThresholdOnly) {
+    take = threshold;
+    // Prefer the fullest eligible locations (best-fit packing).
+    std::nth_element(eligible.begin(),
+                     eligible.begin() + static_cast<std::ptrdiff_t>(take) - 1,
+                     eligible.end(), [&](std::size_t a, std::size_t b) {
+                       return free_units_[a] < free_units_[b];
+                     });
+    eligible.resize(take);
+  }
+  for (const std::size_t l : eligible) free_units_[l] -= r;
+  const double units_taken = r * static_cast<double>(take);
+  track_busy(now, units_taken);
+  if (counted) {
+    ++stats.admitted;
+    stats.utility += std::pow(static_cast<double>(take), rc.exponent);
+  }
+  events_.schedule(now + holding_time,
+                   [this, held = eligible, r, units_taken](double t) {
+                     for (const std::size_t l : held) free_units_[l] += r;
+                     track_busy(t, -units_taken);
+                   });
+  return true;
+}
+
+void LossSystem::finish(double t) {
+  advance_to(t);
+  track_busy(t, 0.0);
+}
+
+}  // namespace fedshare::sim

@@ -1,0 +1,71 @@
+// The loss-system engine shared by the Poisson simulator
+// (multiplex_sim) and the trace replayer (workload).
+//
+// Holds the pooled location state, admission logic (an arrival needs
+// `units_per_location` free units at >= threshold distinct, in-service
+// locations), departure scheduling, outage windows (locations accept no
+// new placements while down — the paper's reliability dimension), and
+// post-warmup statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/multiplex_sim.hpp"
+
+namespace fedshare::sim {
+
+/// Stateful loss system. Drive it by calling offer() with
+/// non-decreasing timestamps; departures and outage boundaries are
+/// processed internally in time order.
+class LossSystem {
+ public:
+  /// `classes` supplies per-class request shapes; `warmup` is the time
+  /// before which statistics are not recorded.
+  LossSystem(const alloc::LocationPool& pool,
+             std::vector<alloc::RequestClass> classes, double warmup,
+             LocationPolicy policy);
+
+  /// Registers an outage window; must be called before any offer() at or
+  /// past its start time.
+  void add_outage(const Outage& outage);
+
+  /// Offers one arrival of `class_index` at absolute time `now` (>= the
+  /// previous offer) holding for `holding_time`. Returns true if
+  /// admitted.
+  bool offer(std::size_t class_index, double now, double holding_time);
+
+  /// Advances internal time to `t` (processes departures/outages) and
+  /// closes the busy-time integral; call once at the horizon.
+  void finish(double t);
+
+  /// Post-warmup per-class stats (valid after finish()).
+  [[nodiscard]] const std::vector<ClassStats>& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Time-integral of busy units since warmup (valid after finish()).
+  [[nodiscard]] double busy_integral() const noexcept {
+    return busy_integral_;
+  }
+
+ private:
+  void advance_to(double now);
+  void track_busy(double now, double delta);
+
+  std::vector<alloc::RequestClass> classes_;
+  std::vector<double> free_units_;
+  std::vector<bool> down_;
+  double warmup_;
+  LocationPolicy policy_;
+  EventQueue events_;
+
+  std::vector<ClassStats> stats_;
+  double busy_integral_ = 0.0;
+  double busy_now_ = 0.0;
+  double last_change_;
+};
+
+}  // namespace fedshare::sim

@@ -1,0 +1,80 @@
+#include "sim/multiplex_sim.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "sim/loss_system.hpp"
+
+namespace fedshare::sim {
+
+void Outage::validate(std::size_t num_locations) const {
+  if (location >= num_locations) {
+    throw std::invalid_argument("Outage: location out of range");
+  }
+  if (!(end > start) || start < 0.0) {
+    throw std::invalid_argument("Outage: need 0 <= start < end");
+  }
+}
+
+SimResult simulate_multiplexing(const alloc::LocationPool& pool,
+                                const std::vector<TrafficClass>& classes,
+                                const SimConfig& config) {
+  pool.validate();
+  std::vector<alloc::RequestClass> requests;
+  requests.reserve(classes.size());
+  for (const auto& tc : classes) {
+    tc.request.validate();
+    if (!(tc.arrival_rate > 0.0)) {
+      throw std::invalid_argument(
+          "simulate_multiplexing: arrival_rate must be > 0");
+    }
+    requests.push_back(tc.request);
+  }
+  if (!(config.horizon > config.warmup) || config.warmup < 0.0) {
+    throw std::invalid_argument(
+        "simulate_multiplexing: need 0 <= warmup < horizon");
+  }
+
+  Xoshiro256 rng(config.seed);
+  LossSystem system(pool, requests, config.warmup, config.location_policy);
+  for (const auto& outage : config.outages) system.add_outage(outage);
+
+  // Merge the per-class Poisson streams in global time order.
+  struct Pending {
+    double time;
+    std::size_t cls;
+    bool operator>(const Pending& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return cls > other.cls;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap;
+  std::vector<PoissonProcess> processes;
+  processes.reserve(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    processes.emplace_back(classes[c].arrival_rate);
+    const double t = processes[c].next(rng);
+    if (t <= config.horizon) heap.push({t, c});
+  }
+  while (!heap.empty()) {
+    const Pending next = heap.top();
+    heap.pop();
+    const double hold = config.holding_time.sample(
+        rng, classes[next.cls].request.holding_time);
+    system.offer(next.cls, next.time, hold);
+    const double t = processes[next.cls].next(rng);
+    if (t <= config.horizon) heap.push({t, next.cls});
+  }
+  system.finish(config.horizon);
+
+  SimResult result;
+  result.per_class = system.stats();
+  result.measured_time = config.horizon - config.warmup;
+  double total_utility = 0.0;
+  for (const auto& s : result.per_class) total_utility += s.utility;
+  result.utility_rate = total_utility / result.measured_time;
+  result.mean_busy_units = system.busy_integral() / result.measured_time;
+  return result;
+}
+
+}  // namespace fedshare::sim

@@ -1,0 +1,85 @@
+// Statistical-multiplexing simulator (Sec. 2.3.1's holding-time story).
+//
+// Experiments of each class arrive as a Poisson process, request
+// `units_per_location` units at >= `min_locations` distinct locations,
+// hold them for their holding time, and release them. An arrival is
+// admitted iff enough distinct locations currently have free capacity
+// (loss-system semantics, no queueing — the paper's short-term fair
+// allocation abstracted to admission control). Utility accrues on
+// admission as u(x) = x^d.
+//
+// This substrate quantifies the multiplexing gain the paper argues
+// drives super-additivity for small holding times (Sec. 3.2.1) — see
+// bench/ablate_multiplexing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "sim/distributions.hpp"
+
+namespace fedshare::sim {
+
+/// One class's traffic description.
+struct TrafficClass {
+  alloc::RequestClass request;  ///< threshold, units, holding time, d
+  double arrival_rate = 1.0;    ///< Poisson arrivals per unit time
+};
+
+/// How many locations an admitted experiment takes.
+enum class LocationPolicy {
+  kThresholdOnly,  ///< exactly ceil(threshold) locations (frugal)
+  kMaximal,        ///< every location with free capacity (greedy)
+};
+
+/// A planned unavailability window for one location: while down, the
+/// location accepts no new placements (experiments already holding it
+/// keep their units — outages model admission loss, not preemption).
+struct Outage {
+  std::size_t location = 0;
+  double start = 0.0;
+  double end = 0.0;  ///< must be > start
+
+  /// Throws std::invalid_argument on bad ranges.
+  void validate(std::size_t num_locations) const;
+};
+
+/// Simulator configuration.
+struct SimConfig {
+  double horizon = 1000.0;  ///< simulated time
+  double warmup = 100.0;    ///< stats discarded before this time
+  std::uint64_t seed = 1;
+  LocationPolicy location_policy = LocationPolicy::kThresholdOnly;
+  HoldingTimeModel holding_time;  ///< deterministic by default
+  std::vector<Outage> outages;    ///< reliability scenario (may be empty)
+};
+
+/// Per-class simulation statistics (post-warmup).
+struct ClassStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  double utility = 0.0;  ///< accrued sum of u(x) over admissions
+
+  [[nodiscard]] double blocking_probability() const noexcept {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(blocked) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+/// Whole-run results.
+struct SimResult {
+  std::vector<ClassStats> per_class;
+  double measured_time = 0.0;     ///< horizon - warmup
+  double utility_rate = 0.0;      ///< total utility / measured_time
+  double mean_busy_units = 0.0;   ///< time-averaged units in use
+};
+
+/// Runs the loss-system simulation of `classes` over `pool`.
+[[nodiscard]] SimResult simulate_multiplexing(
+    const alloc::LocationPool& pool, const std::vector<TrafficClass>& classes,
+    const SimConfig& config);
+
+}  // namespace fedshare::sim

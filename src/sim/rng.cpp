@@ -1,0 +1,79 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fedshare::sim {
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Xoshiro256::uniform: need lo < hi");
+  }
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("Xoshiro256::below: bound must be > 0");
+  }
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::vector<int> sample_without_replacement(Xoshiro256& rng, int n, int k) {
+  if (k < 0 || n < 0 || k > n) {
+    throw std::invalid_argument(
+        "sample_without_replacement: need 0 <= k <= n");
+  }
+  // Floyd's algorithm: k iterations, no O(n) scratch.
+  std::unordered_set<int> chosen;
+  chosen.reserve(static_cast<std::size_t>(k));
+  for (int j = n - k; j < n; ++j) {
+    const int t = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(j) + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<int> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fedshare::sim

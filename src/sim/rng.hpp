@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in fedshare (Monte-Carlo Shapley aside, which
+// keeps a local copy to stay dependency-free) draws from these
+// generators so results are bit-reproducible across platforms — the
+// standard library's distributions are not guaranteed deterministic
+// across implementations, so we provide our own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedshare::sim {
+
+/// splitmix64 — used to seed and for cheap independent streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniform random bits.
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the main generator (fast, high quality, tiny state).
+class Xoshiro256 {
+ public:
+  /// Seeds all four words via splitmix64 (handles seed == 0 safely).
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  /// Next 64 uniform random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi); requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) by rejection; requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples `k` distinct integers from [0, n) uniformly (Floyd's
+/// algorithm), returned in ascending order. Requires 0 <= k <= n.
+[[nodiscard]] std::vector<int> sample_without_replacement(Xoshiro256& rng,
+                                                          int n, int k);
+
+}  // namespace fedshare::sim

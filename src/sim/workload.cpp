@@ -1,0 +1,130 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/loss_system.hpp"
+
+namespace fedshare::sim {
+
+void Workload::validate(std::size_t num_classes) const {
+  if (!(horizon >= 0.0)) {
+    throw std::invalid_argument("Workload: horizon must be >= 0");
+  }
+  double prev = 0.0;
+  for (const auto& e : events) {
+    if (e.arrival_time < prev) {
+      throw std::invalid_argument("Workload: events must be time-sorted");
+    }
+    if (e.arrival_time > horizon) {
+      throw std::invalid_argument("Workload: event beyond horizon");
+    }
+    if (!(e.holding_time > 0.0)) {
+      throw std::invalid_argument("Workload: holding_time must be > 0");
+    }
+    if (e.class_index >= num_classes) {
+      throw std::invalid_argument("Workload: class index out of range");
+    }
+    prev = e.arrival_time;
+  }
+}
+
+std::vector<std::uint64_t> Workload::arrivals_per_class() const {
+  std::vector<std::uint64_t> counts;
+  for (const auto& e : events) {
+    if (e.class_index >= counts.size()) counts.resize(e.class_index + 1, 0);
+    ++counts[e.class_index];
+  }
+  return counts;
+}
+
+void DiurnalPattern::validate() const {
+  if (!(period > 0.0) || depth < 0.0 || depth >= 1.0) {
+    throw std::invalid_argument(
+        "DiurnalPattern: need period > 0 and depth in [0, 1)");
+  }
+}
+
+Workload generate_workload(const std::vector<TrafficClass>& classes,
+                           double horizon, std::uint64_t seed,
+                           const std::optional<DiurnalPattern>& pattern,
+                           const HoldingTimeModel& holding_time) {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("generate_workload: horizon must be > 0");
+  }
+  if (pattern) pattern->validate();
+  for (const auto& tc : classes) {
+    tc.request.validate();
+    if (!(tc.arrival_rate > 0.0)) {
+      throw std::invalid_argument(
+          "generate_workload: arrival_rate must be > 0");
+    }
+  }
+
+  Xoshiro256 rng(seed);
+  Workload workload;
+  workload.horizon = horizon;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const double base = classes[c].arrival_rate;
+    // Thinning envelope: the peak rate of the modulated process.
+    const double peak =
+        pattern ? base * (1.0 + pattern->depth) : base;
+    PoissonProcess proc(peak);
+    for (double t = proc.next(rng); t <= horizon; t = proc.next(rng)) {
+      if (pattern) {
+        const double rate =
+            base * (1.0 + pattern->depth *
+                              std::sin(2.0 * M_PI * t / pattern->period));
+        if (rng.uniform() * peak > rate) continue;  // thinned out
+      }
+      TraceEvent e;
+      e.arrival_time = t;
+      e.class_index = c;
+      e.holding_time =
+          holding_time.sample(rng, classes[c].request.holding_time);
+      workload.events.push_back(e);
+    }
+  }
+  std::stable_sort(workload.events.begin(), workload.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  return workload;
+}
+
+SimResult replay_workload(const alloc::LocationPool& pool,
+                          const std::vector<TrafficClass>& classes,
+                          const Workload& workload,
+                          const SimConfig& config) {
+  pool.validate();
+  workload.validate(classes.size());
+  std::vector<alloc::RequestClass> requests;
+  requests.reserve(classes.size());
+  for (const auto& tc : classes) {
+    tc.request.validate();
+    requests.push_back(tc.request);
+  }
+  if (!(workload.horizon > config.warmup) || config.warmup < 0.0) {
+    throw std::invalid_argument(
+        "replay_workload: need 0 <= warmup < trace horizon");
+  }
+
+  LossSystem system(pool, requests, config.warmup, config.location_policy);
+  for (const auto& outage : config.outages) system.add_outage(outage);
+  for (const auto& e : workload.events) {
+    system.offer(e.class_index, e.arrival_time, e.holding_time);
+  }
+  system.finish(workload.horizon);
+
+  SimResult result;
+  result.per_class = system.stats();
+  result.measured_time = workload.horizon - config.warmup;
+  double total_utility = 0.0;
+  for (const auto& s : result.per_class) total_utility += s.utility;
+  result.utility_rate = total_utility / result.measured_time;
+  result.mean_busy_units = system.busy_integral() / result.measured_time;
+  return result;
+}
+
+}  // namespace fedshare::sim

@@ -1,0 +1,70 @@
+// Synthetic workload traces and trace replay.
+//
+// The paper's user-behaviour analysis rests on PlanetLab measurement
+// data (CoMon, its ref. [23]) that is not publicly reproducible; this
+// module substitutes synthetic traces with the same structure: per-class
+// Poisson or diurnally-modulated (NHPP, via thinning) arrivals with the
+// class's holding-time distribution. Traces are plain data — they can be
+// generated once, inspected, and replayed against any coalition's pool
+// with identical arrivals (paired comparisons across policies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/multiplex_sim.hpp"
+
+namespace fedshare::sim {
+
+/// One arrival in a trace.
+struct TraceEvent {
+  double arrival_time = 0.0;
+  std::size_t class_index = 0;
+  double holding_time = 0.0;
+};
+
+/// A generated (or hand-built) workload trace, sorted by arrival time.
+struct Workload {
+  std::vector<TraceEvent> events;
+  double horizon = 0.0;
+
+  /// Throws std::invalid_argument if events are unsorted, have bad
+  /// fields, or reference classes >= num_classes.
+  void validate(std::size_t num_classes) const;
+
+  /// Arrivals per class (size = max class index + 1; empty when no
+  /// events).
+  [[nodiscard]] std::vector<std::uint64_t> arrivals_per_class() const;
+};
+
+/// Sinusoidal rate modulation: rate(t) = base * (1 + depth * sin(2 pi
+/// t / period)). depth in [0, 1); period > 0.
+struct DiurnalPattern {
+  double period = 24.0;
+  double depth = 0.5;
+
+  void validate() const;
+};
+
+/// Generates a trace for `classes` over [0, horizon]. With a pattern,
+/// arrivals form an NHPP sampled by thinning; without, plain Poisson.
+/// Holding times follow `holding_time` per class mean. Deterministic
+/// given `seed`.
+[[nodiscard]] Workload generate_workload(
+    const std::vector<TrafficClass>& classes, double horizon,
+    std::uint64_t seed,
+    const std::optional<DiurnalPattern>& pattern = std::nullopt,
+    const HoldingTimeModel& holding_time = {});
+
+/// Replays a trace against `pool` using the same admission semantics as
+/// simulate_multiplexing. `classes` supplies the request shapes (the
+/// trace carries times only). `warmup`/`policy`/`outages` come from
+/// `config`; its horizon/seed/holding-time fields are ignored (the trace
+/// determines them).
+[[nodiscard]] SimResult replay_workload(const alloc::LocationPool& pool,
+                                        const std::vector<TrafficClass>& classes,
+                                        const Workload& workload,
+                                        const SimConfig& config);
+
+}  // namespace fedshare::sim

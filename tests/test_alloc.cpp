@@ -1,0 +1,242 @@
+// Tests for the allocation solvers: greedy water-filling, slot budgets,
+// LP relaxation, and the exact enumerator on hand-checked instances.
+#include <gtest/gtest.h>
+
+#include "alloc/exact.hpp"
+#include "alloc/greedy.hpp"
+#include "alloc/lp_relax.hpp"
+
+namespace fedshare::alloc {
+namespace {
+
+LocationPool uniform_pool(int locations, double capacity) {
+  LocationPool pool;
+  pool.capacity.assign(static_cast<std::size_t>(locations), capacity);
+  return pool;
+}
+
+RequestClass make_class(double count, double min_locations, double r = 1.0,
+                        double d = 1.0) {
+  RequestClass rc;
+  rc.count = count;
+  rc.min_locations = min_locations;
+  rc.units_per_location = r;
+  rc.exponent = d;
+  return rc;
+}
+
+TEST(SlotBudget, CapsPerLocationAtM) {
+  // capacities (3, 1, 5), r = 1: U(2) = 2 + 1 + 2 = 5.
+  EXPECT_DOUBLE_EQ(slot_budget({3, 1, 5}, 1.0, 2.0), 5.0);
+  // r = 2 halves the slots: U(2) = 1.5 + 0.5 + 2 = 4.
+  EXPECT_DOUBLE_EQ(slot_budget({3, 1, 5}, 2.0, 2.0), 4.0);
+}
+
+TEST(SlotBudget, RejectsBadUnits) {
+  EXPECT_THROW((void)slot_budget({1.0}, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(MaxFeasibleExperiments, SingleExperimentNeedsThresholdLocations) {
+  // 5 locations of capacity 1, threshold 6: infeasible.
+  EXPECT_DOUBLE_EQ(max_feasible_experiments({1, 1, 1, 1, 1}, 1.0, 6.0), 0.0);
+  // threshold 5: exactly one experiment.
+  EXPECT_DOUBLE_EQ(max_feasible_experiments({1, 1, 1, 1, 1}, 1.0, 5.0), 1.0);
+}
+
+TEST(MaxFeasibleExperiments, GrowsWithCapacity) {
+  // 10 locations x capacity 4, threshold 5: U(m) = 10*min(4, m); need
+  // 10*min(4,m) >= 5m -> m <= 8.
+  EXPECT_NEAR(max_feasible_experiments(std::vector<double>(10, 4.0), 1.0,
+                                       5.0),
+              8.0, 1e-6);
+}
+
+TEST(MaxFeasibleExperiments, RejectsThresholdBelowOne) {
+  EXPECT_THROW((void)max_feasible_experiments({1.0}, 1.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Greedy, SingleExperimentTakesAllLocations) {
+  const auto result =
+      allocate_greedy(uniform_pool(10, 1.0), {make_class(1, 5)});
+  EXPECT_DOUBLE_EQ(result.total_utility, 10.0);  // d=1: utility = locations
+  EXPECT_DOUBLE_EQ(result.per_class[0].served, 1.0);
+  EXPECT_DOUBLE_EQ(result.per_class[0].locations_per_experiment, 10.0);
+  EXPECT_DOUBLE_EQ(result.total_units, 10.0);
+}
+
+TEST(Greedy, BlocksBelowThreshold) {
+  const auto result =
+      allocate_greedy(uniform_pool(4, 1.0), {make_class(1, 5)});
+  EXPECT_DOUBLE_EQ(result.total_utility, 0.0);
+  EXPECT_DOUBLE_EQ(result.per_class[0].served, 0.0);
+}
+
+TEST(Greedy, SaturatingDemandFillsCapacity) {
+  // 6 locations x capacity 3, threshold 2, lots of experiments:
+  // all 18 units get used (d = 1).
+  const auto result =
+      allocate_greedy(uniform_pool(6, 3.0), {make_class(1000, 2)});
+  EXPECT_NEAR(result.total_utility, 18.0, 1e-6);
+  EXPECT_NEAR(result.total_units, 18.0, 1e-6);
+}
+
+TEST(Greedy, ThresholdLimitsServedCount) {
+  // 4 locations x capacity 10, threshold 4: every experiment needs all 4
+  // locations, so served = min(count, capacity per location) = 10.
+  const auto result =
+      allocate_greedy(uniform_pool(4, 10.0), {make_class(100, 4)});
+  EXPECT_NEAR(result.per_class[0].served, 10.0, 1e-6);
+  EXPECT_NEAR(result.total_utility, 40.0, 1e-6);
+}
+
+TEST(Greedy, ConcaveUtilityUsesEqualSplit) {
+  // d = 0.5, 2 experiments on 8 locations x 1: each gets 4 locations;
+  // utility = 2 * sqrt(4) = 4.
+  const auto result =
+      allocate_greedy(uniform_pool(8, 1.0), {make_class(2, 1, 1.0, 0.5)});
+  EXPECT_NEAR(result.total_utility, 4.0, 1e-9);
+  EXPECT_NEAR(result.per_class[0].locations_per_experiment, 4.0, 1e-9);
+}
+
+TEST(Greedy, ConvexUtilityConcentrates) {
+  // d = 2, 2 experiments on 4 locations x capacity 1: convex prefers one
+  // experiment with all 4 (16) over two with 2 each (8). Threshold 1.
+  const auto result =
+      allocate_greedy(uniform_pool(4, 1.0), {make_class(2, 1, 1.0, 2.0)});
+  EXPECT_NEAR(result.total_utility, 16.0, 1e-9);
+  EXPECT_NEAR(result.per_class[0].served, 1.0, 1e-9);
+}
+
+TEST(Greedy, ConvexWithDeepCapacityServesSequentially) {
+  // d = 2, capacity 2 per location: two experiments can both take all 4
+  // locations -> utility 32.
+  const auto result =
+      allocate_greedy(uniform_pool(4, 2.0), {make_class(2, 1, 1.0, 2.0)});
+  EXPECT_NEAR(result.total_utility, 32.0, 1e-9);
+  EXPECT_NEAR(result.per_class[0].served, 2.0, 1e-9);
+}
+
+TEST(Greedy, HigherRUsesMoreUnits) {
+  // r = 4 (the CDN archetype): one experiment on 6 locations x 4 units
+  // uses 24 units for 6 locations of utility.
+  const auto result =
+      allocate_greedy(uniform_pool(6, 4.0), {make_class(1, 2, 4.0)});
+  EXPECT_NEAR(result.total_utility, 6.0, 1e-9);
+  EXPECT_NEAR(result.total_units, 24.0, 1e-9);
+}
+
+TEST(Greedy, ClassPriorityCheapestUnitsFirst) {
+  // Two classes compete for 4 locations x 2 units: the r=1 class (double
+  // the utility per unit) is admitted first and absorbs everything.
+  const auto result = allocate_greedy(
+      uniform_pool(4, 2.0),
+      {make_class(1, 1, 2.0), make_class(8, 1, 1.0)});
+  EXPECT_NEAR(result.per_class[1].served, 8.0, 1e-6);
+  EXPECT_NEAR(result.per_class[1].units, 8.0, 1e-6);
+  EXPECT_NEAR(result.per_class[0].served, 0.0, 1e-9);  // no capacity left
+}
+
+TEST(Greedy, MixedClassesShareCapacity) {
+  // Saturating low-threshold class + blocked high-threshold class: only
+  // the feasible class consumes.
+  const auto result = allocate_greedy(
+      uniform_pool(5, 2.0),
+      {make_class(100, 1), make_class(100, 10)});
+  EXPECT_NEAR(result.per_class[0].units, 10.0, 1e-9);
+  EXPECT_NEAR(result.per_class[1].served, 0.0, 1e-9);
+}
+
+TEST(Greedy, UnitsPerLocationTracksConsumption) {
+  const auto result =
+      allocate_greedy(uniform_pool(3, 2.0), {make_class(2, 1)});
+  ASSERT_EQ(result.units_per_location.size(), 3u);
+  for (const double u : result.units_per_location) {
+    EXPECT_NEAR(u, 2.0, 1e-9);
+  }
+}
+
+TEST(Greedy, EmptyPoolYieldsZero) {
+  const auto result = allocate_greedy(LocationPool{}, {make_class(1, 1)});
+  EXPECT_DOUBLE_EQ(result.total_utility, 0.0);
+}
+
+TEST(Greedy, ValidatesInputs) {
+  LocationPool bad;
+  bad.capacity = {-1.0};
+  EXPECT_THROW((void)allocate_greedy(bad, {}), std::invalid_argument);
+  RequestClass rc;
+  rc.count = -1.0;
+  EXPECT_THROW((void)allocate_greedy(uniform_pool(1, 1.0), {rc}),
+               std::invalid_argument);
+}
+
+TEST(Exact, MatchesHandComputedInstance) {
+  // 3 locations x 1 unit; 2 experiments with threshold 2:
+  // only one can be served (3 units, each needs >= 2 distinct).
+  // Optimal: one experiment with all 3 locations -> utility 3.
+  const auto result =
+      allocate_exact(uniform_pool(3, 1.0), {make_class(2, 2)});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_utility, 3.0);
+}
+
+TEST(Exact, RespectsCapacity) {
+  // 2 locations x 1 unit, 2 experiments threshold 1: each can take one
+  // location (utility 1 + 1) or one takes both (utility 2). Equal either
+  // way with d = 1.
+  const auto result =
+      allocate_exact(uniform_pool(2, 1.0), {make_class(2, 1)});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_utility, 2.0);
+}
+
+TEST(Exact, ConvexPrefersConcentration) {
+  const auto result =
+      allocate_exact(uniform_pool(4, 1.0), {make_class(2, 1, 1.0, 2.0)});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_utility, 16.0);
+}
+
+TEST(Exact, EnforcesLimits) {
+  EXPECT_THROW((void)allocate_exact(uniform_pool(17, 1.0), {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)allocate_exact(uniform_pool(2, 1.0), {make_class(9, 1)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)allocate_exact(uniform_pool(2, 1.0), {make_class(1.5, 1)}),
+      std::invalid_argument);
+}
+
+TEST(Exact, NodeBudgetReturnsNullopt) {
+  const auto result = allocate_exact(uniform_pool(10, 2.0),
+                                     {make_class(6, 1)}, /*max_nodes=*/100);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(LpRelax, BoundsGreedyFromAbove) {
+  const LocationPool pool = uniform_pool(5, 2.0);
+  const std::vector<RequestClass> classes{make_class(3, 2)};
+  const double bound = lp_upper_bound(pool, classes);
+  const auto greedy = allocate_greedy(pool, classes);
+  EXPECT_GE(bound + 1e-9, greedy.total_utility);
+}
+
+TEST(LpRelax, TightWhenThresholdsAreSlack) {
+  // No binding thresholds, d = 1: LP bound equals greedy exactly.
+  const LocationPool pool = uniform_pool(4, 3.0);
+  const std::vector<RequestClass> classes{make_class(5, 1)};
+  const double bound = lp_upper_bound(pool, classes);
+  const auto greedy = allocate_greedy(pool, classes);
+  EXPECT_NEAR(bound, greedy.total_utility, 1e-6);
+}
+
+TEST(LpRelax, RejectsConvexExponents) {
+  EXPECT_THROW(
+      (void)lp_upper_bound(uniform_pool(2, 1.0), {make_class(1, 1, 1.0, 2.0)}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare::alloc

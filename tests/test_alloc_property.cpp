@@ -1,0 +1,136 @@
+// Property tests: the greedy allocator against the exact enumerator and
+// the LP upper bound, over randomized small instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/exact.hpp"
+#include "alloc/greedy.hpp"
+#include "alloc/lp_relax.hpp"
+#include "sim/rng.hpp"
+
+namespace fedshare::alloc {
+namespace {
+
+struct Instance {
+  LocationPool pool;
+  std::vector<RequestClass> classes;
+};
+
+// Random instance: <= 5 locations with small integer capacities,
+// <= 4 experiments in <= 2 classes, r = 1, d = 1, integer thresholds.
+Instance random_instance(std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  Instance inst;
+  const int locations = 2 + static_cast<int>(rng.below(4));  // 2..5
+  for (int l = 0; l < locations; ++l) {
+    inst.pool.capacity.push_back(1.0 + static_cast<double>(rng.below(3)));
+  }
+  const int num_classes = 1 + static_cast<int>(rng.below(2));
+  int experiments_left = 4;
+  for (int c = 0; c < num_classes; ++c) {
+    RequestClass rc;
+    rc.count = 1.0 + static_cast<double>(
+                         rng.below(static_cast<std::uint64_t>(
+                             experiments_left > 1 ? experiments_left - 1 : 1)));
+    experiments_left -= static_cast<int>(rc.count);
+    rc.min_locations = 1.0 + static_cast<double>(rng.below(
+                                 static_cast<std::uint64_t>(locations)));
+    inst.classes.push_back(rc);
+    if (experiments_left <= 0) break;
+  }
+  return inst;
+}
+
+class GreedyVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyVsExact, GreedyMatchesExactOnUnitResourceLinearInstances) {
+  const Instance inst = random_instance(GetParam());
+  const auto exact = allocate_exact(inst.pool, inst.classes);
+  ASSERT_TRUE(exact.has_value());
+  const auto greedy = allocate_greedy(inst.pool, inst.classes);
+  // Continuous relaxation can only help, so greedy >= exact. When the
+  // relaxation happens to serve integral experiment counts it must agree
+  // with the integer optimum exactly; a fractional count may legitimately
+  // exceed it, by at most one partial experiment's utility (bounded by
+  // the location count under d = 1).
+  EXPECT_GE(greedy.total_utility, exact->total_utility - 1e-7);
+  bool integral_served = true;
+  for (const auto& oc : greedy.per_class) {
+    if (std::abs(oc.served - std::round(oc.served)) > 1e-6) {
+      integral_served = false;
+    }
+  }
+  if (integral_served) {
+    EXPECT_NEAR(greedy.total_utility, exact->total_utility, 1e-6)
+        << "seed " << GetParam();
+  }
+  EXPECT_LE(greedy.total_utility,
+            exact->total_utility +
+                static_cast<double>(inst.pool.num_locations()) + 1e-6)
+      << "seed " << GetParam();
+}
+
+TEST_P(GreedyVsExact, LpBoundDominatesBoth) {
+  const Instance inst = random_instance(GetParam());
+  const double bound = lp_upper_bound(inst.pool, inst.classes);
+  const auto greedy = allocate_greedy(inst.pool, inst.classes);
+  EXPECT_GE(bound + 1e-6, greedy.total_utility) << "seed " << GetParam();
+}
+
+TEST_P(GreedyVsExact, ConsumptionNeverExceedsCapacity) {
+  const Instance inst = random_instance(GetParam());
+  const auto greedy = allocate_greedy(inst.pool, inst.classes);
+  ASSERT_EQ(greedy.units_per_location.size(), inst.pool.num_locations());
+  for (std::size_t l = 0; l < inst.pool.num_locations(); ++l) {
+    EXPECT_LE(greedy.units_per_location[l], inst.pool.capacity[l] + 1e-9);
+  }
+  double total = 0.0;
+  for (const double u : greedy.units_per_location) total += u;
+  EXPECT_NEAR(total, greedy.total_units, 1e-6);
+}
+
+TEST_P(GreedyVsExact, ServedExperimentsMeetTheirThreshold) {
+  const Instance inst = random_instance(GetParam());
+  const auto greedy = allocate_greedy(inst.pool, inst.classes);
+  for (std::size_t c = 0; c < inst.classes.size(); ++c) {
+    const auto& oc = greedy.per_class[c];
+    if (oc.served > 0.0) {
+      EXPECT_GE(oc.locations_per_experiment + 1e-9,
+                inst.classes[c].effective_threshold());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyVsExact,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+// Monotonicity properties of the greedy allocator over capacity growth.
+class GreedyMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyMonotonicity, MoreCapacityNeverHurts) {
+  const Instance inst = random_instance(GetParam());
+  const auto base = allocate_greedy(inst.pool, inst.classes);
+  LocationPool bigger = inst.pool;
+  for (double& c : bigger.capacity) c += 1.0;
+  bigger.capacity.push_back(2.0);  // plus a fresh location
+  const auto grown = allocate_greedy(bigger, inst.classes);
+  EXPECT_GE(grown.total_utility + 1e-9, base.total_utility)
+      << "seed " << GetParam();
+}
+
+TEST_P(GreedyMonotonicity, MoreDemandNeverHurts) {
+  const Instance inst = random_instance(GetParam());
+  const auto base = allocate_greedy(inst.pool, inst.classes);
+  auto more = inst.classes;
+  for (auto& rc : more) rc.count += 2.0;
+  const auto grown = allocate_greedy(inst.pool, more);
+  EXPECT_GE(grown.total_utility + 1e-9, base.total_utility)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyMonotonicity,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace fedshare::alloc

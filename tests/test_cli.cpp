@@ -1,0 +1,139 @@
+// Tests for the CLI runner (config -> federation -> report).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/runner.hpp"
+#include "core/game_io.hpp"
+
+namespace fedshare::cli {
+namespace {
+
+constexpr const char* kPaperConfig =
+    "[facility]\n"
+    "name = F1\n"
+    "locations = 100\n"
+    "[facility]\n"
+    "name = F2\n"
+    "locations = 400\n"
+    "[facility]\n"
+    "name = F3\n"
+    "locations = 800\n"
+    "[demand]\n"
+    "count = 1\n"
+    "min_locations = 500\n";
+
+TEST(CliRunner, BuildsFederationFromConfig) {
+  const auto fed = federation_from_config(
+      io::Config::parse_string(kPaperConfig));
+  EXPECT_EQ(fed.num_facilities(), 3);
+  EXPECT_EQ(fed.space().facility(1).name(), "F2");
+  EXPECT_EQ(fed.space().facility(2).num_locations(), 800);
+  EXPECT_DOUBLE_EQ(fed.demand().classes[0].min_locations, 500.0);
+}
+
+TEST(CliRunner, ReportContainsPaperNumbers) {
+  const std::string report = run_report_from_string(kPaperConfig);
+  // Sec. 4.1 coalition values and the Shapley/proportional shares.
+  EXPECT_NE(report.find("F1+F2"), std::string::npos);
+  EXPECT_NE(report.find("1300"), std::string::npos);
+  EXPECT_NE(report.find("shapley"), std::string::npos);
+  EXPECT_NE(report.find("0.2179"), std::string::npos);  // phi-hat_2
+  EXPECT_NE(report.find("0.3077"), std::string::npos);  // pi-hat_2
+  EXPECT_NE(report.find("nucleolus"), std::string::npos);
+  EXPECT_NE(report.find("Game properties"), std::string::npos);
+}
+
+TEST(CliRunner, DefaultsApplyWhenKeysOmitted) {
+  const auto fed = federation_from_config(io::Config::parse_string(
+      "[facility]\nlocations = 10\n[demand]\n"));
+  EXPECT_EQ(fed.space().facility(0).name(), "F1");  // generated name
+  EXPECT_DOUBLE_EQ(fed.space().facility(0).units_per_location(), 1.0);
+  EXPECT_DOUBLE_EQ(fed.demand().classes[0].count, 1.0);
+  EXPECT_DOUBLE_EQ(fed.demand().classes[0].exponent, 1.0);
+}
+
+TEST(CliRunner, PrecisionOptionChangesOutput) {
+  const std::string config = std::string(kPaperConfig) +
+                             "[options]\nprecision = 2\n";
+  const std::string report = run_report_from_string(config);
+  EXPECT_NE(report.find("0.22"), std::string::npos);
+  EXPECT_EQ(report.find("0.2179"), std::string::npos);
+}
+
+TEST(CliRunner, RejectsMissingSections) {
+  EXPECT_THROW((void)run_report_from_string("[demand]\ncount = 1\n"),
+               io::ConfigError);
+  EXPECT_THROW(
+      (void)run_report_from_string("[facility]\nlocations = 5\n"),
+      io::ConfigError);
+}
+
+TEST(CliRunner, RejectsBadValuesWithConfigError) {
+  EXPECT_THROW((void)run_report_from_string(
+                   "[facility]\nlocations = -5\n[demand]\n"),
+               io::ConfigError);
+  EXPECT_THROW((void)run_report_from_string(
+                   "[facility]\nlocations = 2.5\n[demand]\n"),
+               io::ConfigError);
+  // Invalid demand domain surfaces as ConfigError, not a bare
+  // invalid_argument.
+  EXPECT_THROW((void)run_report_from_string(
+                   "[facility]\nlocations = 5\n[demand]\nexponent = -1\n"),
+               io::ConfigError);
+}
+
+TEST(CliRunner, RejectsTooManyFacilities) {
+  std::string config;
+  for (int i = 0; i < 13; ++i) {
+    config += "[facility]\nlocations = 2\n";
+  }
+  config += "[demand]\n";
+  EXPECT_THROW((void)run_report_from_string(config), io::ConfigError);
+}
+
+TEST(CliRunner, MultipleDemandClassesSupported) {
+  const std::string config =
+      "[facility]\nlocations = 20\n[facility]\nlocations = 30\n"
+      "[demand]\ncount = 5\nmin_locations = 10\n"
+      "[demand]\ncount = 2\nmin_locations = 40\nunits = 2\n";
+  const auto fed =
+      federation_from_config(io::Config::parse_string(config));
+  ASSERT_EQ(fed.demand().classes.size(), 2u);
+  EXPECT_DOUBLE_EQ(fed.demand().classes[1].units_per_location, 2.0);
+}
+
+TEST(CliRunner, ReportIsDeterministic) {
+  EXPECT_EQ(run_report_from_string(kPaperConfig),
+            run_report_from_string(kPaperConfig));
+}
+
+TEST(CliRunner, RegionKeysProduceHierarchySection) {
+  const std::string config =
+      "[facility]\nname = PLE-core\nlocations = 150\nregion = PLE\n"
+      "[facility]\nname = G-Lab\nlocations = 60\nregion = PLE\n"
+      "[facility]\nname = PLC\nlocations = 300\n"
+      "[demand]\ncount = 5\nmin_locations = 300\n";
+  const std::string report = run_report_from_string(config);
+  EXPECT_NE(report.find("Hierarchy (Owen value)"), std::string::npos);
+  EXPECT_NE(report.find("quotient Shapley share"), std::string::npos);
+  EXPECT_NE(report.find("G-Lab"), std::string::npos);
+}
+
+TEST(CliRunner, NoRegionKeysNoHierarchySection) {
+  const std::string report = run_report_from_string(kPaperConfig);
+  EXPECT_EQ(report.find("Hierarchy"), std::string::npos);
+}
+
+TEST(CliRunner, DumpGameRoundTripsThroughLoader) {
+  const auto config = io::Config::parse_string(kPaperConfig);
+  const std::string text = dump_game_text(config);
+  std::istringstream in(text);
+  const auto g = game::load_game(in);
+  EXPECT_EQ(g.num_players(), 3);
+  EXPECT_DOUBLE_EQ(g.grand_value(), 1300.0);
+  EXPECT_DOUBLE_EQ(g.value(game::Coalition::of({0, 1})), 500.0);
+}
+
+}  // namespace
+}  // namespace fedshare::cli

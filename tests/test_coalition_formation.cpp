@@ -1,0 +1,138 @@
+// Tests for merge-and-split coalition-formation dynamics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "model/federation.hpp"
+#include "policy/coalition_formation.hpp"
+
+namespace fedshare::policy {
+namespace {
+
+double glove_value(game::Coalition s) {
+  const int left = s.contains(0) ? 1 : 0;
+  const int right = (s.contains(1) ? 1 : 0) + (s.contains(2) ? 1 : 0);
+  return std::min(left, right);
+}
+
+TEST(PartitionPayoffs, BlocksEarnTheirValueSplitByShapley) {
+  const game::FunctionGame g(3, glove_value);
+  game::CoalitionStructure partition;
+  partition.unions = {game::Coalition::of({0, 1}),
+                      game::Coalition::single(2)};
+  const auto payoffs = partition_payoffs(g, partition);
+  // {0,1} is worth 1: split (1/2, 1/2) by within-block Shapley; {2}
+  // earns nothing alone.
+  EXPECT_NEAR(payoffs[0], 0.5, 1e-12);
+  EXPECT_NEAR(payoffs[1], 0.5, 1e-12);
+  EXPECT_NEAR(payoffs[2], 0.0, 1e-12);
+}
+
+TEST(PartitionPayoffs, ValidatesPartition) {
+  const game::FunctionGame g(3, glove_value);
+  game::CoalitionStructure bad;
+  bad.unions = {game::Coalition::of({0, 1})};
+  EXPECT_THROW((void)partition_payoffs(g, bad), std::invalid_argument);
+}
+
+TEST(MergeSplit, GloveGameFormsAValueCreatingCoalition) {
+  const game::FunctionGame g(3, glove_value);
+  const auto result = merge_split(g);
+  EXPECT_TRUE(result.converged);
+  // Total payoff equals the total value generated; in the glove game a
+  // matched pair is formed (value 1 > the zero of singletons).
+  const double total = std::accumulate(result.payoffs.begin(),
+                                       result.payoffs.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(MergeSplit, NegativeSynergyStaysApart) {
+  // Strictly subadditive game: any merge strictly hurts.
+  const game::FunctionGame g(3, [](game::Coalition s) {
+    return std::sqrt(static_cast<double>(s.size())) * 4.0;
+  });
+  const auto result = merge_split(g);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.partition.unions.size(), 3u);
+  EXPECT_EQ(result.iterations, 0);
+  for (const double p : result.payoffs) EXPECT_NEAR(p, 4.0, 1e-9);
+}
+
+TEST(MergeSplit, SuperadditiveGameReachesGrandCoalition) {
+  const game::FunctionGame g(4, [](game::Coalition s) {
+    const double k = s.size();
+    return k * k;
+  });
+  const auto result = merge_split(g);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.partition.unions.size(), 1u);
+  EXPECT_EQ(result.partition.unions[0], game::Coalition::grand(4));
+  for (const double p : result.payoffs) EXPECT_NEAR(p, 4.0, 1e-9);
+}
+
+TEST(MergeSplit, SplitsAnInefficientGrandCoalition) {
+  // Start from the grand coalition of a subadditive game: it must split.
+  const game::FunctionGame g(3, [](game::Coalition s) {
+    return std::sqrt(static_cast<double>(s.size())) * 4.0;
+  });
+  game::CoalitionStructure grand;
+  grand.unions = {game::Coalition::grand(3)};
+  const auto result = merge_split(g, std::move(grand));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.partition.unions.size(), 3u);
+}
+
+TEST(MergeSplit, DeterministicAcrossRuns) {
+  const game::FunctionGame g(4, [](game::Coalition s) {
+    double v = s.size() * 2.0;
+    if (s.contains(0) && s.contains(3)) v += 3.0;
+    return s.empty() ? 0.0 : v;
+  });
+  const auto a = merge_split(g);
+  const auto b = merge_split(g);
+  ASSERT_EQ(a.partition.unions.size(), b.partition.unions.size());
+  for (std::size_t i = 0; i < a.partition.unions.size(); ++i) {
+    EXPECT_EQ(a.partition.unions[i], b.partition.unions[i]);
+  }
+  EXPECT_EQ(a.payoffs, b.payoffs);
+}
+
+TEST(MergeSplit, StabilityCheckAgreesWithDynamics) {
+  const game::FunctionGame g(3, glove_value);
+  const auto result = merge_split(g);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(is_merge_split_stable(g, result.partition));
+  game::CoalitionStructure singles;
+  for (int i = 0; i < 3; ++i) {
+    singles.unions.push_back(game::Coalition::single(i));
+  }
+  EXPECT_FALSE(is_merge_split_stable(g, singles));
+}
+
+TEST(MergeSplit, FederationGrandCoalitionWhenDiversityGates) {
+  // Paper setting, l = 1250: only the grand coalition serves the
+  // customer, so the dynamics must assemble everyone.
+  std::vector<model::FacilityConfig> configs{
+      {"F1", 100, 1.0, 1.0}, {"F2", 400, 1.0, 1.0}, {"F3", 800, 1.0, 1.0}};
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::single_experiment(1250.0));
+  const auto g = fed.build_game();
+  const auto result = merge_split(g);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.partition.unions.size(), 1u);
+  for (const double p : result.payoffs) {
+    EXPECT_NEAR(p, 1300.0 / 3.0, 1e-6);  // equal thirds (Fig. 4 tail)
+  }
+}
+
+TEST(MergeSplit, RejectsOversizedGames) {
+  const game::FunctionGame g(11, [](game::Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  EXPECT_THROW((void)merge_split(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare::policy

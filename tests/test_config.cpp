@@ -1,0 +1,98 @@
+// Tests for the INI config parser.
+#include <gtest/gtest.h>
+
+#include "io/config.hpp"
+
+namespace fedshare::io {
+namespace {
+
+TEST(Config, ParsesSectionsAndEntries) {
+  const auto cfg = Config::parse_string(
+      "# federation\n"
+      "[facility]\n"
+      "name = PLC\n"
+      "locations = 300\n"
+      "\n"
+      "[facility]\n"
+      "name = PLE\n"
+      "locations=180\n"
+      "; trailing comment\n");
+  ASSERT_EQ(cfg.sections.size(), 2u);
+  EXPECT_EQ(cfg.sections[0].name, "facility");
+  EXPECT_EQ(cfg.sections[0].get_string("name"), "PLC");
+  EXPECT_DOUBLE_EQ(cfg.sections[1].get_double("locations"), 180.0);
+  EXPECT_EQ(cfg.sections_named("facility").size(), 2u);
+  EXPECT_TRUE(cfg.sections_named("nothing").empty());
+}
+
+TEST(Config, TrimsWhitespaceEverywhere) {
+  const auto cfg = Config::parse_string("  [ s ]  \n  key  =  a value  \n");
+  ASSERT_EQ(cfg.sections.size(), 1u);
+  EXPECT_EQ(cfg.sections[0].name, "s");
+  EXPECT_EQ(cfg.sections[0].get_string("key"), "a value");
+}
+
+TEST(Config, FindReturnsNulloptForMissing) {
+  const auto cfg = Config::parse_string("[s]\nk = 1\n");
+  EXPECT_FALSE(cfg.sections[0].find("absent").has_value());
+  EXPECT_TRUE(cfg.sections[0].find("k").has_value());
+}
+
+TEST(Config, GetDoubleOrUsesFallback) {
+  const auto cfg = Config::parse_string("[s]\nk = 2.5\n");
+  EXPECT_DOUBLE_EQ(cfg.sections[0].get_double_or("k", 9.0), 2.5);
+  EXPECT_DOUBLE_EQ(cfg.sections[0].get_double_or("absent", 9.0), 9.0);
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  try {
+    (void)Config::parse_string("[s]\nbroken line\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Config, RejectsEntryBeforeSection) {
+  EXPECT_THROW((void)Config::parse_string("k = 1\n"), ConfigError);
+}
+
+TEST(Config, RejectsMalformedHeaders) {
+  EXPECT_THROW((void)Config::parse_string("[unterminated\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse_string("[]\n"), ConfigError);
+}
+
+TEST(Config, RejectsDuplicateKeys) {
+  EXPECT_THROW((void)Config::parse_string("[s]\nk = 1\nk = 2\n"),
+               ConfigError);
+}
+
+TEST(Config, RejectsEmptyKey) {
+  EXPECT_THROW((void)Config::parse_string("[s]\n = 1\n"), ConfigError);
+}
+
+TEST(Config, RejectsNonNumericDouble) {
+  const auto cfg = Config::parse_string("[s]\nk = abc\nj = 1.5x\n");
+  EXPECT_THROW((void)cfg.sections[0].get_double("k"), ConfigError);
+  EXPECT_THROW((void)cfg.sections[0].get_double("j"), ConfigError);
+}
+
+TEST(Config, MissingRequiredKeyNamesSection) {
+  const auto cfg = Config::parse_string("[facility]\n");
+  try {
+    (void)cfg.sections[0].get_string("locations");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("facility"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("locations"), std::string::npos);
+  }
+}
+
+TEST(Config, EmptyInputIsEmptyConfig) {
+  EXPECT_TRUE(Config::parse_string("").sections.empty());
+  EXPECT_TRUE(Config::parse_string("# only comments\n\n").sections.empty());
+}
+
+}  // namespace
+}  // namespace fedshare::io

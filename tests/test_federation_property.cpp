@@ -1,0 +1,116 @@
+// End-to-end property tests of the federation value engine on random
+// configurations (random facilities, overlap, demand).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/sharing.hpp"
+#include "model/federation.hpp"
+#include "model/value.hpp"
+#include "sim/rng.hpp"
+
+namespace fedshare::model {
+namespace {
+
+struct Scenario {
+  LocationSpace space;
+  DemandProfile demand;
+};
+
+Scenario random_scenario(std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  const int facilities = 2 + static_cast<int>(rng.below(3));  // 2..4
+  std::vector<FacilityConfig> configs;
+  int total_locations = 0;
+  for (int i = 0; i < facilities; ++i) {
+    FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i);
+    cfg.num_locations = 5 + static_cast<int>(rng.below(30));
+    cfg.units_per_location = 1.0 + static_cast<double>(rng.below(4));
+    total_locations += cfg.num_locations;
+    configs.push_back(std::move(cfg));
+  }
+  const bool overlapping = rng.below(2) == 1;
+  LocationSpace space =
+      overlapping
+          ? LocationSpace::overlapping(
+                configs,
+                total_locations - static_cast<int>(rng.below(
+                                      static_cast<std::uint64_t>(
+                                          total_locations / 3 + 1))),
+                seed ^ 0x515ULL)
+          : LocationSpace::disjoint(configs);
+
+  DemandProfile demand = DemandProfile::uniform(
+      1.0 + static_cast<double>(rng.below(20)),
+      static_cast<double>(rng.below(static_cast<std::uint64_t>(
+          total_locations))),
+      1.0);
+  return {std::move(space), std::move(demand)};
+}
+
+class RandomFederation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFederation, ValueIsMonotoneInCoalition) {
+  const Scenario sc = random_scenario(GetParam());
+  const int n = sc.space.num_facilities();
+  for (const auto& s : game::all_coalitions(n)) {
+    const double base = coalition_value(sc.space, sc.demand, s);
+    for (int i = 0; i < n; ++i) {
+      if (s.contains(i)) continue;
+      const double grown = coalition_value(sc.space, sc.demand, s.with(i));
+      EXPECT_GE(grown + 1e-6, base)
+          << "seed " << GetParam() << " S=" << s.to_string() << " +" << i;
+    }
+  }
+}
+
+TEST_P(RandomFederation, EmptyCoalitionWorthZero) {
+  const Scenario sc = random_scenario(GetParam());
+  EXPECT_DOUBLE_EQ(coalition_value(sc.space, sc.demand, game::Coalition()),
+                   0.0);
+}
+
+TEST_P(RandomFederation, ShapleySharesFormAValidDistribution) {
+  const Scenario sc = random_scenario(GetParam());
+  Federation fed(sc.space, sc.demand);
+  const auto shares = game::shapley_shares(fed.build_game());
+  double total = 0.0;
+  for (const double s : shares) {
+    EXPECT_GE(s, -1e-9) << "seed " << GetParam();  // monotone game
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(RandomFederation, ConsumptionNeverExceedsAvailability) {
+  const Scenario sc = random_scenario(GetParam());
+  Federation fed(sc.space, sc.demand);
+  const auto consumed = fed.consumption_weights();
+  const auto available = fed.availability_weights();
+  ASSERT_EQ(consumed.size(), available.size());
+  for (std::size_t i = 0; i < consumed.size(); ++i) {
+    EXPECT_LE(consumed[i], available[i] + 1e-6)
+        << "seed " << GetParam() << " facility " << i;
+    EXPECT_GE(consumed[i], -1e-9);
+  }
+}
+
+TEST_P(RandomFederation, PooledCapacityEqualsSumOfContributions) {
+  // Capacities add under overlap (Fig. 1): total pooled units equal the
+  // sum of each facility's L_i * R_i * T_i regardless of layout.
+  const Scenario sc = random_scenario(GetParam());
+  const auto pool =
+      sc.space.pool_for(game::Coalition::grand(sc.space.num_facilities()));
+  double contributed = 0.0;
+  for (const auto& f : sc.space.facilities()) {
+    contributed += f.availability_weight();
+  }
+  EXPECT_NEAR(pool.total_capacity(), contributed, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFederation,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace fedshare::model

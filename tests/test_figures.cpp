@@ -1,0 +1,162 @@
+// Regression tests pinning the reproduced figures' key data points, so
+// a change that silently bends a curve fails ctest rather than only
+// being visible in bench output. Values cross-checked against the
+// paper's described shapes (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sharing.hpp"
+#include "model/federation.hpp"
+#include "model/utility.hpp"
+
+namespace fedshare {
+namespace {
+
+std::vector<model::FacilityConfig> facilities(
+    const std::vector<int>& locations, const std::vector<double>& units) {
+  std::vector<model::FacilityConfig> configs;
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    model::FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i + 1);
+    cfg.num_locations = locations[i];
+    cfg.units_per_location = units[i];
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+std::vector<double> fig4_shapley(double l) {
+  model::Federation fed(
+      model::LocationSpace::disjoint(facilities({100, 400, 800}, {1, 1, 1})),
+      model::DemandProfile::single_experiment(l));
+  return game::shapley_shares(fed.build_game());
+}
+
+TEST(Fig4Regression, PlateauValues) {
+  // l in (100, 400]: facility 1 cannot serve alone.
+  {
+    const auto s = fig4_shapley(200.0);
+    EXPECT_NEAR(s[0], 0.0513, 5e-4);
+    EXPECT_NEAR(s[1], 0.3205, 5e-4);
+    EXPECT_NEAR(s[2], 0.6282, 5e-4);
+  }
+  // l in (500, 800]: the 2/13 plateau of Sec. 4.1.
+  {
+    const auto s = fig4_shapley(600.0);
+    EXPECT_NEAR(s[0], 0.5 / 13.0, 1e-9);
+    EXPECT_NEAR(s[1], 2.0 / 13.0, 1e-9);
+    EXPECT_NEAR(s[2], 10.5 / 13.0, 1e-9);
+  }
+  // l in (900, 1200]: facilities 2 and 3 symmetric.
+  {
+    const auto s = fig4_shapley(1000.0);
+    EXPECT_NEAR(s[1], s[2], 1e-9);
+    EXPECT_NEAR(s[0], 0.0256, 5e-4);
+  }
+}
+
+TEST(Fig4Regression, StepLocationsAreExactlyTheCoalitionCapacities) {
+  // The share vector changes when crossing each capacity sum and is
+  // constant between them.
+  // (No share step at 1300: above it V is identically zero and the
+  // zero-value fallback is the same equal split as the (1200, 1300]
+  // plateau.)
+  const double boundaries[] = {100, 400, 500, 800, 900, 1200};
+  for (const double b : boundaries) {
+    const auto below = fig4_shapley(b - 1.0);
+    const auto above = fig4_shapley(b + 1.0);
+    double diff = 0.0;
+    for (int i = 0; i < 3; ++i) diff += std::abs(below[i] - above[i]);
+    EXPECT_GT(diff, 1e-6) << "expected a step at l = " << b;
+  }
+  const auto a = fig4_shapley(150.0);
+  const auto b2 = fig4_shapley(350.0);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b2[i], 1e-9);
+}
+
+TEST(Fig6Regression, EqualTotalsButDivergingShares) {
+  const auto configs = facilities({100, 400, 800}, {80, 20, 10});
+  // l = 600 plateau (measured in EXPERIMENTS.md).
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::saturating(600.0));
+  const auto s = game::shapley_shares(fed.build_game());
+  EXPECT_NEAR(s[0], 0.0694, 5e-4);
+  EXPECT_NEAR(s[1], 0.2361, 5e-4);
+  EXPECT_NEAR(s[2], 0.6944, 5e-4);
+  // Proportional stays at exactly 1/3 (equal L*R).
+  const auto prop = game::proportional_shares(fed.availability_weights());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(prop[i], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Fig8Regression, LowDemandConsumptionTracksLocations) {
+  const auto configs = facilities({100, 400, 800}, {80, 60, 20});
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::uniform(10, 250.0));
+  const auto rho = game::proportional_shares(fed.consumption_weights());
+  EXPECT_NEAR(rho[0], 100.0 / 1300.0, 1e-9);
+  EXPECT_NEAR(rho[1], 400.0 / 1300.0, 1e-9);
+  EXPECT_NEAR(rho[2], 800.0 / 1300.0, 1e-9);
+  // pi differs: capacity shares.
+  const auto pi = game::proportional_shares(fed.availability_weights());
+  EXPECT_NEAR(pi[0], 8000.0 / 48000.0, 1e-9);
+  EXPECT_NEAR(pi[1], 24000.0 / 48000.0, 1e-9);
+}
+
+TEST(Fig8Regression, HighDemandConsumptionConvergesToAvailability) {
+  const auto configs = facilities({100, 400, 800}, {80, 60, 20});
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::uniform(100, 250.0));
+  const auto rho = game::proportional_shares(fed.consumption_weights());
+  const auto pi = game::proportional_shares(fed.availability_weights());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(rho[i], pi[i], 1e-6) << "facility " << i;
+  }
+}
+
+TEST(Fig7Regression, MixtureEndpoints) {
+  // sigma = 0 (only l = 0 experiments): Shapley equals proportional.
+  const auto configs = facilities({100, 400, 800}, {80, 50, 30});
+  {
+    model::Federation fed(model::LocationSpace::disjoint(configs),
+                          model::DemandProfile::uniform(100, 0.0));
+    const auto s = game::shapley_shares(fed.build_game());
+    EXPECT_NEAR(s[0], 8000.0 / 52000.0, 1e-6);
+    EXPECT_NEAR(s[1], 20000.0 / 52000.0, 1e-6);
+    EXPECT_NEAR(s[2], 24000.0 / 52000.0, 1e-6);
+  }
+  // sigma = 1 (only l = 700 experiments): facility 3's share rises to
+  // ~0.72 (measured; EXPERIMENTS.md).
+  {
+    model::Federation fed(model::LocationSpace::disjoint(configs),
+                          model::DemandProfile::uniform(100, 700.0));
+    const auto s = game::shapley_shares(fed.build_game());
+    EXPECT_NEAR(s[2], 0.723, 0.002);
+    EXPECT_LT(s[0], 0.08);
+  }
+}
+
+TEST(Fig2Regression, UtilityEndpoints) {
+  const model::ThresholdUtility u08(50.0, 0.8);
+  const model::ThresholdUtility u12(50.0, 1.2);
+  EXPECT_NEAR(u08.value(300.0), 95.87, 0.01);
+  EXPECT_NEAR(u12.value(300.0), 938.74, 0.01);
+  EXPECT_DOUBLE_EQ(u08.value(49.9), 0.0);
+}
+
+TEST(Fig9Regression, ShapleyDominatesProportionalAtThePivot) {
+  // L1 = 50, l = 850 saturating: facility 3 alone is blocked (800 <
+  // 850) and facility 1's 50 locations exactly unlock the {1,3}
+  // coalition (850 >= 850); right at that pivot the Shapley payoff
+  // exceeds the proportional one (the Fig. 9 jump).
+  const auto configs = facilities({50, 400, 800}, {80, 60, 20});
+  model::Federation fed(model::LocationSpace::disjoint(configs),
+                        model::DemandProfile::saturating(850.0));
+  const auto g = fed.build_game();
+  const auto shapley = game::shapley_shares(g);
+  const auto prop = game::proportional_shares(fed.availability_weights());
+  EXPECT_GT(shapley[0] * g.grand_value(), prop[0] * g.grand_value());
+}
+
+}  // namespace
+}  // namespace fedshare

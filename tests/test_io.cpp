@@ -1,0 +1,120 @@
+// Tests for the io substrate: tables, CSV escaping, ASCII plots.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/ascii_plot.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace fedshare::io {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, RejectsOverlongRows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RightAlignmentPadsLeft) {
+  Table t({"col"});
+  t.add_row({"1"});
+  t.add_row({"100"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("  1\n"), std::string::npos);
+}
+
+TEST(Table, SetAlignValidatesColumn) {
+  Table t({"col"});
+  EXPECT_THROW(t.set_align(1, Align::kLeft), std::invalid_argument);
+}
+
+TEST(FormatDouble, RoundsToPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatDouble, NegativePrecisionClampsToZero) {
+  EXPECT_EQ(format_double(1.9, -3), "2");
+}
+
+TEST(FormatPercent, ScalesFraction) {
+  EXPECT_EQ(format_percent(0.125, 1), "12.5%");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.write_row(std::vector<std::string>{"x", "y"});
+  w.write_row(std::vector<double>{1.5, 2.25}, 2);
+  EXPECT_EQ(oss.str(), "x,y\n1.50,2.25\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(AsciiPlot, RendersSeriesGlyphsAndLegend) {
+  AsciiPlot p(20, 10);
+  p.add_series({"rising", {0, 1, 2, 3}, {0, 1, 2, 3}});
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find('1'), std::string::npos);
+  EXPECT_NE(s.find("rising"), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsTinyDimensions) {
+  EXPECT_THROW(AsciiPlot(4, 4), std::invalid_argument);
+}
+
+TEST(AsciiPlot, RejectsMismatchedSeries) {
+  AsciiPlot p(20, 10);
+  EXPECT_THROW(p.add_series({"bad", {0, 1}, {0}}), std::invalid_argument);
+}
+
+TEST(AsciiPlot, FixedYRangeClipsOutliers) {
+  AsciiPlot p(20, 10);
+  p.set_y_range(0.0, 1.0);
+  p.add_series({"s", {0, 1}, {0.5, 100.0}});
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("1.00"), std::string::npos);  // top axis label
+}
+
+TEST(AsciiPlot, EmptyPlotPrintsPlaceholder) {
+  AsciiPlot p(20, 10);
+  EXPECT_NE(p.to_string().find("empty"), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsInvertedYRange) {
+  AsciiPlot p(20, 10);
+  EXPECT_THROW(p.set_y_range(1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare::io

@@ -1,0 +1,114 @@
+// Tests for the pre-kernel solver and its relationship to the nucleolus.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/kernel.hpp"
+#include "core/nucleolus.hpp"
+#include "sim/rng.hpp"
+
+namespace fedshare::game {
+namespace {
+
+double glove_value(Coalition s) {
+  const int left = s.contains(0) ? 1 : 0;
+  const int right = (s.contains(1) ? 1 : 0) + (s.contains(2) ? 1 : 0);
+  return std::min(left, right);
+}
+
+TEST(Surplus, HandComputedExample) {
+  // Glove game with the core allocation (1, 0, 0): s_12 looks at
+  // coalitions with 1 but not 2: {0}, {0,2}; excesses 0-1=-1, 1-1=0.
+  const FunctionGame g(3, glove_value);
+  EXPECT_DOUBLE_EQ(surplus(g, {1.0, 0.0, 0.0}, 0, 1), 0.0);
+  // s_21: {1}, {1,2}: excesses 0, 0.
+  EXPECT_DOUBLE_EQ(surplus(g, {1.0, 0.0, 0.0}, 1, 0), 0.0);
+  EXPECT_THROW((void)surplus(g, {1.0, 0.0, 0.0}, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)surplus(g, {1.0, 0.0}, 0, 1), std::invalid_argument);
+}
+
+TEST(Prekernel, TwoPlayerStandardSolution) {
+  // v1=1, v2=3, v12=10: the pre-kernel is the standard solution (4, 6).
+  const TabularGame g(2, {0.0, 1.0, 3.0, 10.0});
+  const auto r = prekernel_point(g);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.allocation[0], 4.0, 1e-7);
+  EXPECT_NEAR(r.allocation[1], 6.0, 1e-7);
+}
+
+TEST(Prekernel, TransfersPreserveEfficiency) {
+  const FunctionGame g(4, [](Coalition s) {
+    const double k = s.size();
+    return k * k + (s.contains(2) ? 2.0 : 0.0);
+  });
+  const auto r = prekernel_point(g);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(
+      std::accumulate(r.allocation.begin(), r.allocation.end(), 0.0),
+      g.grand_value(), 1e-7);
+  EXPECT_LE(max_surplus_imbalance(g, r.allocation), 1e-8);
+}
+
+TEST(Prekernel, SymmetricGameBalancesAtEqualSplit) {
+  const FunctionGame g(3, [](Coalition s) {
+    return s.size() >= 2 ? 6.0 : 0.0;
+  });
+  const auto r = prekernel_point(g);
+  ASSERT_TRUE(r.converged);
+  for (const double x : r.allocation) EXPECT_NEAR(x, 2.0, 1e-7);
+}
+
+TEST(Prekernel, NucleolusLiesInThePrekernel) {
+  // Maschler: the nucleolus is always a pre-kernel point. Check on a
+  // handful of random monotone games — this cross-validates the two
+  // independent solvers (iterative LP vs transfer scheme).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::Xoshiro256 rng(seed);
+    const int n = 3 + static_cast<int>(rng.below(2));
+    const std::uint64_t count = std::uint64_t{1} << n;
+    std::vector<double> values(count, 0.0);
+    for (std::uint64_t mask = 1; mask < count; ++mask) {
+      double best = 0.0;
+      for (int p = 0; p < n; ++p) {
+        if ((mask >> p) & 1u) {
+          best = std::max(best, values[mask & ~(std::uint64_t{1} << p)]);
+        }
+      }
+      values[mask] = best + rng.uniform(0.0, 3.0);
+    }
+    const TabularGame g(n, std::move(values));
+    const auto nuc = nucleolus(g);
+    ASSERT_TRUE(nuc.solved) << "seed " << seed;
+    EXPECT_LE(max_surplus_imbalance(g, nuc.allocation), 1e-5)
+        << "seed " << seed << ": nucleolus not surplus-balanced";
+  }
+}
+
+TEST(Prekernel, GloveGameConvergesToCorePoint) {
+  // The glove game's kernel coincides with its nucleolus (1, 0, 0).
+  const FunctionGame g(3, glove_value);
+  const auto r = prekernel_point(g, {}, 100000, 1e-8);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.allocation[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.allocation[1], 0.0, 1e-5);
+  EXPECT_NEAR(r.allocation[2], 0.0, 1e-5);
+}
+
+TEST(Prekernel, SinglePlayerTrivial) {
+  const TabularGame g(1, {0.0, 9.0});
+  const auto r = prekernel_point(g);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.allocation[0], 9.0);
+}
+
+TEST(Prekernel, RejectsOversizedGames) {
+  const FunctionGame g(13, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  EXPECT_THROW((void)prekernel_point(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare::game

@@ -1,0 +1,119 @@
+// Property tests for the simplex solver: random two-variable LPs solved
+// independently by brute-force vertex enumeration.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "sim/rng.hpp"
+
+namespace fedshare::lp {
+namespace {
+
+struct Lp2 {
+  // max c0 x + c1 y subject to a_i x + b_i y <= r_i, x, y >= 0.
+  double c0 = 0.0;
+  double c1 = 0.0;
+  std::vector<std::array<double, 3>> rows;  // a, b, r
+};
+
+Lp2 random_lp(std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  Lp2 lp;
+  lp.c0 = rng.uniform(0.1, 2.0);
+  lp.c1 = rng.uniform(0.1, 2.0);
+  const int m = 2 + static_cast<int>(rng.below(4));  // 2..5 constraints
+  for (int i = 0; i < m; ++i) {
+    lp.rows.push_back({rng.uniform(0.1, 2.0), rng.uniform(0.1, 2.0),
+                       rng.uniform(0.5, 6.0)});
+  }
+  return lp;
+}
+
+// Brute force: enumerate every intersection of two constraint boundaries
+// (including the axes) and take the best feasible point. Valid for
+// bounded problems with positive data (always bounded here: positive
+// costs, positive coefficients, x,y >= 0).
+double brute_force_optimum(const Lp2& lp) {
+  std::vector<std::array<double, 3>> boundaries = lp.rows;
+  boundaries.push_back({1.0, 0.0, 0.0});  // x = 0
+  boundaries.push_back({0.0, 1.0, 0.0});  // y = 0
+  auto feasible = [&](double x, double y) {
+    if (x < -1e-9 || y < -1e-9) return false;
+    for (const auto& row : lp.rows) {
+      if (row[0] * x + row[1] * y > row[2] + 1e-9) return false;
+    }
+    return true;
+  };
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    for (std::size_t j = i + 1; j < boundaries.size(); ++j) {
+      const double det = boundaries[i][0] * boundaries[j][1] -
+                         boundaries[j][0] * boundaries[i][1];
+      if (std::abs(det) < 1e-12) continue;
+      const double x = (boundaries[i][2] * boundaries[j][1] -
+                        boundaries[j][2] * boundaries[i][1]) /
+                       det;
+      const double y = (boundaries[i][0] * boundaries[j][2] -
+                        boundaries[j][0] * boundaries[i][2]) /
+                       det;
+      if (feasible(x, y)) {
+        best = std::max(best, lp.c0 * x + lp.c1 * y);
+      }
+    }
+  }
+  return best;
+}
+
+class SimplexVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimplexVsBruteForce, OptimaAgree) {
+  const Lp2 lp = random_lp(GetParam());
+  Problem prob(2, Objective::kMaximize);
+  prob.set_objective_coefficient(0, lp.c0);
+  prob.set_objective_coefficient(1, lp.c1);
+  for (const auto& row : lp.rows) {
+    prob.add_constraint({row[0], row[1]}, Relation::kLessEqual, row[2]);
+  }
+  const Solution sol = solve(prob);
+  ASSERT_TRUE(sol.optimal()) << "seed " << GetParam();
+  const double brute = brute_force_optimum(lp);
+  EXPECT_NEAR(sol.objective, brute, 1e-7) << "seed " << GetParam();
+  // And the reported point must itself be feasible.
+  for (const auto& row : lp.rows) {
+    EXPECT_LE(row[0] * sol.x[0] + row[1] * sol.x[1], row[2] + 1e-7);
+  }
+  EXPECT_GE(sol.x[0], -1e-9);
+  EXPECT_GE(sol.x[1], -1e-9);
+}
+
+TEST_P(SimplexVsBruteForce, MinimizationIsConsistentWithNegatedMax) {
+  const Lp2 lp = random_lp(GetParam() ^ 0xf00dULL);
+  // min -(c0 x + c1 y) == -max(c0 x + c1 y).
+  Problem max_p(2, Objective::kMaximize);
+  Problem min_p(2, Objective::kMinimize);
+  max_p.set_objective_coefficient(0, lp.c0);
+  max_p.set_objective_coefficient(1, lp.c1);
+  min_p.set_objective_coefficient(0, -lp.c0);
+  min_p.set_objective_coefficient(1, -lp.c1);
+  for (const auto& row : lp.rows) {
+    max_p.add_constraint({row[0], row[1]}, Relation::kLessEqual, row[2]);
+    min_p.add_constraint({row[0], row[1]}, Relation::kLessEqual, row[2]);
+  }
+  const Solution a = solve(max_p);
+  const Solution b = solve(min_p);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, -b.objective, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace fedshare::lp

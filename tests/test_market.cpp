@@ -1,0 +1,140 @@
+// Tests for the commercial revenue / settlement model and the P2P
+// federation policy bridge.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "market/revenue.hpp"
+#include "policy/p2p_policy.hpp"
+
+namespace fedshare {
+namespace {
+
+model::LocationSpace paper_space() {
+  return model::LocationSpace::disjoint(
+      {{"F1", 100, 1.0, 1.0}, {"F2", 400, 1.0, 1.0},
+       {"F3", 800, 1.0, 1.0}});
+}
+
+market::Customer customer(const std::string& name, double threshold,
+                          int sponsor) {
+  market::Customer c;
+  c.name = name;
+  c.demand.count = 1.0;
+  c.demand.min_locations = threshold;
+  c.sponsor_facility = sponsor;
+  return c;
+}
+
+TEST(RevenueModel, ValidatesMu) {
+  market::RevenueModel ok;
+  ok.mu = 0.5;
+  EXPECT_NO_THROW(ok.validate());
+  market::RevenueModel bad;
+  bad.mu = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.mu = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Settlement, PoolingBeatsStatusQuoForDiverseCustomers) {
+  // A Google-style customer needing 500 sites sponsored by F1: alone, F1
+  // cannot serve it at all; federated, everyone profits.
+  const auto report = market::evaluate_settlement(
+      paper_space(), {customer("google", 500.0, 0)},
+      market::RevenueModel{});
+  EXPECT_DOUBLE_EQ(report.standalone_revenue[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.standalone_total(), 0.0);
+  EXPECT_DOUBLE_EQ(report.total_profit, 1300.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(report.shapley_revenue[static_cast<std::size_t>(i)], 0.0);
+  }
+}
+
+TEST(Settlement, MuScalesProfit) {
+  market::RevenueModel half;
+  half.mu = 0.5;
+  const auto report = market::evaluate_settlement(
+      paper_space(), {customer("g", 500.0, 0)}, half);
+  EXPECT_DOUBLE_EQ(report.total_profit, 650.0);
+}
+
+TEST(Settlement, RevenuesSumToTotalProfit) {
+  const auto report = market::evaluate_settlement(
+      paper_space(),
+      {customer("a", 500.0, 0), customer("b", 0.0, 2)},
+      market::RevenueModel{});
+  EXPECT_NEAR(std::accumulate(report.shapley_revenue.begin(),
+                              report.shapley_revenue.end(), 0.0),
+              report.total_profit, 1e-9);
+  EXPECT_NEAR(std::accumulate(report.proportional_revenue.begin(),
+                              report.proportional_revenue.end(), 0.0),
+              report.total_profit, 1e-9);
+}
+
+TEST(Settlement, SponsorKeepsFeesOnlyInStatusQuo) {
+  // A low-threshold customer sponsored by F3 is servable by F3 alone, so
+  // the status quo gives all its value to F3.
+  const auto report = market::evaluate_settlement(
+      paper_space(), {customer("easy", 100.0, 2)},
+      market::RevenueModel{});
+  EXPECT_DOUBLE_EQ(report.standalone_revenue[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.standalone_revenue[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.standalone_revenue[2], 800.0);
+  // Federated settlement spreads value (the experiment now spans all
+  // 1300 locations, and the other facilities contributed).
+  EXPECT_GT(report.shapley_revenue[0], 0.0);
+}
+
+TEST(Settlement, ValidatesSponsors) {
+  EXPECT_THROW((void)market::evaluate_settlement(
+                   paper_space(), {customer("x", 10.0, 7)},
+                   market::RevenueModel{}),
+               std::invalid_argument);
+}
+
+TEST(P2PFederation, IRHoldsAndSharesSumToOne) {
+  const auto space = paper_space();
+  std::vector<model::RequestClass> demands(3);
+  for (auto& d : demands) {
+    d.count = 5.0;
+    d.min_locations = 50.0;
+  }
+  const auto result = policy::p2p_value_sharing(space, demands);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(std::accumulate(result.shares.begin(), result.shares.end(),
+                              0.0),
+              1.0, 1e-9);
+  // IR: facility 3 alone could give its users 800 locations of utility.
+  EXPECT_GE(result.utilities[2] + 1e-6, 800.0);
+  EXPECT_GE(result.incentive_cost, 0.0);
+  EXPECT_LE(result.total_utility,
+            result.commercial_optimum + 1e-6);
+}
+
+TEST(P2PFederation, DiversityGatedUsersNeedTheFederation) {
+  // Users of every facility need 900 distinct locations: nobody can act
+  // alone (IR floors are 0), but the pooled 1300 serve them.
+  const auto space = paper_space();
+  std::vector<model::RequestClass> demands(3);
+  for (auto& d : demands) {
+    d.count = 1.0;
+    d.min_locations = 900.0;
+  }
+  const auto result = policy::p2p_value_sharing(space, demands);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.total_utility, 0.0);
+}
+
+TEST(P2PFederation, ValidatesInputs) {
+  const auto space = paper_space();
+  EXPECT_THROW((void)policy::p2p_value_sharing(space, {}),
+               std::invalid_argument);
+  std::vector<model::RequestClass> demands(3);
+  demands[1].units_per_location = 2.0;
+  EXPECT_THROW((void)policy::p2p_value_sharing(space, demands),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare

@@ -1,0 +1,111 @@
+// Tests for demand-mixture estimation and adaptive policy weights.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/sharing.hpp"
+#include "model/federation.hpp"
+#include "policy/mixture.hpp"
+
+namespace fedshare::policy {
+namespace {
+
+sim::TrafficClass traffic(double rate, double threshold, double hold) {
+  sim::TrafficClass tc;
+  tc.arrival_rate = rate;
+  tc.request.min_locations = threshold;
+  tc.request.holding_time = hold;
+  return tc;
+}
+
+TEST(MixtureEstimate, RecoversGeneratorParameters) {
+  const std::vector<sim::TrafficClass> classes{traffic(2.0, 10.0, 0.5),
+                                               traffic(0.5, 50.0, 2.0)};
+  const auto trace = sim::generate_workload(classes, 4000.0, 77);
+  const auto est = estimate_mixture(trace, 2);
+  EXPECT_NEAR(est.arrival_rates[0], 2.0, 0.1);
+  EXPECT_NEAR(est.arrival_rates[1], 0.5, 0.05);
+  EXPECT_NEAR(est.mixture[0], 0.8, 0.02);
+  EXPECT_NEAR(est.mixture[1], 0.2, 0.02);
+  // Deterministic holding times: means recovered exactly.
+  EXPECT_NEAR(est.mean_holding[0], 0.5, 1e-9);
+  EXPECT_NEAR(est.mean_holding[1], 2.0, 1e-9);
+  EXPECT_GT(est.total_events, 9000u);
+}
+
+TEST(MixtureEstimate, LittleLawConcurrency) {
+  MixtureEstimate est;
+  est.arrival_rates = {2.0, 0.5};
+  est.mean_holding = {0.5, 2.0};
+  const auto c = est.concurrency();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+}
+
+TEST(MixtureEstimate, HandlesEmptyClasses) {
+  sim::Workload w;
+  w.horizon = 100.0;
+  w.events = {{1.0, 0, 0.5}, {2.0, 0, 0.5}};
+  const auto est = estimate_mixture(w, 3);
+  EXPECT_DOUBLE_EQ(est.arrival_rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(est.mixture[2], 0.0);
+  EXPECT_DOUBLE_EQ(est.mean_holding[1], 0.0);
+  EXPECT_EQ(est.total_events, 2u);
+}
+
+TEST(MixtureEstimate, Validates) {
+  sim::Workload w;  // zero horizon
+  EXPECT_THROW((void)estimate_mixture(w, 1), std::invalid_argument);
+}
+
+model::LocationSpace paper_space() {
+  return model::LocationSpace::disjoint(
+      {{"F1", 100, 1.0, 1.0}, {"F2", 400, 1.0, 1.0},
+       {"F3", 800, 1.0, 1.0}});
+}
+
+TEST(AdaptiveWeights, MatchTrueMixtureWeights) {
+  // Trace generated from known rates; the adaptive weights should land
+  // near the weights computed from the true concurrent demand.
+  const std::vector<sim::TrafficClass> classes{traffic(3.0, 100.0, 1.0),
+                                               traffic(0.5, 700.0, 2.0)};
+  const auto trace = sim::generate_workload(classes, 3000.0, 5);
+  const auto est = estimate_mixture(trace, 2);
+  const std::vector<model::RequestClass> shapes{classes[0].request,
+                                                classes[1].request};
+  const auto space = paper_space();
+  const auto adaptive = adaptive_weights(space, est, shapes);
+
+  model::DemandProfile truth;
+  truth.classes = shapes;
+  truth.classes[0].count = 3.0;  // rate * holding
+  truth.classes[1].count = 1.0;
+  model::Federation fed(space, truth);
+  const auto reference = game::shapley_shares(fed.build_game());
+  for (std::size_t i = 0; i < adaptive.size(); ++i) {
+    EXPECT_NEAR(adaptive[i], reference[i], 0.05) << "facility " << i;
+  }
+  EXPECT_NEAR(
+      std::accumulate(adaptive.begin(), adaptive.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(AdaptiveWeights, EmptyTraceFallsBackToEqual) {
+  sim::Workload w;
+  w.horizon = 10.0;
+  const auto est = estimate_mixture(w, 1);
+  const auto weights =
+      adaptive_weights(paper_space(), est, {model::RequestClass{}});
+  for (const double v : weights) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(AdaptiveWeights, ValidatesShapeCount) {
+  sim::Workload w;
+  w.horizon = 10.0;
+  const auto est = estimate_mixture(w, 2);
+  EXPECT_THROW(
+      (void)adaptive_weights(paper_space(), est, {model::RequestClass{}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare::policy

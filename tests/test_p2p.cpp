@@ -1,0 +1,124 @@
+// Tests for the P2P-scenario allocator (Eq. 3).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alloc/p2p.hpp"
+
+namespace fedshare::alloc {
+namespace {
+
+RequestClass demand_of(double count, double threshold, double d = 1.0) {
+  RequestClass rc;
+  rc.count = count;
+  rc.min_locations = threshold;
+  rc.exponent = d;
+  return rc;
+}
+
+TEST(DemandUtility, ZeroBelowThreshold) {
+  EXPECT_DOUBLE_EQ(demand_utility(demand_of(1, 10), 9.0), 0.0);
+  EXPECT_DOUBLE_EQ(demand_utility(demand_of(1, 10), 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(demand_utility(demand_of(1, 10), 0.0), 0.0);
+}
+
+TEST(DemandUtility, LinearGrowsWithSlots) {
+  EXPECT_DOUBLE_EQ(demand_utility(demand_of(5, 2), 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(demand_utility(demand_of(5, 2), 20.0), 20.0);
+}
+
+TEST(DemandUtility, ConcaveSplitsEqually) {
+  // 2 users sharing 8 slots at d = 0.5: 2 * sqrt(4) = 4.
+  EXPECT_NEAR(demand_utility(demand_of(2, 1, 0.5), 8.0), 4.0, 1e-12);
+}
+
+TEST(DemandUtility, ConvexConcentratesSurplus) {
+  // 2 users, threshold 2, 7 slots, d = 2: one gets 2, the other 5:
+  // 4 + 25 = 29 (better than an even 3.5/3.5 split's 24.5).
+  EXPECT_NEAR(demand_utility(demand_of(2, 2, 2.0), 7.0), 29.0, 1e-12);
+}
+
+TEST(AllocateP2P, RespectsBudgetAndIR) {
+  const std::vector<RequestClass> demands{demand_of(10, 5), demand_of(10, 5)};
+  const std::vector<double> standalone{20.0, 10.0};
+  const auto result = allocate_p2p(60.0, demands, standalone);
+  ASSERT_TRUE(result.feasible);
+  const double used =
+      std::accumulate(result.slots.begin(), result.slots.end(), 0.0);
+  EXPECT_LE(used, 60.0 + 1e-6);
+  // IR: each facility at least its standalone utility (20 and 10).
+  EXPECT_GE(result.utilities[0] + 1e-6,
+            demand_utility(demands[0], standalone[0]));
+  EXPECT_GE(result.utilities[1] + 1e-6,
+            demand_utility(demands[1], standalone[1]));
+}
+
+TEST(AllocateP2P, SharesSumToOne) {
+  const std::vector<RequestClass> demands{demand_of(5, 2), demand_of(5, 2),
+                                          demand_of(5, 2)};
+  const auto result = allocate_p2p(30.0, demands, {5.0, 5.0, 5.0});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(
+      std::accumulate(result.shares.begin(), result.shares.end(), 0.0), 1.0,
+      1e-9);
+}
+
+TEST(AllocateP2P, LinearDemandUsesWholeBudget) {
+  const std::vector<RequestClass> demands{demand_of(100, 1),
+                                          demand_of(100, 1)};
+  const auto result = allocate_p2p(50.0, demands, {10.0, 10.0});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.total_utility, 50.0, 0.5);  // d = 1: utility = slots
+}
+
+TEST(AllocateP2P, InfeasibleWhenFloorsExceedBudget) {
+  const std::vector<RequestClass> demands{demand_of(10, 5), demand_of(10, 5)};
+  const auto result = allocate_p2p(20.0, demands, {30.0, 30.0});
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(AllocateP2P, ZeroFacilitiesTrivial) {
+  const auto result = allocate_p2p(10.0, {}, {});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.total_utility, 0.0);
+}
+
+TEST(AllocateP2P, ThresholdJumpIsCrossedWhenWorthIt) {
+  // Facility 0 needs a 10-slot chunk before producing any utility;
+  // facility 1 produces linearly from slot 1. Budget 20 is enough for
+  // both to matter; the ascent must not strand facility 0 below its
+  // threshold forever if granting the chunk helps total utility.
+  const std::vector<RequestClass> demands{demand_of(1, 10, 2.0),
+                                          demand_of(100, 1)};
+  const auto result = allocate_p2p(20.0, demands, {0.0, 0.0});
+  ASSERT_TRUE(result.feasible);
+  // d = 2 over 10+ slots dwarfs the linear alternative: facility 0
+  // should end up above its threshold.
+  EXPECT_GE(result.slots[0], 10.0 - 1e-6);
+  EXPECT_GE(result.utilities[0], 100.0 - 1e-6);
+}
+
+TEST(AllocateP2P, ValidatesArguments) {
+  EXPECT_THROW((void)allocate_p2p(-1.0, {}, {}), std::invalid_argument);
+  EXPECT_THROW((void)allocate_p2p(1.0, {demand_of(1, 1)}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)allocate_p2p(1.0, {demand_of(1, 1)}, {0.0}, /*resolution=*/0.9),
+      std::invalid_argument);
+}
+
+TEST(AllocateP2P, TotalNeverExceedsUnconstrainedOptimum) {
+  // The IR constraints can only reduce total utility relative to the
+  // commercial optimum (the paper's incentive-compatibility cost).
+  const std::vector<RequestClass> demands{demand_of(10, 8),
+                                          demand_of(10, 1)};
+  // Unconstrained: give everything to the threshold-1 facility -> 40.
+  const auto constrained = allocate_p2p(40.0, demands, {16.0, 0.0});
+  ASSERT_TRUE(constrained.feasible);
+  EXPECT_LE(constrained.total_utility, 40.0 + 1e-6);
+  // And IR for facility 0 held anyway.
+  EXPECT_GE(constrained.utilities[0] + 1e-6, 16.0);
+}
+
+}  // namespace
+}  // namespace fedshare::alloc

@@ -1,0 +1,84 @@
+// Tests for the contribution-sensitivity Jacobians.
+#include <gtest/gtest.h>
+
+#include "policy/sensitivity.hpp"
+
+namespace fedshare::policy {
+namespace {
+
+std::vector<model::FacilityConfig> three_configs() {
+  return {{"F1", 100, 1.0, 1.0}, {"F2", 400, 1.0, 1.0},
+          {"F3", 800, 1.0, 1.0}};
+}
+
+TEST(Sensitivity, AdditiveEconomyHasExactDerivatives) {
+  // l = 0, d = 1, single experiment: payoffs equal own locations, so
+  // d(payoff_i)/d(L_i) = 1 and cross terms vanish under Shapley.
+  const ShapleyPolicy policy;
+  const auto report = share_sensitivity(
+      three_configs(), model::DemandProfile::single_experiment(0.0), policy,
+      10);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(report.dpayoff[i][j], i == j ? 1.0 : 0.0, 1e-9)
+          << i << "," << j;
+    }
+  }
+  EXPECT_NEAR(report.payoffs[2], 800.0, 1e-9);
+}
+
+TEST(Sensitivity, OwnSharesRiseOthersFall) {
+  // Proportional sharing: adding locations raises your own share and
+  // dilutes everyone else's.
+  const ProportionalAvailabilityPolicy policy;
+  const auto report = share_sensitivity(
+      three_configs(), model::DemandProfile::single_experiment(0.0), policy,
+      50);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (i == j) {
+        EXPECT_GT(report.dshare[i][j], 0.0);
+      } else {
+        EXPECT_LT(report.dshare[i][j], 0.0);
+      }
+    }
+  }
+}
+
+TEST(Sensitivity, ThresholdPivotsShowUpAsLargeDerivatives) {
+  // At l = 850 facility 1 sits just below unlocking {1,3} (100 + 800 =
+  // 900 >= 850 already; use l = 950 so +delta crosses 900 -> 950).
+  const ShapleyPolicy policy;
+  auto configs = three_configs();
+  configs[0].num_locations = 140;  // {1,3} = 940 < 950; +20 crosses it
+  const auto report = share_sensitivity(
+      configs, model::DemandProfile::single_experiment(950.0), policy, 20);
+  // Facility 1's own payoff derivative is boosted by the unlock, far
+  // above the additive-economy slope of 1.
+  EXPECT_GT(report.dpayoff[0][0], 2.0);
+}
+
+TEST(Sensitivity, HandlesHeterogeneousFacilities) {
+  auto configs = three_configs();
+  configs[0].custom_units = std::vector<double>(100, 2.0);
+  const ProportionalAvailabilityPolicy policy;
+  const auto report = share_sensitivity(
+      configs, model::DemandProfile::single_experiment(0.0), policy, 10);
+  EXPECT_GT(report.dshare[0][0], 0.0);
+}
+
+TEST(Sensitivity, Validates) {
+  const ShapleyPolicy policy;
+  EXPECT_THROW(
+      (void)share_sensitivity({}, model::DemandProfile::single_experiment(0),
+                              policy),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)share_sensitivity(three_configs(),
+                              model::DemandProfile::single_experiment(0),
+                              policy, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare::policy

@@ -1,0 +1,246 @@
+// Tests for Shapley value engines (exact, permutation, Monte Carlo) and
+// the Banzhaf index.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/banzhaf.hpp"
+#include "core/game.hpp"
+#include "core/shapley.hpp"
+
+namespace fedshare::game {
+namespace {
+
+double glove_value(Coalition s) {
+  const int left = s.contains(0) ? 1 : 0;
+  const int right = (s.contains(1) ? 1 : 0) + (s.contains(2) ? 1 : 0);
+  return std::min(left, right);
+}
+
+TEST(ShapleyExact, GloveGameClassicValues) {
+  const FunctionGame g(3, glove_value);
+  const auto phi = shapley_exact(g);
+  ASSERT_EQ(phi.size(), 3u);
+  EXPECT_NEAR(phi[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(phi[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[2], 1.0 / 6.0, 1e-12);
+}
+
+TEST(ShapleyExact, EfficiencyAxiom) {
+  const FunctionGame g(4, [](Coalition s) {
+    const double k = s.size();
+    return k * k + (s.contains(2) ? 3.0 : 0.0);
+  });
+  const auto phi = shapley_exact(g);
+  const double total = std::accumulate(phi.begin(), phi.end(), 0.0);
+  EXPECT_NEAR(total, g.grand_value(), 1e-9);
+}
+
+TEST(ShapleyExact, SymmetryAxiom) {
+  // Players 1 and 2 are interchangeable in the glove game.
+  const FunctionGame g(3, glove_value);
+  const auto phi = shapley_exact(g);
+  EXPECT_NEAR(phi[1], phi[2], 1e-12);
+}
+
+TEST(ShapleyExact, DummyPlayerGetsZero) {
+  // Player 2 adds nothing to any coalition.
+  const FunctionGame g(3, [](Coalition s) {
+    return (s.contains(0) && s.contains(1)) ? 10.0 : 0.0;
+  });
+  const auto phi = shapley_exact(g);
+  EXPECT_NEAR(phi[2], 0.0, 1e-12);
+  EXPECT_NEAR(phi[0], 5.0, 1e-12);
+}
+
+TEST(ShapleyExact, AdditivityAxiom) {
+  // phi(V + W) = phi(V) + phi(W).
+  const FunctionGame v(3, glove_value);
+  const FunctionGame w(3, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  const FunctionGame sum(3, [&](Coalition s) {
+    return v.value(s) + w.value(s);
+  });
+  const auto pv = shapley_exact(v);
+  const auto pw = shapley_exact(w);
+  const auto ps = shapley_exact(sum);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(ps[i], pv[i] + pw[i], 1e-12);
+  }
+}
+
+TEST(ShapleyExact, BalancedContributionAxiom) {
+  // phi_i(S) - phi_i(S\{j}) == phi_j(S) - phi_j(S\{i}) for the 3-player
+  // glove game, for every pair (i, j).
+  const FunctionGame g3(3, glove_value);
+  const auto phi3 = shapley_exact(g3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      // Subgame without j: re-index players compactly.
+      std::vector<int> keep;
+      for (int p = 0; p < 3; ++p) {
+        if (p != j) keep.push_back(p);
+      }
+      const FunctionGame without_j(2, [&](Coalition s) {
+        Coalition mapped;
+        for (int b = 0; b < 2; ++b) {
+          if (s.contains(b)) mapped = mapped.with(keep[b]);
+        }
+        return glove_value(mapped);
+      });
+      const auto phi_wj = shapley_exact(without_j);
+      const int i_idx = (keep[0] == i) ? 0 : 1;
+
+      std::vector<int> keep_i;
+      for (int p = 0; p < 3; ++p) {
+        if (p != i) keep_i.push_back(p);
+      }
+      const FunctionGame without_i(2, [&](Coalition s) {
+        Coalition mapped;
+        for (int b = 0; b < 2; ++b) {
+          if (s.contains(b)) mapped = mapped.with(keep_i[b]);
+        }
+        return glove_value(mapped);
+      });
+      const auto phi_wi = shapley_exact(without_i);
+      const int j_idx = (keep_i[0] == j) ? 0 : 1;
+
+      EXPECT_NEAR(phi3[i] - phi_wj[i_idx], phi3[j] - phi_wi[j_idx], 1e-12)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ShapleyPermutations, MatchesExactFormula) {
+  const FunctionGame g(5, [](Coalition s) {
+    double v = s.size() * 1.5;
+    if (s.contains(0) && s.contains(3)) v += 4.0;
+    if (s.size() >= 4) v += 2.0;
+    return s.empty() ? 0.0 : v;
+  });
+  const auto a = shapley_exact(g);
+  const auto b = shapley_permutations(g);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(ShapleyPermutations, RejectsLargeN) {
+  const FunctionGame g(11, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  EXPECT_THROW(shapley_permutations(g), std::invalid_argument);
+}
+
+TEST(ShapleyExact, RejectsHugeN) {
+  const FunctionGame g(30, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  EXPECT_THROW(shapley_exact(g), std::invalid_argument);
+}
+
+TEST(ShapleyMonteCarlo, ConvergesToExact) {
+  const FunctionGame g(3, glove_value);
+  const auto exact = shapley_exact(g);
+  const auto mc = shapley_monte_carlo(g, 20000, /*seed=*/42);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(mc.phi[i], exact[i], 5.0 * mc.standard_error[i] + 1e-3)
+        << "player " << i;
+  }
+  EXPECT_EQ(mc.samples, 20000u);
+}
+
+TEST(ShapleyMonteCarlo, DeterministicGivenSeed) {
+  const FunctionGame g(4, [](Coalition s) {
+    return static_cast<double>(s.size() * s.size());
+  });
+  const auto a = shapley_monte_carlo(g, 500, 7);
+  const auto b = shapley_monte_carlo(g, 500, 7);
+  EXPECT_EQ(a.phi, b.phi);
+  const auto c = shapley_monte_carlo(g, 500, 8);
+  EXPECT_NE(a.phi, c.phi);
+}
+
+TEST(ShapleyMonteCarlo, RequiresTwoSamples) {
+  const FunctionGame g(2, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  EXPECT_THROW(shapley_monte_carlo(g, 1, 1), std::invalid_argument);
+}
+
+TEST(ShapleyMonteCarlo, StandardErrorShrinksWithSamples) {
+  const FunctionGame g(5, [](Coalition s) {
+    return s.size() >= 3 ? static_cast<double>(s.size()) : 0.0;
+  });
+  const auto small = shapley_monte_carlo(g, 200, 3);
+  const auto large = shapley_monte_carlo(g, 20000, 3);
+  EXPECT_LT(large.standard_error[0], small.standard_error[0]);
+}
+
+TEST(ShapleyAntithetic, ConvergesToExact) {
+  const FunctionGame g(3, glove_value);
+  const auto exact = shapley_exact(g);
+  const auto mc = shapley_monte_carlo_antithetic(g, 20000, 42);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(mc.phi[i], exact[i], 5.0 * mc.standard_error[i] + 1e-3);
+  }
+}
+
+TEST(ShapleyAntithetic, ReducesVarianceOnMonotoneGames) {
+  const FunctionGame g(6, [](Coalition s) {
+    const double k = s.size();
+    return k * k + (s.contains(0) && s.contains(5) ? 6.0 : 0.0);
+  });
+  const auto plain = shapley_monte_carlo(g, 4000, 9);
+  const auto anti = shapley_monte_carlo_antithetic(g, 4000, 9);
+  double plain_se = 0.0;
+  double anti_se = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    plain_se += plain.standard_error[static_cast<std::size_t>(i)];
+    anti_se += anti.standard_error[static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(anti_se, plain_se);
+}
+
+TEST(ShapleyAntithetic, RejectsOddSampleCounts) {
+  const FunctionGame g(2, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  EXPECT_THROW((void)shapley_monte_carlo_antithetic(g, 3, 1),
+               std::invalid_argument);
+}
+
+TEST(NormalizeShares, SumsToOne) {
+  const auto s = normalize_shares({1.0, 3.0});
+  EXPECT_NEAR(s[0], 0.25, 1e-12);
+  EXPECT_NEAR(s[1], 0.75, 1e-12);
+}
+
+TEST(NormalizeShares, ZeroTotalFallsBackToEqual) {
+  const auto s = normalize_shares({0.0, 0.0, 0.0});
+  for (const double v : s) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Banzhaf, GloveGameIndex) {
+  const FunctionGame g(3, glove_value);
+  const auto idx = banzhaf_index(g);
+  // Raw Banzhaf: player 0 pivotal in {1},{2},{1,2} -> 3/4; players 1,2 in
+  // {0} only -> 1/4. Normalised: (3/5, 1/5, 1/5).
+  EXPECT_NEAR(idx[0], 0.6, 1e-12);
+  EXPECT_NEAR(idx[1], 0.2, 1e-12);
+  EXPECT_NEAR(idx[2], 0.2, 1e-12);
+}
+
+TEST(Banzhaf, SymmetricGameSplitsEqually) {
+  const FunctionGame g(4, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  const auto idx = banzhaf_index(g);
+  for (const double v : idx) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedshare::game

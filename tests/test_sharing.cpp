@@ -1,0 +1,115 @@
+// Tests for the sharing-scheme framework.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/sharing.hpp"
+
+namespace fedshare::game {
+namespace {
+
+double glove_value(Coalition s) {
+  const int left = s.contains(0) ? 1 : 0;
+  const int right = (s.contains(1) ? 1 : 0) + (s.contains(2) ? 1 : 0);
+  return std::min(left, right);
+}
+
+TEST(EqualShares, SplitsEvenly) {
+  const auto s = equal_shares(4);
+  for (const double v : s) EXPECT_NEAR(v, 0.25, 1e-12);
+  EXPECT_THROW((void)equal_shares(0), std::invalid_argument);
+}
+
+TEST(ProportionalShares, NormalizesWeights) {
+  const auto s = proportional_shares({1.0, 2.0, 5.0});
+  EXPECT_NEAR(s[0], 0.125, 1e-12);
+  EXPECT_NEAR(s[2], 0.625, 1e-12);
+}
+
+TEST(ProportionalShares, ZeroWeightsFallBackToEqual) {
+  const auto s = proportional_shares({0.0, 0.0});
+  EXPECT_NEAR(s[0], 0.5, 1e-12);
+}
+
+TEST(ProportionalShares, RejectsNegativeAndEmpty) {
+  EXPECT_THROW((void)proportional_shares({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)proportional_shares({}), std::invalid_argument);
+}
+
+TEST(ShapleyShares, SumToOne) {
+  const FunctionGame g(3, glove_value);
+  const auto s = shapley_shares(g);
+  EXPECT_NEAR(std::accumulate(s.begin(), s.end(), 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(s[0], 2.0 / 3.0, 1e-12);
+}
+
+TEST(NucleolusShares, MatchCorePointForGloveGame) {
+  const FunctionGame g(3, glove_value);
+  const auto s = nucleolus_shares(g);
+  EXPECT_NEAR(s[0], 1.0, 1e-6);
+  EXPECT_NEAR(s[1], 0.0, 1e-6);
+}
+
+TEST(NucleolusShares, ZeroValueGameFallsBackToEqual) {
+  const FunctionGame g(2, [](Coalition) { return 0.0; });
+  const auto s = nucleolus_shares(g);
+  EXPECT_NEAR(s[0], 0.5, 1e-12);
+}
+
+TEST(CompareSchemes, ProducesAllSchemes) {
+  const FunctionGame g(3, glove_value);
+  const auto outcomes = compare_schemes(g, {1.0, 1.0, 1.0}, {2.0, 1.0, 1.0});
+  // shapley, prop-availability, prop-consumption, equal, nucleolus,
+  // banzhaf.
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (const auto& o : outcomes) {
+    const double total =
+        std::accumulate(o.shares.begin(), o.shares.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << to_string(o.scheme);
+    ASSERT_EQ(o.payoffs.size(), 3u);
+    EXPECT_NEAR(o.payoffs[0], o.shares[0] * g.grand_value(), 1e-12);
+  }
+}
+
+TEST(CompareSchemes, SkipsProportionalWhenWeightsEmpty) {
+  const FunctionGame g(3, glove_value);
+  const auto outcomes = compare_schemes(g, {}, {});
+  for (const auto& o : outcomes) {
+    EXPECT_NE(o.scheme, Scheme::kProportionalAvailability);
+    EXPECT_NE(o.scheme, Scheme::kProportionalConsumption);
+  }
+}
+
+TEST(CompareSchemes, RejectsWrongWeightCount) {
+  const FunctionGame g(3, glove_value);
+  EXPECT_THROW((void)compare_schemes(g, {1.0}, {}), std::invalid_argument);
+  EXPECT_THROW((void)compare_schemes(g, {}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(CompareSchemes, CoreFlagsAreConsistent) {
+  const FunctionGame g(3, glove_value);
+  const auto outcomes = compare_schemes(g, {}, {});
+  for (const auto& o : outcomes) {
+    if (o.scheme == Scheme::kNucleolus) {
+      EXPECT_TRUE(o.in_core);  // glove core is non-empty
+    }
+    if (o.scheme == Scheme::kEqual) {
+      EXPECT_FALSE(o.in_core);
+    }
+  }
+}
+
+TEST(SchemeNames, AreStable) {
+  EXPECT_STREQ(to_string(Scheme::kShapley), "shapley");
+  EXPECT_STREQ(to_string(Scheme::kProportionalAvailability),
+               "prop-availability");
+  EXPECT_STREQ(to_string(Scheme::kProportionalConsumption),
+               "prop-consumption");
+  EXPECT_STREQ(to_string(Scheme::kEqual), "equal");
+  EXPECT_STREQ(to_string(Scheme::kNucleolus), "nucleolus");
+  EXPECT_STREQ(to_string(Scheme::kBanzhaf), "banzhaf");
+}
+
+}  // namespace
+}  // namespace fedshare::game

@@ -1,0 +1,107 @@
+// Tests for DES-based coalition values (simulated_game).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/properties.hpp"
+#include "core/shapley.hpp"
+#include "model/stochastic_value.hpp"
+
+namespace fedshare::model {
+namespace {
+
+LocationSpace two_facilities() {
+  return LocationSpace::disjoint(
+      {{"A", 10, 2.0, 1.0}, {"B", 10, 2.0, 1.0}});
+}
+
+std::vector<sim::TrafficClass> light_traffic() {
+  sim::TrafficClass tc;
+  tc.request.min_locations = 8.0;
+  tc.request.holding_time = 0.5;
+  tc.arrival_rate = 1.0;
+  return {tc};
+}
+
+sim::SimConfig quick_config() {
+  sim::SimConfig cfg;
+  cfg.horizon = 300.0;
+  cfg.warmup = 30.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(SimulatedGame, EmptyCoalitionIsZero) {
+  const auto g = simulated_game(two_facilities(), light_traffic(),
+                                quick_config());
+  EXPECT_DOUBLE_EQ(g.value(game::Coalition()), 0.0);
+  EXPECT_EQ(g.num_players(), 2);
+}
+
+TEST(SimulatedGame, SingletonMatchesDirectSimulation) {
+  const auto space = two_facilities();
+  const auto traffic = light_traffic();
+  const auto cfg = quick_config();
+  const auto g = simulated_game(space, traffic, cfg);
+  const auto direct = sim::simulate_multiplexing(
+      space.pool_for(game::Coalition::single(0)), traffic, cfg);
+  EXPECT_DOUBLE_EQ(g.value(game::Coalition::single(0)),
+                   direct.utility_rate);
+}
+
+TEST(SimulatedGame, DeterministicAcrossCalls) {
+  const auto a = simulated_game(two_facilities(), light_traffic(),
+                                quick_config());
+  const auto b = simulated_game(two_facilities(), light_traffic(),
+                                quick_config());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(SimulatedGame, FederationBeatsIsolationUnderContention) {
+  // P2P scenario: each facility brings its own bursty user stream;
+  // pooling smooths the bursts, so the federation serves more than the
+  // sum of the isolated facilities.
+  auto traffic = light_traffic();
+  traffic[0].arrival_rate = 1.2;
+  traffic[0].request.holding_time = 1.0;
+  sim::SimConfig cfg = quick_config();
+  cfg.horizon = 800.0;
+  cfg.warmup = 80.0;
+  cfg.holding_time.kind = sim::HoldingTimeModel::Kind::kExponential;
+  const auto g = simulated_game(two_facilities(), traffic, cfg,
+                                ArrivalScaling::kPerFacility);
+  EXPECT_GT(multiplexing_gain(g), 1.0);
+  // And the Shapley machinery runs unchanged on the stochastic game.
+  const auto shares = game::normalize_shares(game::shapley_exact(g));
+  EXPECT_NEAR(shares[0] + shares[1], 1.0, 1e-9);
+  // Symmetric facilities, paired seeds: shares should be equal.
+  EXPECT_NEAR(shares[0], 0.5, 0.05);
+}
+
+TEST(SimulatedGame, DiversityGatedTrafficMakesFederationEssential) {
+  // Each facility alone has 10 locations; the experiment needs 15.
+  auto traffic = light_traffic();
+  traffic[0].request.min_locations = 15.0;
+  const auto g = simulated_game(two_facilities(), traffic, quick_config());
+  EXPECT_DOUBLE_EQ(g.value(game::Coalition::single(0)), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(game::Coalition::single(1)), 0.0);
+  EXPECT_GT(g.grand_value(), 0.0);
+  EXPECT_TRUE(game::is_superadditive(g));
+  EXPECT_TRUE(std::isinf(multiplexing_gain(g)));
+}
+
+TEST(SimulatedGame, RejectsTooManyFacilities) {
+  std::vector<FacilityConfig> configs(13, {"X", 2, 1.0, 1.0});
+  const auto space = LocationSpace::disjoint(configs);
+  EXPECT_THROW(
+      (void)simulated_game(space, light_traffic(), quick_config()),
+      std::invalid_argument);
+}
+
+TEST(MultiplexingGain, ZeroEverywhereIsOne) {
+  const game::TabularGame g(2, {0.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(multiplexing_gain(g), 1.0);
+}
+
+}  // namespace
+}  // namespace fedshare::model

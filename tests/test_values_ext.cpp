@@ -1,0 +1,145 @@
+// Tests for the tau-value and the solidarity value.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/shapley.hpp"
+#include "core/values_ext.hpp"
+
+namespace fedshare::game {
+namespace {
+
+double glove_value(Coalition s) {
+  const int left = s.contains(0) ? 1 : 0;
+  const int right = (s.contains(1) ? 1 : 0) + (s.contains(2) ? 1 : 0);
+  return std::min(left, right);
+}
+
+TEST(TauValue, TwoPlayerStandardSolution) {
+  // v1 = 1, v2 = 3, v12 = 10: M = (7, 9), m_i = max(v_i, v12 - M_j)
+  // = (1, 3); lambda = (10-4)/(16-4) = 0.5 -> tau = (4, 6), matching the
+  // standard two-player split.
+  const TabularGame g(2, {0.0, 1.0, 3.0, 10.0});
+  const auto r = tau_value(g);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->utopia[0], 7.0, 1e-12);
+  EXPECT_NEAR(r->utopia[1], 9.0, 1e-12);
+  EXPECT_NEAR(r->tau[0], 4.0, 1e-12);
+  EXPECT_NEAR(r->tau[1], 6.0, 1e-12);
+  EXPECT_NEAR(r->lambda, 0.5, 1e-12);
+}
+
+TEST(TauValue, EfficiencyHolds) {
+  const FunctionGame g(4, [](Coalition s) {
+    const double k = s.size();
+    return k * k + (s.contains(0) ? k : 0.0);
+  });
+  const auto r = tau_value(g);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(std::accumulate(r->tau.begin(), r->tau.end(), 0.0),
+              g.grand_value(), 1e-9);
+}
+
+TEST(TauValue, SymmetricPlayersEqualPayoffs) {
+  const FunctionGame g(3, [](Coalition s) {
+    const double k = s.size();
+    return 2.0 * k * k;
+  });
+  const auto r = tau_value(g);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->tau[0], 6.0, 1e-9);
+  EXPECT_NEAR(r->tau[1], 6.0, 1e-9);
+  EXPECT_NEAR(r->tau[2], 6.0, 1e-9);
+}
+
+TEST(TauValue, EmptyCoreSymmetricGameIsNotQuasiBalanced) {
+  // v(pair) = v(N) = 6: every pair demands everything; the utopia
+  // payoffs collapse to 0 below the minimal rights.
+  const FunctionGame g(3, [](Coalition s) {
+    return s.size() >= 2 ? 6.0 : 0.0;
+  });
+  EXPECT_FALSE(tau_value(g).has_value());
+}
+
+TEST(TauValue, GloveGameGivesMonopolistMore) {
+  const FunctionGame g(3, glove_value);
+  const auto r = tau_value(g);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->tau[0], r->tau[1]);
+  EXPECT_NEAR(r->tau[1], r->tau[2], 1e-12);
+  EXPECT_NEAR(std::accumulate(r->tau.begin(), r->tau.end(), 0.0), 1.0,
+              1e-9);
+}
+
+TEST(TauValue, NotQuasiBalancedReturnsNullopt) {
+  // Strictly subadditive: V(N) < sum of utopia... construct: singletons
+  // worth 4, pairs/grand worth 4 (no synergy at all, utopia M_i = 0 but
+  // m_i = 4 > 0 violates m <= M).
+  const FunctionGame g(2, [](Coalition s) {
+    return s.empty() ? 0.0 : 4.0;
+  });
+  EXPECT_FALSE(tau_value(g).has_value());
+}
+
+TEST(TauValue, RejectsOversizedGames) {
+  const FunctionGame g(21, [](Coalition s) {
+    return static_cast<double>(s.size());
+  });
+  EXPECT_THROW((void)tau_value(g), std::invalid_argument);
+}
+
+TEST(SolidarityValue, EfficiencyHolds) {
+  const FunctionGame g(5, [](Coalition s) {
+    double val = 2.0 * s.size();
+    if (s.contains(1) && s.contains(3)) val += 7.0;
+    return s.empty() ? 0.0 : val;
+  });
+  const auto psi = solidarity_value(g);
+  EXPECT_NEAR(std::accumulate(psi.begin(), psi.end(), 0.0),
+              g.grand_value(), 1e-9);
+}
+
+TEST(SolidarityValue, EqualSplitOnSymmetricGames) {
+  const FunctionGame g(4, [](Coalition s) {
+    const double k = s.size();
+    return k * k;
+  });
+  const auto psi = solidarity_value(g);
+  for (const double p : psi) EXPECT_NEAR(p, 4.0, 1e-9);
+}
+
+TEST(SolidarityValue, SoftensTheDiversityPremium) {
+  // In the glove game the Shapley value pays the monopolist 2/3; the
+  // solidarity value redistributes toward the redundant players.
+  const FunctionGame g(3, glove_value);
+  const auto phi = shapley_exact(g);
+  const auto psi = solidarity_value(g);
+  EXPECT_LT(psi[0], phi[0]);
+  EXPECT_GT(psi[1], phi[1]);
+  EXPECT_NEAR(std::accumulate(psi.begin(), psi.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(SolidarityValue, MatchesHandComputedTwoPlayerGame) {
+  // v1 = 1, v2 = 3, v12 = 10. Orderings weight 1/2 each; A({i}) = v_i,
+  // A({1,2}) = (10-3 + 10-1)/2 = 8.
+  // psi_i = (1/2) A({i}) + (1/2) A({1,2}) = (0.5 + 4, 1.5 + 4).
+  const TabularGame g(2, {0.0, 1.0, 3.0, 10.0});
+  const auto psi = solidarity_value(g);
+  EXPECT_NEAR(psi[0], 4.5, 1e-12);
+  EXPECT_NEAR(psi[1], 5.5, 1e-12);
+}
+
+TEST(SolidarityValue, NullPlayerStillReceivesSolidarity) {
+  // Unlike Shapley, a dummy player receives a share of the average
+  // marginals of the coalitions it joins.
+  const FunctionGame g(3, [](Coalition s) {
+    return (s.contains(0) && s.contains(1)) ? 10.0 : 0.0;
+  });
+  const auto psi = solidarity_value(g);
+  const auto phi = shapley_exact(g);
+  EXPECT_NEAR(phi[2], 0.0, 1e-12);
+  EXPECT_GT(psi[2], 0.0);
+}
+
+}  // namespace
+}  // namespace fedshare::game

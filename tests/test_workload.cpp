@@ -1,0 +1,196 @@
+// Tests for workload generation, trace replay, and outage handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/workload.hpp"
+
+namespace fedshare::sim {
+namespace {
+
+alloc::LocationPool uniform_pool(int locations, double capacity) {
+  alloc::LocationPool pool;
+  pool.capacity.assign(static_cast<std::size_t>(locations), capacity);
+  return pool;
+}
+
+TrafficClass traffic(double rate, double threshold, double hold) {
+  TrafficClass tc;
+  tc.arrival_rate = rate;
+  tc.request.min_locations = threshold;
+  tc.request.holding_time = hold;
+  return tc;
+}
+
+TEST(Workload, GeneratedTraceIsSortedAndInHorizon) {
+  const auto w = generate_workload(
+      {traffic(2.0, 2.0, 0.5), traffic(0.5, 4.0, 1.0)}, 200.0, 42);
+  EXPECT_NO_THROW(w.validate(2));
+  ASSERT_FALSE(w.events.empty());
+  double prev = 0.0;
+  for (const auto& e : w.events) {
+    EXPECT_GE(e.arrival_time, prev);
+    EXPECT_LE(e.arrival_time, 200.0);
+    EXPECT_GT(e.holding_time, 0.0);
+    EXPECT_LT(e.class_index, 2u);
+    prev = e.arrival_time;
+  }
+}
+
+TEST(Workload, ArrivalCountsMatchRates) {
+  const auto w = generate_workload(
+      {traffic(2.0, 2.0, 0.5), traffic(0.5, 4.0, 1.0)}, 2000.0, 7);
+  const auto counts = w.arrivals_per_class();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(counts[0]), 4000.0, 250.0);
+  EXPECT_NEAR(static_cast<double>(counts[1]), 1000.0, 130.0);
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  const auto a = generate_workload({traffic(1.0, 2.0, 1.0)}, 100.0, 9);
+  const auto b = generate_workload({traffic(1.0, 2.0, 1.0)}, 100.0, 9);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events[i].arrival_time, b.events[i].arrival_time);
+  }
+  const auto c = generate_workload({traffic(1.0, 2.0, 1.0)}, 100.0, 10);
+  EXPECT_NE(a.events.size(), c.events.size());
+}
+
+TEST(Workload, DiurnalModulationPreservesMeanRate) {
+  DiurnalPattern pattern;
+  pattern.period = 24.0;
+  pattern.depth = 0.8;
+  const auto flat = generate_workload({traffic(2.0, 1.0, 0.5)}, 4800.0, 3);
+  const auto wavy =
+      generate_workload({traffic(2.0, 1.0, 0.5)}, 4800.0, 3, pattern);
+  // Whole periods: the sinusoid integrates to zero, so the mean arrival
+  // counts agree within sampling noise.
+  const auto nf = static_cast<double>(flat.events.size());
+  const auto nw = static_cast<double>(wavy.events.size());
+  EXPECT_NEAR(nw / nf, 1.0, 0.05);
+}
+
+TEST(Workload, DiurnalModulationCreatesPeaksAndTroughs) {
+  DiurnalPattern pattern;
+  pattern.period = 100.0;
+  pattern.depth = 0.9;
+  const auto w =
+      generate_workload({traffic(5.0, 1.0, 0.5)}, 10000.0, 5, pattern);
+  // Count arrivals in the rising half vs the falling half of each cycle.
+  std::uint64_t peak_half = 0;
+  std::uint64_t trough_half = 0;
+  for (const auto& e : w.events) {
+    const double phase = std::fmod(e.arrival_time, 100.0);
+    if (phase < 50.0) {
+      ++peak_half;  // sin > 0 half
+    } else {
+      ++trough_half;
+    }
+  }
+  EXPECT_GT(static_cast<double>(peak_half),
+            1.5 * static_cast<double>(trough_half));
+}
+
+TEST(Workload, ValidatesDomain) {
+  EXPECT_THROW((void)generate_workload({traffic(1, 1, 1)}, 0.0, 1),
+               std::invalid_argument);
+  DiurnalPattern bad;
+  bad.depth = 1.5;
+  EXPECT_THROW(
+      (void)generate_workload({traffic(1, 1, 1)}, 10.0, 1, bad),
+      std::invalid_argument);
+  Workload w;
+  w.horizon = 10.0;
+  w.events = {{5.0, 0, 1.0}, {2.0, 0, 1.0}};  // unsorted
+  EXPECT_THROW(w.validate(1), std::invalid_argument);
+  w.events = {{5.0, 3, 1.0}};
+  EXPECT_THROW(w.validate(1), std::invalid_argument);  // bad class
+}
+
+TEST(Replay, MatchesLiveSimulationStatistics) {
+  // Replaying a generated trace must reproduce a live simulation's
+  // qualitative throughput on the same pool.
+  const auto classes = std::vector<TrafficClass>{traffic(1.0, 3.0, 1.0)};
+  const auto w = generate_workload(classes, 500.0, 21);
+  SimConfig cfg;
+  cfg.warmup = 50.0;
+  const auto replayed = replay_workload(uniform_pool(6, 2.0), classes, w, cfg);
+  EXPECT_GT(replayed.per_class[0].admitted, 100u);
+  EXPECT_GT(replayed.utility_rate, 0.0);
+}
+
+TEST(Replay, PairedTracesIsolatePoolEffects) {
+  // The same trace replayed on a bigger pool admits at least as much.
+  const auto classes = std::vector<TrafficClass>{traffic(3.0, 4.0, 2.0)};
+  const auto w = generate_workload(classes, 400.0, 33);
+  SimConfig cfg;
+  cfg.warmup = 40.0;
+  const auto small = replay_workload(uniform_pool(4, 1.0), classes, w, cfg);
+  const auto large = replay_workload(uniform_pool(12, 2.0), classes, w, cfg);
+  EXPECT_EQ(small.per_class[0].arrivals, large.per_class[0].arrivals);
+  EXPECT_GE(large.per_class[0].admitted, small.per_class[0].admitted);
+  EXPECT_LE(large.per_class[0].blocking_probability(),
+            small.per_class[0].blocking_probability());
+}
+
+TEST(Replay, ValidatesWarmupAgainstTraceHorizon) {
+  const auto classes = std::vector<TrafficClass>{traffic(1.0, 1.0, 1.0)};
+  const auto w = generate_workload(classes, 10.0, 1);
+  SimConfig cfg;
+  cfg.warmup = 50.0;
+  EXPECT_THROW(
+      (void)replay_workload(uniform_pool(2, 1.0), classes, w, cfg),
+      std::invalid_argument);
+}
+
+TEST(Outages, DownLocationsBlockAdmissions) {
+  // One location, down for the middle half of the run: arrivals during
+  // the outage are blocked.
+  const auto classes = std::vector<TrafficClass>{traffic(5.0, 1.0, 0.01)};
+  SimConfig cfg;
+  cfg.horizon = 100.0;
+  cfg.warmup = 0.0;
+  cfg.outages = {{0, 25.0, 75.0}};
+  const auto with_outage =
+      simulate_multiplexing(uniform_pool(1, 1.0), classes, cfg);
+  SimConfig healthy = cfg;
+  healthy.outages.clear();
+  const auto without =
+      simulate_multiplexing(uniform_pool(1, 1.0), classes, healthy);
+  // Roughly half the arrivals land in the outage window.
+  EXPECT_GT(with_outage.per_class[0].blocking_probability(), 0.4);
+  EXPECT_LT(without.per_class[0].blocking_probability(),
+            with_outage.per_class[0].blocking_probability());
+}
+
+TEST(Outages, RedundantCoverageMasksOutages) {
+  // Diversity as reliability: with 4 locations and threshold 2, taking
+  // one location down barely hurts; with exactly 2 locations it is
+  // fatal for the outage window.
+  const auto classes = std::vector<TrafficClass>{traffic(2.0, 2.0, 0.05)};
+  SimConfig cfg;
+  cfg.horizon = 200.0;
+  cfg.warmup = 0.0;
+  cfg.outages = {{0, 50.0, 150.0}};
+  const auto redundant =
+      simulate_multiplexing(uniform_pool(4, 1.0), classes, cfg);
+  const auto minimal =
+      simulate_multiplexing(uniform_pool(2, 1.0), classes, cfg);
+  EXPECT_LT(redundant.per_class[0].blocking_probability(), 0.05);
+  EXPECT_GT(minimal.per_class[0].blocking_probability(), 0.4);
+}
+
+TEST(Outages, Validate) {
+  Outage bad;
+  bad.location = 5;
+  bad.start = 0.0;
+  bad.end = 1.0;
+  EXPECT_THROW(bad.validate(2), std::invalid_argument);
+  bad.location = 0;
+  bad.end = 0.0;
+  EXPECT_THROW(bad.validate(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedshare::sim

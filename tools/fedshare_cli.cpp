@@ -1,0 +1,91 @@
+// fedshare_cli — compute federation sharing reports from an INI config.
+//
+// Usage: fedshare_cli <federation.ini>
+//        fedshare_cli --help
+#include <fstream>
+#include <iostream>
+
+#include "cli/runner.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: fedshare_cli <federation.ini> [--dump-game <out-file>]
+
+Computes coalition values, game properties and sharing-scheme shares
+(Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
+federation described by the config file. With --dump-game, additionally
+writes the characteristic function in the fedshare-game v1 format.
+
+Config example:
+
+  [facility]
+  name = PLC
+  locations = 300
+  units = 4
+
+  [facility]
+  name = PLE
+  locations = 180
+  units = 3
+
+  [demand]
+  count = 10
+  min_locations = 400
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string dump_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--dump-game") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: --dump-game needs a file argument\n";
+        return 2;
+      }
+      dump_path = argv[++i];
+      continue;
+    }
+    if (!config_path.empty()) {
+      std::cerr << kUsage;
+      return 2;
+    }
+    config_path = arg;
+  }
+  if (config_path.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  std::ifstream in(config_path);
+  if (!in) {
+    std::cerr << "fedshare_cli: cannot open '" << config_path << "'\n";
+    return 1;
+  }
+  try {
+    const auto config = fedshare::io::Config::parse(in);
+    std::cout << fedshare::cli::run_report(config);
+    if (!dump_path.empty()) {
+      std::ofstream dump(dump_path);
+      if (!dump) {
+        std::cerr << "fedshare_cli: cannot write '" << dump_path << "'\n";
+        return 1;
+      }
+      dump << fedshare::cli::dump_game_text(config);
+      std::cout << "\n(game written to " << dump_path << ")\n";
+    }
+  } catch (const fedshare::io::ConfigError& e) {
+    std::cerr << "fedshare_cli: " << config_path << ": " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fedshare_cli: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
