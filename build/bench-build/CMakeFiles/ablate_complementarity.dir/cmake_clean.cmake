@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_complementarity"
+  "../bench/ablate_complementarity.pdb"
+  "CMakeFiles/ablate_complementarity.dir/ablate_complementarity.cpp.o"
+  "CMakeFiles/ablate_complementarity.dir/ablate_complementarity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_complementarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_core_membership"
+  "../bench/ablate_core_membership.pdb"
+  "CMakeFiles/ablate_core_membership.dir/ablate_core_membership.cpp.o"
+  "CMakeFiles/ablate_core_membership.dir/ablate_core_membership.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_core_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

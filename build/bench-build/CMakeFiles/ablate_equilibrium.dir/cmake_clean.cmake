@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_equilibrium"
+  "../bench/ablate_equilibrium.pdb"
+  "CMakeFiles/ablate_equilibrium.dir/ablate_equilibrium.cpp.o"
+  "CMakeFiles/ablate_equilibrium.dir/ablate_equilibrium.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

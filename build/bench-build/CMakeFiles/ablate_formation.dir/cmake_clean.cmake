@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_formation"
+  "../bench/ablate_formation.pdb"
+  "CMakeFiles/ablate_formation.dir/ablate_formation.cpp.o"
+  "CMakeFiles/ablate_formation.dir/ablate_formation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_hierarchy"
+  "../bench/ablate_hierarchy.pdb"
+  "CMakeFiles/ablate_hierarchy.dir/ablate_hierarchy.cpp.o"
+  "CMakeFiles/ablate_hierarchy.dir/ablate_hierarchy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_multiplexing"
+  "../bench/ablate_multiplexing.pdb"
+  "CMakeFiles/ablate_multiplexing.dir/ablate_multiplexing.cpp.o"
+  "CMakeFiles/ablate_multiplexing.dir/ablate_multiplexing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_p2p"
+  "../bench/ablate_p2p.pdb"
+  "CMakeFiles/ablate_p2p.dir/ablate_p2p.cpp.o"
+  "CMakeFiles/ablate_p2p.dir/ablate_p2p.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_reliability"
+  "../bench/ablate_reliability.pdb"
+  "CMakeFiles/ablate_reliability.dir/ablate_reliability.cpp.o"
+  "CMakeFiles/ablate_reliability.dir/ablate_reliability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

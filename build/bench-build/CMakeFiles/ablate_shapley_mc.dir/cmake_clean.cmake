@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_shapley_mc"
+  "../bench/ablate_shapley_mc.pdb"
+  "CMakeFiles/ablate_shapley_mc.dir/ablate_shapley_mc.cpp.o"
+  "CMakeFiles/ablate_shapley_mc.dir/ablate_shapley_mc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_shapley_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_stochastic_value"
+  "../bench/ablate_stochastic_value.pdb"
+  "CMakeFiles/ablate_stochastic_value.dir/ablate_stochastic_value.cpp.o"
+  "CMakeFiles/ablate_stochastic_value.dir/ablate_stochastic_value.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_stochastic_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

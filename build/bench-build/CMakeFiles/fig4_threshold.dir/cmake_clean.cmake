@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_threshold"
+  "../bench/fig4_threshold.pdb"
+  "CMakeFiles/fig4_threshold.dir/fig4_threshold.cpp.o"
+  "CMakeFiles/fig4_threshold.dir/fig4_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_utility_shape"
+  "../bench/fig5_utility_shape.pdb"
+  "CMakeFiles/fig5_utility_shape.dir/fig5_utility_shape.cpp.o"
+  "CMakeFiles/fig5_utility_shape.dir/fig5_utility_shape.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_utility_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

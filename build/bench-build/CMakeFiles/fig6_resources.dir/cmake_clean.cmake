@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_resources"
+  "../bench/fig6_resources.pdb"
+  "CMakeFiles/fig6_resources.dir/fig6_resources.cpp.o"
+  "CMakeFiles/fig6_resources.dir/fig6_resources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

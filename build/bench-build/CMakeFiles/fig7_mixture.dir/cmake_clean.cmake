@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_mixture"
+  "../bench/fig7_mixture.pdb"
+  "CMakeFiles/fig7_mixture.dir/fig7_mixture.cpp.o"
+  "CMakeFiles/fig7_mixture.dir/fig7_mixture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

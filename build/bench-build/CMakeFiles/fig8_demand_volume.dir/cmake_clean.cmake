@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_demand_volume"
+  "../bench/fig8_demand_volume.pdb"
+  "CMakeFiles/fig8_demand_volume.dir/fig8_demand_volume.cpp.o"
+  "CMakeFiles/fig8_demand_volume.dir/fig8_demand_volume.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_demand_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

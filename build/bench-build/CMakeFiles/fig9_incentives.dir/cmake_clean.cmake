@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_incentives"
+  "../bench/fig9_incentives.pdb"
+  "CMakeFiles/fig9_incentives.dir/fig9_incentives.cpp.o"
+  "CMakeFiles/fig9_incentives.dir/fig9_incentives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_shapley"
+  "../bench/perf_shapley.pdb"
+  "CMakeFiles/perf_shapley.dir/perf_shapley.cpp.o"
+  "CMakeFiles/perf_shapley.dir/perf_shapley.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

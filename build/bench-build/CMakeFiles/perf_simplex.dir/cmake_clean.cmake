@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_simplex"
+  "../bench/perf_simplex.pdb"
+  "CMakeFiles/perf_simplex.dir/perf_simplex.cpp.o"
+  "CMakeFiles/perf_simplex.dir/perf_simplex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

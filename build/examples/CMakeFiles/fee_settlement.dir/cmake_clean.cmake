@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fee_settlement.dir/fee_settlement.cpp.o"
+  "CMakeFiles/fee_settlement.dir/fee_settlement.cpp.o.d"
+  "fee_settlement"
+  "fee_settlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fee_settlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

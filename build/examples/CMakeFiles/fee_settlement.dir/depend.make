@@ -1,0 +1,2 @@
+# Empty dependencies file for fee_settlement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_federation.dir/hierarchical_federation.cpp.o"
+  "CMakeFiles/hierarchical_federation.dir/hierarchical_federation.cpp.o.d"
+  "hierarchical_federation"
+  "hierarchical_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

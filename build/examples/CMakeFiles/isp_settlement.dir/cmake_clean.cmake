@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_settlement.dir/isp_settlement.cpp.o"
+  "CMakeFiles/isp_settlement.dir/isp_settlement.cpp.o.d"
+  "isp_settlement"
+  "isp_settlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_settlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

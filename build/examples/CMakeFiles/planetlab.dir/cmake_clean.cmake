@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planetlab.dir/planetlab.cpp.o"
+  "CMakeFiles/planetlab.dir/planetlab.cpp.o.d"
+  "planetlab"
+  "planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_design.dir/policy_design.cpp.o"
+  "CMakeFiles/policy_design.dir/policy_design.cpp.o.d"
+  "policy_design"
+  "policy_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_planetlab "/root/repo/build/examples/planetlab")
+set_tests_properties(example_planetlab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_policy_design "/root/repo/build/examples/policy_design")
+set_tests_properties(example_policy_design PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isp_settlement "/root/repo/build/examples/isp_settlement")
+set_tests_properties(example_isp_settlement PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hierarchical_federation "/root/repo/build/examples/hierarchical_federation")
+set_tests_properties(example_hierarchical_federation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fee_settlement "/root/repo/build/examples/fee_settlement")
+set_tests_properties(example_fee_settlement PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workload_replay "/root/repo/build/examples/workload_replay")
+set_tests_properties(example_workload_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;17;add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation.cpp" "src/CMakeFiles/fedshare_alloc.dir/alloc/allocation.cpp.o" "gcc" "src/CMakeFiles/fedshare_alloc.dir/alloc/allocation.cpp.o.d"
+  "/root/repo/src/alloc/exact.cpp" "src/CMakeFiles/fedshare_alloc.dir/alloc/exact.cpp.o" "gcc" "src/CMakeFiles/fedshare_alloc.dir/alloc/exact.cpp.o.d"
+  "/root/repo/src/alloc/greedy.cpp" "src/CMakeFiles/fedshare_alloc.dir/alloc/greedy.cpp.o" "gcc" "src/CMakeFiles/fedshare_alloc.dir/alloc/greedy.cpp.o.d"
+  "/root/repo/src/alloc/lp_relax.cpp" "src/CMakeFiles/fedshare_alloc.dir/alloc/lp_relax.cpp.o" "gcc" "src/CMakeFiles/fedshare_alloc.dir/alloc/lp_relax.cpp.o.d"
+  "/root/repo/src/alloc/p2p.cpp" "src/CMakeFiles/fedshare_alloc.dir/alloc/p2p.cpp.o" "gcc" "src/CMakeFiles/fedshare_alloc.dir/alloc/p2p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

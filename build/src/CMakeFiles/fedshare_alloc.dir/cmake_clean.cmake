@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_alloc.dir/alloc/allocation.cpp.o"
+  "CMakeFiles/fedshare_alloc.dir/alloc/allocation.cpp.o.d"
+  "CMakeFiles/fedshare_alloc.dir/alloc/exact.cpp.o"
+  "CMakeFiles/fedshare_alloc.dir/alloc/exact.cpp.o.d"
+  "CMakeFiles/fedshare_alloc.dir/alloc/greedy.cpp.o"
+  "CMakeFiles/fedshare_alloc.dir/alloc/greedy.cpp.o.d"
+  "CMakeFiles/fedshare_alloc.dir/alloc/lp_relax.cpp.o"
+  "CMakeFiles/fedshare_alloc.dir/alloc/lp_relax.cpp.o.d"
+  "CMakeFiles/fedshare_alloc.dir/alloc/p2p.cpp.o"
+  "CMakeFiles/fedshare_alloc.dir/alloc/p2p.cpp.o.d"
+  "libfedshare_alloc.a"
+  "libfedshare_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_cli_lib.dir/cli/runner.cpp.o"
+  "CMakeFiles/fedshare_cli_lib.dir/cli/runner.cpp.o.d"
+  "libfedshare_cli_lib.a"
+  "libfedshare_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

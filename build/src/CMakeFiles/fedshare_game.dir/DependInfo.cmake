@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/banzhaf.cpp" "src/CMakeFiles/fedshare_game.dir/core/banzhaf.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/banzhaf.cpp.o.d"
+  "/root/repo/src/core/coalition.cpp" "src/CMakeFiles/fedshare_game.dir/core/coalition.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/coalition.cpp.o.d"
+  "/root/repo/src/core/core_solution.cpp" "src/CMakeFiles/fedshare_game.dir/core/core_solution.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/core_solution.cpp.o.d"
+  "/root/repo/src/core/dividends.cpp" "src/CMakeFiles/fedshare_game.dir/core/dividends.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/dividends.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/CMakeFiles/fedshare_game.dir/core/game.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/game.cpp.o.d"
+  "/root/repo/src/core/game_io.cpp" "src/CMakeFiles/fedshare_game.dir/core/game_io.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/game_io.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/CMakeFiles/fedshare_game.dir/core/kernel.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/kernel.cpp.o.d"
+  "/root/repo/src/core/nucleolus.cpp" "src/CMakeFiles/fedshare_game.dir/core/nucleolus.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/nucleolus.cpp.o.d"
+  "/root/repo/src/core/owen.cpp" "src/CMakeFiles/fedshare_game.dir/core/owen.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/owen.cpp.o.d"
+  "/root/repo/src/core/properties.cpp" "src/CMakeFiles/fedshare_game.dir/core/properties.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/properties.cpp.o.d"
+  "/root/repo/src/core/shapley.cpp" "src/CMakeFiles/fedshare_game.dir/core/shapley.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/shapley.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/CMakeFiles/fedshare_game.dir/core/sharing.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/sharing.cpp.o.d"
+  "/root/repo/src/core/values_ext.cpp" "src/CMakeFiles/fedshare_game.dir/core/values_ext.cpp.o" "gcc" "src/CMakeFiles/fedshare_game.dir/core/values_ext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_game.dir/core/banzhaf.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/banzhaf.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/coalition.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/coalition.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/core_solution.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/core_solution.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/dividends.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/dividends.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/game.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/game.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/game_io.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/game_io.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/kernel.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/kernel.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/nucleolus.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/nucleolus.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/owen.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/owen.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/properties.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/properties.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/shapley.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/shapley.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/sharing.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/sharing.cpp.o.d"
+  "CMakeFiles/fedshare_game.dir/core/values_ext.cpp.o"
+  "CMakeFiles/fedshare_game.dir/core/values_ext.cpp.o.d"
+  "libfedshare_game.a"
+  "libfedshare_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_plot.cpp" "src/CMakeFiles/fedshare_io.dir/io/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/fedshare_io.dir/io/ascii_plot.cpp.o.d"
+  "/root/repo/src/io/config.cpp" "src/CMakeFiles/fedshare_io.dir/io/config.cpp.o" "gcc" "src/CMakeFiles/fedshare_io.dir/io/config.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/fedshare_io.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/fedshare_io.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/fedshare_io.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/fedshare_io.dir/io/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

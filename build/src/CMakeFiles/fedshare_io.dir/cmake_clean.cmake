@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_io.dir/io/ascii_plot.cpp.o"
+  "CMakeFiles/fedshare_io.dir/io/ascii_plot.cpp.o.d"
+  "CMakeFiles/fedshare_io.dir/io/config.cpp.o"
+  "CMakeFiles/fedshare_io.dir/io/config.cpp.o.d"
+  "CMakeFiles/fedshare_io.dir/io/csv.cpp.o"
+  "CMakeFiles/fedshare_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/fedshare_io.dir/io/table.cpp.o"
+  "CMakeFiles/fedshare_io.dir/io/table.cpp.o.d"
+  "libfedshare_io.a"
+  "libfedshare_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

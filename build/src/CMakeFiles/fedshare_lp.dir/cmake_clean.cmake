@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_lp.dir/lp/matrix.cpp.o"
+  "CMakeFiles/fedshare_lp.dir/lp/matrix.cpp.o.d"
+  "CMakeFiles/fedshare_lp.dir/lp/problem.cpp.o"
+  "CMakeFiles/fedshare_lp.dir/lp/problem.cpp.o.d"
+  "CMakeFiles/fedshare_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/fedshare_lp.dir/lp/simplex.cpp.o.d"
+  "libfedshare_lp.a"
+  "libfedshare_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

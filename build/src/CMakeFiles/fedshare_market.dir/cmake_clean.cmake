@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_market.dir/market/revenue.cpp.o"
+  "CMakeFiles/fedshare_market.dir/market/revenue.cpp.o.d"
+  "libfedshare_market.a"
+  "libfedshare_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

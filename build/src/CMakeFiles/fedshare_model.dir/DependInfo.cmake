@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analytic_value.cpp" "src/CMakeFiles/fedshare_model.dir/model/analytic_value.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/analytic_value.cpp.o.d"
+  "/root/repo/src/model/cost.cpp" "src/CMakeFiles/fedshare_model.dir/model/cost.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/cost.cpp.o.d"
+  "/root/repo/src/model/demand.cpp" "src/CMakeFiles/fedshare_model.dir/model/demand.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/demand.cpp.o.d"
+  "/root/repo/src/model/facility.cpp" "src/CMakeFiles/fedshare_model.dir/model/facility.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/facility.cpp.o.d"
+  "/root/repo/src/model/federation.cpp" "src/CMakeFiles/fedshare_model.dir/model/federation.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/federation.cpp.o.d"
+  "/root/repo/src/model/hierarchy.cpp" "src/CMakeFiles/fedshare_model.dir/model/hierarchy.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/hierarchy.cpp.o.d"
+  "/root/repo/src/model/location_space.cpp" "src/CMakeFiles/fedshare_model.dir/model/location_space.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/location_space.cpp.o.d"
+  "/root/repo/src/model/stochastic_value.cpp" "src/CMakeFiles/fedshare_model.dir/model/stochastic_value.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/stochastic_value.cpp.o.d"
+  "/root/repo/src/model/utility.cpp" "src/CMakeFiles/fedshare_model.dir/model/utility.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/utility.cpp.o.d"
+  "/root/repo/src/model/value.cpp" "src/CMakeFiles/fedshare_model.dir/model/value.cpp.o" "gcc" "src/CMakeFiles/fedshare_model.dir/model/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_model.dir/model/analytic_value.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/analytic_value.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/cost.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/cost.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/demand.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/demand.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/facility.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/facility.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/federation.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/federation.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/hierarchy.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/hierarchy.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/location_space.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/location_space.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/stochastic_value.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/stochastic_value.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/utility.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/utility.cpp.o.d"
+  "CMakeFiles/fedshare_model.dir/model/value.cpp.o"
+  "CMakeFiles/fedshare_model.dir/model/value.cpp.o.d"
+  "libfedshare_model.a"
+  "libfedshare_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/coalition_formation.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/coalition_formation.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/coalition_formation.cpp.o.d"
+  "/root/repo/src/policy/equilibrium.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/equilibrium.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/equilibrium.cpp.o.d"
+  "/root/repo/src/policy/incentives.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/incentives.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/incentives.cpp.o.d"
+  "/root/repo/src/policy/mixture.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/mixture.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/mixture.cpp.o.d"
+  "/root/repo/src/policy/p2p_policy.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/p2p_policy.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/p2p_policy.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/policy/sensitivity.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/sensitivity.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/sensitivity.cpp.o.d"
+  "/root/repo/src/policy/weights.cpp" "src/CMakeFiles/fedshare_policy.dir/policy/weights.cpp.o" "gcc" "src/CMakeFiles/fedshare_policy.dir/policy/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

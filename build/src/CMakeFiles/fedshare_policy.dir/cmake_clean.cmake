@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_policy.dir/policy/coalition_formation.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/coalition_formation.cpp.o.d"
+  "CMakeFiles/fedshare_policy.dir/policy/equilibrium.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/equilibrium.cpp.o.d"
+  "CMakeFiles/fedshare_policy.dir/policy/incentives.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/incentives.cpp.o.d"
+  "CMakeFiles/fedshare_policy.dir/policy/mixture.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/mixture.cpp.o.d"
+  "CMakeFiles/fedshare_policy.dir/policy/p2p_policy.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/p2p_policy.cpp.o.d"
+  "CMakeFiles/fedshare_policy.dir/policy/policy.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/policy.cpp.o.d"
+  "CMakeFiles/fedshare_policy.dir/policy/sensitivity.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/sensitivity.cpp.o.d"
+  "CMakeFiles/fedshare_policy.dir/policy/weights.cpp.o"
+  "CMakeFiles/fedshare_policy.dir/policy/weights.cpp.o.d"
+  "libfedshare_policy.a"
+  "libfedshare_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/distributions.cpp" "src/CMakeFiles/fedshare_sim.dir/sim/distributions.cpp.o" "gcc" "src/CMakeFiles/fedshare_sim.dir/sim/distributions.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/fedshare_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/fedshare_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/loss_network.cpp" "src/CMakeFiles/fedshare_sim.dir/sim/loss_network.cpp.o" "gcc" "src/CMakeFiles/fedshare_sim.dir/sim/loss_network.cpp.o.d"
+  "/root/repo/src/sim/loss_system.cpp" "src/CMakeFiles/fedshare_sim.dir/sim/loss_system.cpp.o" "gcc" "src/CMakeFiles/fedshare_sim.dir/sim/loss_system.cpp.o.d"
+  "/root/repo/src/sim/multiplex_sim.cpp" "src/CMakeFiles/fedshare_sim.dir/sim/multiplex_sim.cpp.o" "gcc" "src/CMakeFiles/fedshare_sim.dir/sim/multiplex_sim.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/fedshare_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/fedshare_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/fedshare_sim.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/fedshare_sim.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_sim.dir/sim/distributions.cpp.o"
+  "CMakeFiles/fedshare_sim.dir/sim/distributions.cpp.o.d"
+  "CMakeFiles/fedshare_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/fedshare_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/fedshare_sim.dir/sim/loss_network.cpp.o"
+  "CMakeFiles/fedshare_sim.dir/sim/loss_network.cpp.o.d"
+  "CMakeFiles/fedshare_sim.dir/sim/loss_system.cpp.o"
+  "CMakeFiles/fedshare_sim.dir/sim/loss_system.cpp.o.d"
+  "CMakeFiles/fedshare_sim.dir/sim/multiplex_sim.cpp.o"
+  "CMakeFiles/fedshare_sim.dir/sim/multiplex_sim.cpp.o.d"
+  "CMakeFiles/fedshare_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/fedshare_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/fedshare_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/fedshare_sim.dir/sim/workload.cpp.o.d"
+  "libfedshare_sim.a"
+  "libfedshare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alloc.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_alloc.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_alloc.cpp.o.d"
+  "/root/repo/tests/test_alloc_property.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_alloc_property.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_alloc_property.cpp.o.d"
+  "/root/repo/tests/test_analytic_value.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_analytic_value.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_analytic_value.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_coalition.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_coalition.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_coalition.cpp.o.d"
+  "/root/repo/tests/test_coalition_formation.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_coalition_formation.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_coalition_formation.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_core_solution.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_core_solution.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_core_solution.cpp.o.d"
+  "/root/repo/tests/test_dividends.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_dividends.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_dividends.cpp.o.d"
+  "/root/repo/tests/test_federation_property.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_federation_property.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_federation_property.cpp.o.d"
+  "/root/repo/tests/test_figures.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_figures.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_figures.cpp.o.d"
+  "/root/repo/tests/test_game.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_game.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_game.cpp.o.d"
+  "/root/repo/tests/test_game_io.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_game_io.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_game_io.cpp.o.d"
+  "/root/repo/tests/test_game_property.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_game_property.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_game_property.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_lp.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_lp.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_lp.cpp.o.d"
+  "/root/repo/tests/test_lp_property.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_lp_property.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_lp_property.cpp.o.d"
+  "/root/repo/tests/test_market.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_market.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_market.cpp.o.d"
+  "/root/repo/tests/test_mixture.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_mixture.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_mixture.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_owen.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_owen.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_owen.cpp.o.d"
+  "/root/repo/tests/test_p2p.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_p2p.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_policy.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_shapley.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_shapley.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_shapley.cpp.o.d"
+  "/root/repo/tests/test_sharing.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_sharing.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_sharing.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stochastic_value.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_stochastic_value.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_stochastic_value.cpp.o.d"
+  "/root/repo/tests/test_values_ext.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_values_ext.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_values_ext.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedshare_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

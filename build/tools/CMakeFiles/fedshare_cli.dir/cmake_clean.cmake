@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_cli.dir/fedshare_cli.cpp.o"
+  "CMakeFiles/fedshare_cli.dir/fedshare_cli.cpp.o.d"
+  "fedshare_cli"
+  "fedshare_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

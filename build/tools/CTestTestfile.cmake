@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_sec41 "/root/repo/build/tools/fedshare_cli" "/root/repo/configs/sec41.ini")
+set_tests_properties(cli_sec41 PROPERTIES  PASS_REGULAR_EXPRESSION "shapley" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_planetlab_hierarchy "/root/repo/build/tools/fedshare_cli" "/root/repo/configs/planetlab.ini")
+set_tests_properties(cli_planetlab_hierarchy PROPERTIES  PASS_REGULAR_EXPRESSION "Owen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/fedshare_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
