@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_outage"
+  "../bench/ablate_outage.pdb"
+  "CMakeFiles/ablate_outage.dir/ablate_outage.cpp.o"
+  "CMakeFiles/ablate_outage.dir/ablate_outage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

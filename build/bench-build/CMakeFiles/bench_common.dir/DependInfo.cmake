@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fedshare_market.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/outage.cpp" "src/CMakeFiles/fedshare_runtime.dir/runtime/outage.cpp.o" "gcc" "src/CMakeFiles/fedshare_runtime.dir/runtime/outage.cpp.o.d"
+  "/root/repo/src/runtime/resilient.cpp" "src/CMakeFiles/fedshare_runtime.dir/runtime/resilient.cpp.o" "gcc" "src/CMakeFiles/fedshare_runtime.dir/runtime/resilient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_runtime.dir/runtime/outage.cpp.o"
+  "CMakeFiles/fedshare_runtime.dir/runtime/outage.cpp.o.d"
+  "CMakeFiles/fedshare_runtime.dir/runtime/resilient.cpp.o"
+  "CMakeFiles/fedshare_runtime.dir/runtime/resilient.cpp.o.d"
+  "libfedshare_runtime.a"
+  "libfedshare_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -33,6 +33,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_p2p.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_p2p.cpp.o.d"
   "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_paper_examples.cpp.o.d"
   "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_policy.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_runtime.cpp.o.d"
   "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_sensitivity.cpp.o.d"
   "/root/repo/tests/test_shapley.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_shapley.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_shapley.cpp.o.d"
   "/root/repo/tests/test_sharing.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_sharing.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_sharing.cpp.o.d"
@@ -47,6 +48,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fedshare_cli_lib.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_market.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"

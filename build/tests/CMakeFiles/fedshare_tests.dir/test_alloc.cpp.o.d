@@ -294,4 +294,6 @@ tests/CMakeFiles/fedshare_tests.dir/test_alloc.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/alloc/exact.hpp /root/repo/src/alloc/allocation.hpp \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/alloc/greedy.hpp /root/repo/src/alloc/lp_relax.hpp

@@ -315,5 +315,9 @@ tests/CMakeFiles/fedshare_tests.dir/test_alloc_property.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/alloc/exact.hpp \
- /root/repo/src/alloc/allocation.hpp /root/repo/src/alloc/greedy.hpp \
- /root/repo/src/alloc/lp_relax.hpp /root/repo/src/sim/rng.hpp
+ /root/repo/src/alloc/allocation.hpp /root/repo/src/runtime/budget.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/alloc/greedy.hpp \
+ /root/repo/src/alloc/lp_relax.hpp /root/repo/src/runtime/resilient.hpp \
+ /root/repo/src/core/game.hpp /root/repo/src/core/coalition.hpp \
+ /root/repo/src/core/sharing.hpp /root/repo/src/sim/rng.hpp

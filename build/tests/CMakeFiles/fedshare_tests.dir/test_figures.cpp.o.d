@@ -316,6 +316,8 @@ tests/CMakeFiles/fedshare_tests.dir/test_figures.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/sharing.hpp \
  /root/repo/src/core/game.hpp /root/repo/src/core/coalition.hpp \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/model/federation.hpp /root/repo/src/model/demand.hpp \
  /root/repo/src/alloc/allocation.hpp \
  /root/repo/src/model/location_space.hpp \

@@ -315,4 +315,6 @@ tests/CMakeFiles/fedshare_tests.dir/test_game.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/game.hpp \
- /root/repo/src/core/coalition.hpp /root/repo/src/core/properties.hpp
+ /root/repo/src/core/coalition.hpp /root/repo/src/runtime/budget.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/core/properties.hpp

@@ -294,4 +294,6 @@ tests/CMakeFiles/fedshare_tests.dir/test_lp.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/lp/matrix.hpp /root/repo/src/lp/problem.hpp \
- /root/repo/src/lp/simplex.hpp
+ /root/repo/src/lp/simplex.hpp /root/repo/src/runtime/budget.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio

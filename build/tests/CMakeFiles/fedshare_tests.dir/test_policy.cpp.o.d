@@ -297,6 +297,8 @@ tests/CMakeFiles/fedshare_tests.dir/test_policy.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/policy/equilibrium.hpp /root/repo/src/model/cost.hpp \
  /root/repo/src/core/game.hpp /root/repo/src/core/coalition.hpp \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/model/facility.hpp /root/repo/src/model/demand.hpp \
  /root/repo/src/alloc/allocation.hpp /root/repo/src/policy/policy.hpp \
  /root/repo/src/core/sharing.hpp /root/repo/src/model/federation.hpp \

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fedshare_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"

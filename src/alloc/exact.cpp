@@ -14,6 +14,7 @@ struct SearchState {
   std::vector<double> remaining;  // per-location capacity
   std::uint64_t nodes = 0;
   std::uint64_t max_nodes = 0;
+  const runtime::ComputeBudget* budget = nullptr;
   bool aborted = false;
 
   double best_utility = -1.0;
@@ -23,7 +24,8 @@ struct SearchState {
 
 void search(SearchState& st, std::size_t idx, double utility_so_far) {
   if (st.aborted) return;
-  if (++st.nodes > st.max_nodes) {
+  if (++st.nodes > st.max_nodes ||
+      (st.budget != nullptr && !st.budget->charge())) {
     st.aborted = true;
     return;
   }
@@ -76,7 +78,7 @@ void search(SearchState& st, std::size_t idx, double utility_so_far) {
 
 std::optional<AllocationResult> allocate_exact(
     const LocationPool& pool, const std::vector<RequestClass>& classes,
-    std::uint64_t max_nodes) {
+    std::uint64_t max_nodes, const runtime::ComputeBudget* budget) {
   pool.validate();
   if (pool.num_locations() > 16) {
     throw std::invalid_argument("allocate_exact: at most 16 locations");
@@ -103,6 +105,7 @@ std::optional<AllocationResult> allocate_exact(
   st.experiments = &experiments;
   st.remaining = pool.capacity;
   st.max_nodes = max_nodes;
+  st.budget = budget;
   st.current.assign(experiments.size(), 0);
   search(st, 0, 0.0);
   if (st.aborted) return std::nullopt;

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "alloc/allocation.hpp"
+#include "runtime/budget.hpp"
 
 namespace fedshare::alloc {
 
@@ -20,9 +21,14 @@ namespace fedshare::alloc {
 /// Requirements: every class count must be a non-negative integer, the
 /// total experiment count must be <= 8, and the pool must have <= 16
 /// locations (throws std::invalid_argument otherwise). Returns nullopt
-/// if the node budget is exhausted before the search completes.
+/// if the node budget — or the optional cooperative `budget` (deadline /
+/// cancellation), charged one unit per search node — is exhausted before
+/// the search completes. Callers must handle nullopt by degrading to
+/// allocate_greedy (see runtime::resilient_allocate for the sanctioned
+/// cascade), never by dereferencing blindly.
 [[nodiscard]] std::optional<AllocationResult> allocate_exact(
     const LocationPool& pool, const std::vector<RequestClass>& classes,
-    std::uint64_t max_nodes = std::uint64_t{1} << 24);
+    std::uint64_t max_nodes = std::uint64_t{1} << 24,
+    const runtime::ComputeBudget* budget = nullptr);
 
 }  // namespace fedshare::alloc

@@ -6,8 +6,12 @@
 
 namespace fedshare::alloc {
 
-double lp_upper_bound(const LocationPool& pool,
-                      const std::vector<RequestClass>& classes) {
+namespace {
+
+// Builds the relaxation LP; shared by the throwing and budgeted entry
+// points. Returns nullopt for the trivial empty instance (bound 0).
+std::optional<lp::Problem> build_relaxation(
+    const LocationPool& pool, const std::vector<RequestClass>& classes) {
   pool.validate();
   for (const auto& rc : classes) {
     rc.validate();
@@ -18,7 +22,7 @@ double lp_upper_bound(const LocationPool& pool,
   }
   const std::size_t num_loc = pool.num_locations();
   const std::size_t num_cls = classes.size();
-  if (num_loc == 0 || num_cls == 0) return 0.0;
+  if (num_loc == 0 || num_cls == 0) return std::nullopt;
 
   // Variable y[c * num_loc + l]: class-c experiment-assignments at
   // location l. Objective: one utility unit per assignment (d <= 1 bound).
@@ -45,11 +49,31 @@ double lp_upper_bound(const LocationPool& pool,
                           classes[c].count);
     }
   }
+  return prob;
+}
 
-  const lp::Solution sol = lp::solve(prob);
+}  // namespace
+
+double lp_upper_bound(const LocationPool& pool,
+                      const std::vector<RequestClass>& classes) {
+  const auto prob = build_relaxation(pool, classes);
+  if (!prob) return 0.0;
+  const lp::Solution sol = lp::solve(*prob);
   if (!sol.optimal()) {
     throw std::runtime_error("lp_upper_bound: LP solve failed");
   }
+  return sol.objective;
+}
+
+std::optional<double> lp_upper_bound_budgeted(
+    const LocationPool& pool, const std::vector<RequestClass>& classes,
+    const runtime::ComputeBudget& budget) {
+  const auto prob = build_relaxation(pool, classes);
+  if (!prob) return 0.0;
+  lp::SimplexOptions options;
+  options.budget = &budget;
+  const lp::Solution sol = lp::solve(*prob, options);
+  if (!sol.optimal()) return std::nullopt;
   return sol.objective;
 }
 

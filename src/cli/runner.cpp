@@ -9,6 +9,9 @@
 #include "core/properties.hpp"
 #include "core/sharing.hpp"
 #include "io/table.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/outage.hpp"
+#include "runtime/resilient.hpp"
 
 namespace fedshare::cli {
 
@@ -84,11 +87,19 @@ model::Federation federation_from_config(const io::Config& config) {
     const double locations = section->get_double("locations");
     if (locations < 0.0 || locations != std::floor(locations)) {
       throw io::ConfigError("'locations' must be a non-negative integer",
-                            section->line);
+                            section->entry_line("locations"));
     }
     cfg.num_locations = static_cast<int>(locations);
     cfg.units_per_location = section->get_double_or("units", 1.0);
+    if (cfg.units_per_location < 0.0) {
+      throw io::ConfigError("'units' must be >= 0",
+                            section->entry_line("units"));
+    }
     cfg.availability = section->get_double_or("availability", 1.0);
+    if (cfg.availability <= 0.0 || cfg.availability > 1.0) {
+      throw io::ConfigError("'availability' must be in (0, 1]",
+                            section->entry_line("availability"));
+    }
     configs.push_back(std::move(cfg));
   }
 
@@ -100,8 +111,20 @@ model::Federation federation_from_config(const io::Config& config) {
   for (const auto* section : demand_sections) {
     model::RequestClass rc;
     rc.count = section->get_double_or("count", 1.0);
+    if (rc.count < 0.0) {
+      throw io::ConfigError("'count' must be >= 0",
+                            section->entry_line("count"));
+    }
     rc.min_locations = section->get_double_or("min_locations", 0.0);
+    if (rc.min_locations < 0.0) {
+      throw io::ConfigError("'min_locations' must be >= 0",
+                            section->entry_line("min_locations"));
+    }
     rc.units_per_location = section->get_double_or("units", 1.0);
+    if (rc.units_per_location <= 0.0) {
+      throw io::ConfigError("'units' must be > 0",
+                            section->entry_line("units"));
+    }
     rc.exponent = section->get_double_or("exponent", 1.0);
     rc.holding_time = section->get_double_or("holding_time", 1.0);
     demand.classes.push_back(rc);
@@ -205,6 +228,218 @@ std::string run_report(const io::Config& config) {
     rtable.print(out);
   }
   return out.str();
+}
+
+namespace {
+
+// The resilient variant of the report body. Mirrors run_report section
+// by section, but every exponential computation runs under the budget
+// and degrades instead of overrunning; the no-options fast path never
+// reaches this function, which is what keeps default output
+// byte-identical across releases.
+std::string resilient_report(const io::Config& config,
+                             const ReportOptions& ropts) {
+  const model::Federation fed = federation_from_config(config);
+  int precision = 4;
+  const auto options = config.sections_named("options");
+  if (!options.empty()) {
+    precision =
+        static_cast<int>(options.front()->get_double_or("precision", 4.0));
+  }
+
+  std::ostringstream out;
+  const int n = fed.num_facilities();
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) {
+    names.push_back(fed.space().facility(i).name());
+  }
+
+  const runtime::ComputeBudget budget =
+      ropts.deadline_ms.has_value()
+          ? runtime::ComputeBudget::with_deadline_ms(*ropts.deadline_ms)
+          : runtime::ComputeBudget::unlimited();
+  const game::FunctionGame fgame(
+      n, [&fed](game::Coalition c) { return fed.value(c); });
+  const auto tab = game::tabulate_budgeted(fgame, budget);
+
+  io::print_heading(out, "Coalition values");
+  io::Table values({"coalition", "V(S)"});
+  values.set_align(0, io::Align::kLeft);
+  if (tab) {
+    for (const auto& s : game::all_coalitions(n)) {
+      if (s.empty()) continue;
+      std::string label;
+      for (const int m : s.members()) {
+        if (!label.empty()) label += "+";
+        label += names[static_cast<std::size_t>(m)];
+      }
+      values.add_row({label, io::format_double(tab->value(s), precision)});
+    }
+    values.print(out);
+  } else {
+    // Polynomial floor: singletons and the grand coalition only.
+    for (int i = 0; i < n; ++i) {
+      values.add_row({names[static_cast<std::size_t>(i)],
+                      io::format_double(fed.value(game::Coalition::single(i)),
+                                        precision)});
+    }
+    std::string grand_label;
+    for (const auto& name : names) {
+      if (!grand_label.empty()) grand_label += "+";
+      grand_label += name;
+    }
+    values.add_row({grand_label,
+                    io::format_double(
+                        fed.value(game::Coalition::grand(n)), precision)});
+    values.print(out);
+    out << "(full coalition table skipped: "
+        << runtime::to_string(budget.stop_reason()) << ")\n";
+  }
+
+  if (tab) {
+    const auto props = game::analyze_properties(*tab, 1e-9);
+    out << "\nGame properties: "
+        << (props.superadditive ? "superadditive" : "not superadditive")
+        << ", " << (props.convex ? "convex" : "not convex") << ", "
+        << (props.monotone ? "monotone" : "not monotone") << ", "
+        << (props.essential ? "essential" : "inessential") << "\n";
+  } else {
+    out << "\nGame properties: not evaluated (coalition table unavailable "
+           "under deadline)\n";
+  }
+
+  io::print_heading(out, "Sharing schemes");
+  std::vector<std::string> headers{"scheme"};
+  for (const auto& name : names) headers.push_back(name);
+  headers.emplace_back("in core");
+  io::Table table(std::move(headers));
+  table.set_align(0, io::Align::kLeft);
+  runtime::ResilientSchemes rs = runtime::compare_schemes_resilient(
+      tab ? static_cast<const game::Game&>(*tab) : fgame,
+      tab ? &*tab : nullptr, fed.availability_weights(),
+      fed.consumption_weights(), budget);
+  for (const auto& o : rs.outcomes) {
+    std::vector<std::string> row{game::to_string(o.scheme)};
+    for (int i = 0; i < n; ++i) {
+      row.push_back(io::format_double(o.shares[static_cast<std::size_t>(i)],
+                                      precision));
+    }
+    row.emplace_back(rs.core_checked ? (o.in_core ? "yes" : "no") : "n/a");
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  // Optional hierarchy section (needs the full table; Owen and the
+  // quotient Shapley are exponential in the block structure).
+  const auto labels = region_labels(config);
+  if (const auto hierarchy = hierarchy_from_labels(labels, names)) {
+    if (tab) {
+      io::print_heading(out, "Hierarchy (Owen value)");
+      const auto owen = game::normalize_shares(
+          game::owen_value(*tab, hierarchy->structure));
+      const auto quotient = game::normalize_shares(game::shapley_exact(
+          game::quotient_game(*tab, hierarchy->structure)));
+      io::Table htable(
+          std::vector<std::string>{"facility", "block", "Owen share"});
+      htable.set_align(0, io::Align::kLeft);
+      htable.set_align(1, io::Align::kLeft);
+      for (int i = 0; i < n; ++i) {
+        htable.add_row(
+            {names[static_cast<std::size_t>(i)],
+             hierarchy->block_names[hierarchy->structure.union_of(i)],
+             io::format_double(owen[static_cast<std::size_t>(i)],
+                               precision)});
+      }
+      htable.print(out);
+      io::Table rtable(
+          std::vector<std::string>{"block", "quotient Shapley share"});
+      rtable.set_align(0, io::Align::kLeft);
+      for (std::size_t b = 0; b < hierarchy->block_names.size(); ++b) {
+        rtable.add_row({hierarchy->block_names[b],
+                        io::format_double(quotient[b], precision)});
+      }
+      out << '\n';
+      rtable.print(out);
+    } else {
+      rs.notes.emplace_back(
+          "hierarchy: skipped (coalition table unavailable under "
+          "deadline)");
+    }
+  }
+
+  io::print_heading(out, "Resilience");
+  if (ropts.deadline_ms.has_value()) {
+    out << "deadline: " << *ropts.deadline_ms << " ms\n";
+  } else {
+    out << "deadline: none\n";
+  }
+  out << "coalition table: "
+      << (tab ? "complete"
+              : std::string("truncated (") +
+                    runtime::to_string(budget.stop_reason()) + ")")
+      << "\n";
+  out << "shapley engine: " << runtime::to_string(rs.shapley_engine);
+  if (rs.shapley_engine == runtime::ShapleyEngine::kMonteCarlo) {
+    out << " (" << rs.shapley_samples << " samples, max standard error "
+        << io::format_double(rs.shapley_max_se, precision) << ")";
+  }
+  out << "\n";
+  for (const auto& note : rs.notes) {
+    out << "note: " << note << "\n";
+  }
+
+  if (ropts.outage_scenarios > 0) {
+    const runtime::OutageReport report = runtime::evaluate_outages(
+        fed, ropts.outage_scenarios, ropts.outage_seed, budget);
+    io::print_heading(out, "Outage distribution");
+    out << "scenarios: " << report.scenarios_evaluated << "/"
+        << report.scenarios_requested << " (seed " << report.seed << ")"
+        << (report.complete() ? "" : " — truncated by the deadline")
+        << "\n";
+    if (report.scenarios_evaluated > 0) {
+      out << "V(N): mean " << io::format_double(report.grand_value.mean,
+                                                precision)
+          << ", q05 " << io::format_double(report.grand_value.q05, precision)
+          << ", q95 " << io::format_double(report.grand_value.q95, precision)
+          << ", min " << io::format_double(report.grand_value.min, precision)
+          << ", max " << io::format_double(report.grand_value.max, precision)
+          << "\n\n";
+      io::Table shares_table(std::vector<std::string>{
+          "scheme", "facility", "mean share", "q05", "q95", "mean payoff"});
+      shares_table.set_align(0, io::Align::kLeft);
+      shares_table.set_align(1, io::Align::kLeft);
+      for (const auto& sr : report.schemes) {
+        for (int i = 0; i < n; ++i) {
+          const auto fi = static_cast<std::size_t>(i);
+          shares_table.add_row(
+              {game::to_string(sr.scheme), names[fi],
+               io::format_double(sr.shares[fi].mean, precision),
+               io::format_double(sr.shares[fi].q05, precision),
+               io::format_double(sr.shares[fi].q95, precision),
+               io::format_double(sr.payoffs[fi].mean, precision)});
+        }
+      }
+      shares_table.print(out);
+      out << '\n';
+      io::Table core_table(
+          std::vector<std::string>{"scheme", "core fraction"});
+      core_table.set_align(0, io::Align::kLeft);
+      for (const auto& sr : report.schemes) {
+        core_table.add_row({game::to_string(sr.scheme),
+                            io::format_double(sr.core_fraction, precision)});
+      }
+      core_table.print(out);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string run_report(const io::Config& config,
+                       const ReportOptions& options) {
+  if (!options.any()) return run_report(config);
+  return resilient_report(config, options);
 }
 
 std::string run_report_from_string(const std::string& text) {

@@ -23,14 +23,48 @@
 // the report adds a hierarchy section (quotient Shapley per region and
 // structure-consistent Owen shares per facility). Facilities without a
 // region form their own singleton block.
+//
+// Resilience flags (tools/fedshare_cli.cpp, mapped onto ReportOptions):
+//
+//   --deadline-ms <ms>       compute budget for the exponential solvers;
+//                            when it trips the report degrades (Monte-
+//                            Carlo Shapley with standard errors, schemes
+//                            needing the full coalition table skipped)
+//                            instead of running long, and a Resilience
+//                            section records which engines answered.
+//   --outage-scenarios <k>   sample k outage scenarios from each
+//                            facility's availability T_i and append a
+//                            share/payoff distribution section.
+//   --outage-seed <seed>     RNG seed for the outage sampler (default 1).
+//
+// Without any flag the output is byte-identical to previous releases.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "io/config.hpp"
 #include "model/federation.hpp"
 
 namespace fedshare::cli {
+
+/// Resilience knobs for run_report. Default-constructed options select
+/// the original (non-degradable) code path with unchanged output.
+struct ReportOptions {
+  /// Compute budget for the exponential solvers (tabulation, exact
+  /// Shapley, nucleolus LPs). Unset = unlimited.
+  std::optional<double> deadline_ms;
+  /// When > 0, append an outage-distribution section over this many
+  /// sampled scenarios.
+  int outage_scenarios = 0;
+  /// Seed for the outage sampler.
+  std::uint64_t outage_seed = 1;
+
+  [[nodiscard]] bool any() const noexcept {
+    return deadline_ms.has_value() || outage_scenarios > 0;
+  }
+};
 
 /// Builds a Federation from a parsed config. Throws io::ConfigError on
 /// missing/invalid sections or values.
@@ -40,6 +74,13 @@ namespace fedshare::cli {
 /// Full report: coalition values, game properties, and every sharing
 /// scheme with core membership. Deterministic text output.
 [[nodiscard]] std::string run_report(const io::Config& config);
+
+/// Report with resilience options. With default options this is exactly
+/// run_report(config); with a deadline the solvers degrade gracefully
+/// (the report always completes) and a Resilience section is appended;
+/// with outage scenarios an outage-distribution section is appended.
+[[nodiscard]] std::string run_report(const io::Config& config,
+                                     const ReportOptions& options);
 
 /// Convenience: parse `text` and report; rethrows io::ConfigError.
 [[nodiscard]] std::string run_report_from_string(const std::string& text);

@@ -73,6 +73,21 @@ TabularGame tabulate(const Game& game) {
   return TabularGame(n, std::move(values));
 }
 
+std::optional<TabularGame> tabulate_budgeted(
+    const Game& game, const runtime::ComputeBudget& budget) {
+  const int n = game.num_players();
+  if (n > 24) {
+    throw std::invalid_argument("tabulate_budgeted: n must be <= 24");
+  }
+  const std::uint64_t count = std::uint64_t{1} << n;
+  std::vector<double> values(count);
+  for (std::uint64_t mask = 0; mask < count; ++mask) {
+    if (!budget.charge()) return std::nullopt;
+    values[mask] = game.value(Coalition::from_bits(mask));
+  }
+  return TabularGame(n, std::move(values));
+}
+
 double standalone_total(const Game& game) {
   double total = 0.0;
   for (int i = 0; i < game.num_players(); ++i) {

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/coalition.hpp"
+#include "runtime/budget.hpp"
 
 namespace fedshare::game {
 
@@ -78,6 +80,13 @@ class FunctionGame final : public Game {
 /// Evaluates `game` on every coalition and returns the tabular form.
 /// Requires num_players() <= 24.
 [[nodiscard]] TabularGame tabulate(const Game& game);
+
+/// Budgeted tabulation: charges `budget` one unit per V(S) evaluation
+/// (the dominant cost for model-backed games) and returns nullopt when
+/// it trips before all 2^n values are computed. Same requirements as
+/// tabulate().
+[[nodiscard]] std::optional<TabularGame> tabulate_budgeted(
+    const Game& game, const runtime::ComputeBudget& budget);
 
 /// Sum of V({i}) over all players (the "act alone" total).
 [[nodiscard]] double standalone_total(const Game& game);

@@ -55,6 +55,11 @@ struct RoundContext {
 }  // namespace
 
 NucleolusResult nucleolus(const Game& game) {
+  return nucleolus(game, lp::SimplexOptions{});
+}
+
+NucleolusResult nucleolus(const Game& game,
+                          const lp::SimplexOptions& options) {
   const int n = game.num_players();
   if (n < 1 || n > 10) {
     throw std::invalid_argument("nucleolus: n must be in [1, 10]");
@@ -85,7 +90,7 @@ NucleolusResult nucleolus(const Game& game) {
     // 1. Least-core step over the remaining coalitions.
     lp::Problem prob = ctx.base_problem();
     prob.set_objective_coefficient(nv, 1.0);
-    const lp::Solution sol = lp::solve(prob);
+    const lp::Solution sol = lp::solve(prob, options);
     if (!sol.optimal()) return out;
     const double eps = sol.x[nv];
     out.levels.push_back(eps);
@@ -111,7 +116,7 @@ NucleolusResult nucleolus(const Game& game) {
       std::vector<double> pin(nv + 1, 0.0);
       pin[nv] = 1.0;
       aux_max.add_constraint(std::move(pin), lp::Relation::kEqual, eps);
-      const lp::Solution aux_sol = lp::solve(aux_max);
+      const lp::Solution aux_sol = lp::solve(aux_max, options);
       if (!aux_sol.optimal()) return out;
       const double max_xs = aux_sol.objective;
       const double bound = tab.values()[mask] - eps;
@@ -145,7 +150,7 @@ NucleolusResult nucleolus(const Game& game) {
           std::vector<double> pin_eps(nv + 1, 0.0);
           pin_eps[nv] = 1.0;
           p.add_constraint(std::move(pin_eps), lp::Relation::kEqual, eps);
-          const lp::Solution s2 = lp::solve(p);
+          const lp::Solution s2 = lp::solve(p, options);
           if (!s2.optimal()) {
             unique = false;
             extremes[dir] = 0.0;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/game.hpp"
+#include "lp/simplex.hpp"
 
 namespace fedshare::game {
 
@@ -23,5 +24,12 @@ struct NucleolusResult {
 /// Computes the nucleolus. Requires 1 <= n <= 10 (each round solves up to
 /// 2^n auxiliary LPs over 2^n rows).
 [[nodiscard]] NucleolusResult nucleolus(const Game& game);
+
+/// Variant threading solver options (in particular a ComputeBudget)
+/// through every internal LP. When the budget trips mid-scheme the
+/// result comes back with solved == false rather than hanging; callers
+/// degrade (the CLI drops the nucleolus row with a resilience note).
+[[nodiscard]] NucleolusResult nucleolus(const Game& game,
+                                        const lp::SimplexOptions& options);
 
 }  // namespace fedshare::game

@@ -90,6 +90,8 @@ std::vector<double> owen_value(const Game& game,
       // Enumerate subsets T of U_k (as masks over the member list).
       const std::uint64_t t_count = std::uint64_t{1} << u;
       for (std::uint64_t t_mask = 0; t_mask < t_count; ++t_mask) {
+        // Full T: no member of U_k left to add.
+        if (__builtin_popcountll(t_mask) == u) continue;
         Coalition t;
         for (int b = 0; b < u; ++b) {
           if ((t_mask >> b) & 1u) {

@@ -31,14 +31,13 @@ struct SplitMix64 {
 
 }  // namespace
 
-std::vector<double> shapley_exact(const Game& game) {
-  const int n = game.num_players();
-  if (n == 0) return {};
-  if (n > 24) {
-    throw std::invalid_argument(
-        "shapley_exact: n must be <= 24; use shapley_monte_carlo");
-  }
-  const TabularGame tab = tabulate(game);
+namespace {
+
+// Subset-formula accumulation over a tabulated game. Charges `budget`
+// (when given) one unit per subset; returns nullopt if it trips.
+std::optional<std::vector<double>> accumulate_subset_formula(
+    const TabularGame& tab, const runtime::ComputeBudget* budget) {
+  const int n = tab.num_players();
   const std::vector<double>& v = tab.values();
 
   // weight[s] = s! (n-s-1)! / n! for |S| = s, computed in log space to
@@ -59,7 +58,9 @@ std::vector<double> shapley_exact(const Game& game) {
   std::vector<double> phi(static_cast<std::size_t>(n), 0.0);
   const std::uint64_t count = std::uint64_t{1} << n;
   for (std::uint64_t mask = 0; mask < count; ++mask) {
+    if (budget != nullptr && !budget->charge()) return std::nullopt;
     const int s = __builtin_popcountll(mask);
+    if (s == n) continue;  // grand coalition: no player left to add
     const double w = weight[static_cast<std::size_t>(s)];
     const double base = v[mask];
     for (int i = 0; i < n; ++i) {
@@ -69,6 +70,31 @@ std::vector<double> shapley_exact(const Game& game) {
     }
   }
   return phi;
+}
+
+}  // namespace
+
+std::vector<double> shapley_exact(const Game& game) {
+  const int n = game.num_players();
+  if (n == 0) return {};
+  if (n > 24) {
+    throw std::invalid_argument(
+        "shapley_exact: n must be <= 24; use shapley_monte_carlo");
+  }
+  return *accumulate_subset_formula(tabulate(game), nullptr);
+}
+
+std::optional<std::vector<double>> shapley_exact_budgeted(
+    const Game& game, const runtime::ComputeBudget& budget) {
+  const int n = game.num_players();
+  if (n == 0) return std::vector<double>{};
+  if (n > 24) {
+    throw std::invalid_argument(
+        "shapley_exact_budgeted: n must be <= 24; use shapley_monte_carlo");
+  }
+  const auto tab = tabulate_budgeted(game, budget);
+  if (!tab) return std::nullopt;
+  return accumulate_subset_formula(*tab, &budget);
 }
 
 std::vector<double> shapley_permutations(const Game& game) {
@@ -103,7 +129,8 @@ std::vector<double> shapley_permutations(const Game& game) {
 }
 
 MonteCarloShapley shapley_monte_carlo(const Game& game, std::uint64_t samples,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      const runtime::ComputeBudget* budget) {
   const int n = game.num_players();
   if (samples < 2) {
     throw std::invalid_argument("shapley_monte_carlo: need samples >= 2");
@@ -120,7 +147,16 @@ MonteCarloShapley shapley_monte_carlo(const Game& game, std::uint64_t samples,
   std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
   std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
 
+  std::uint64_t drawn = 0;
   for (std::uint64_t s = 0; s < samples; ++s) {
+    // One sample costs n V-evaluations; stop early when the budget trips,
+    // but always complete two samples so the standard errors exist.
+    if (budget != nullptr &&
+        !budget->charge(static_cast<std::uint64_t>(n)) && s >= 2) {
+      result.complete = false;
+      break;
+    }
+    ++drawn;
     // Fisher-Yates shuffle.
     for (int i = n - 1; i > 0; --i) {
       const auto j = static_cast<std::size_t>(
@@ -140,7 +176,8 @@ MonteCarloShapley shapley_monte_carlo(const Game& game, std::uint64_t samples,
     }
   }
 
-  const auto count = static_cast<double>(samples);
+  result.samples = drawn;
+  const auto count = static_cast<double>(drawn);
   for (int i = 0; i < n; ++i) {
     const auto ui = static_cast<std::size_t>(i);
     const double mean = sum[ui] / count;
@@ -153,9 +190,9 @@ MonteCarloShapley shapley_monte_carlo(const Game& game, std::uint64_t samples,
   return result;
 }
 
-MonteCarloShapley shapley_monte_carlo_antithetic(const Game& game,
-                                                 std::uint64_t samples,
-                                                 std::uint64_t seed) {
+MonteCarloShapley shapley_monte_carlo_antithetic(
+    const Game& game, std::uint64_t samples, std::uint64_t seed,
+    const runtime::ComputeBudget* budget) {
   const int n = game.num_players();
   if (samples < 2 || samples % 2 != 0) {
     throw std::invalid_argument(
@@ -176,7 +213,16 @@ MonteCarloShapley shapley_monte_carlo_antithetic(const Game& game,
   std::vector<double> pair_marginal(static_cast<std::size_t>(n), 0.0);
 
   const std::uint64_t pairs = samples / 2;
+  std::uint64_t pairs_drawn = 0;
   for (std::uint64_t p = 0; p < pairs; ++p) {
+    // One pair costs 2n V-evaluations; stop early when the budget trips,
+    // but always complete one pair so the estimate exists.
+    if (budget != nullptr &&
+        !budget->charge(2 * static_cast<std::uint64_t>(n)) && p >= 1) {
+      result.complete = false;
+      break;
+    }
+    ++pairs_drawn;
     for (int i = n - 1; i > 0; --i) {
       const auto j = static_cast<std::size_t>(
           rng.below(static_cast<std::uint64_t>(i) + 1));
@@ -205,7 +251,8 @@ MonteCarloShapley shapley_monte_carlo_antithetic(const Game& game,
     }
   }
 
-  const auto count = static_cast<double>(pairs);
+  result.samples = 2 * pairs_drawn;
+  const auto count = static_cast<double>(pairs_drawn);
   for (int i = 0; i < n; ++i) {
     const auto ui = static_cast<std::size_t>(i);
     const double mean = sum[ui] / count;

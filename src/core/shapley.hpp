@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/game.hpp"
@@ -22,6 +23,14 @@ namespace fedshare::game {
 /// The game is tabulated once; requires n <= 24.
 [[nodiscard]] std::vector<double> shapley_exact(const Game& game);
 
+/// Budgeted exact Shapley: charges `budget` one unit per V(S) evaluation
+/// during tabulation and one per accumulated subset. Returns nullopt
+/// when the budget trips (a partial subset sum is not a meaningful
+/// estimate — degrade to shapley_monte_carlo* instead; see
+/// runtime::resilient_shapley for the sanctioned cascade).
+[[nodiscard]] std::optional<std::vector<double>> shapley_exact_budgeted(
+    const Game& game, const runtime::ComputeBudget& budget);
+
 /// Exact Shapley values by enumerating all n! player orderings and
 /// averaging marginal contributions. Exponentially slower than
 /// shapley_exact; kept as an independent cross-check. Requires n <= 10.
@@ -31,24 +40,33 @@ namespace fedshare::game {
 struct MonteCarloShapley {
   std::vector<double> phi;             ///< estimated Shapley values
   std::vector<double> standard_error;  ///< per-player standard errors
-  std::uint64_t samples = 0;           ///< permutations drawn
+  std::uint64_t samples = 0;           ///< permutations actually drawn
+  /// False when an attached ComputeBudget tripped before the requested
+  /// sample count; phi/standard_error then reflect `samples` draws (at
+  /// least two are always completed so the errors stay defined).
+  bool complete = true;
 };
 
 /// Estimates Shapley values by sampling `samples` uniform permutations
 /// (each sample evaluates V n+1 times along a random ordering).
-/// Deterministic given `seed`. Requires samples >= 2.
-[[nodiscard]] MonteCarloShapley shapley_monte_carlo(const Game& game,
-                                                    std::uint64_t samples,
-                                                    std::uint64_t seed);
+/// Deterministic given `seed`. Requires samples >= 2. When `budget` is
+/// given it is charged one unit per V evaluation; on exhaustion sampling
+/// stops early and the partial estimate is returned with
+/// complete == false (never fewer than two samples).
+[[nodiscard]] MonteCarloShapley shapley_monte_carlo(
+    const Game& game, std::uint64_t samples, std::uint64_t seed,
+    const runtime::ComputeBudget* budget = nullptr);
 
 /// Antithetic variant: permutations are drawn in (pi, reverse(pi)) pairs
 /// and each pair's marginal contributions are averaged before entering
 /// the estimator. For monotone games a player early in pi is late in the
 /// reverse, so the pair's marginals are negatively correlated and the
 /// standard error drops at equal V-evaluation cost. `samples` counts
-/// permutations (must be even and >= 2).
+/// permutations (must be even and >= 2). Budget semantics as in
+/// shapley_monte_carlo, at pair granularity (never fewer than one pair).
 [[nodiscard]] MonteCarloShapley shapley_monte_carlo_antithetic(
-    const Game& game, std::uint64_t samples, std::uint64_t seed);
+    const Game& game, std::uint64_t samples, std::uint64_t seed,
+    const runtime::ComputeBudget* budget = nullptr);
 
 /// Normalises a value vector to shares of the total: out[i] = v[i] / sum(v).
 /// For Shapley values this is the paper's phi-hat (Eq. 5), since

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 
 namespace fedshare::io {
@@ -24,10 +25,17 @@ ConfigError::ConfigError(const std::string& message, int line)
       line_(line) {}
 
 std::optional<std::string> ConfigSection::find(const std::string& key) const {
-  for (const auto& [k, v] : entries) {
-    if (k == key) return v;
+  for (const auto& e : entries) {
+    if (e.key == key) return e.value;
   }
   return std::nullopt;
+}
+
+int ConfigSection::entry_line(const std::string& key) const {
+  for (const auto& e : entries) {
+    if (e.key == key) return e.line;
+  }
+  return line;
 }
 
 std::string ConfigSection::get_string(const std::string& key) const {
@@ -48,12 +56,17 @@ double ConfigSection::get_double(const std::string& key) const {
   } catch (const std::exception&) {
     throw ConfigError("key '" + key + "' in [" + name +
                           "] is not a number: '" + raw + "'",
-                      line);
+                      entry_line(key));
   }
   if (used != raw.size()) {
     throw ConfigError("key '" + key + "' in [" + name +
                           "] has trailing junk: '" + raw + "'",
-                      line);
+                      entry_line(key));
+  }
+  if (!std::isfinite(value)) {
+    throw ConfigError("key '" + key + "' in [" + name +
+                          "] must be finite, got '" + raw + "'",
+                      entry_line(key));
   }
   return value;
 }
@@ -104,7 +117,7 @@ Config Config::parse(std::istream& in) {
                             section.name + "]",
                         line_number);
     }
-    section.entries.emplace_back(key, value);
+    section.entries.push_back({key, value, line_number});
   }
   return config;
 }

@@ -27,19 +27,32 @@ class ConfigError : public std::runtime_error {
   int line_;
 };
 
+/// One `key = value` line.
+struct ConfigEntry {
+  std::string key;
+  std::string value;
+  int line = 0;  ///< 1-based line of the entry
+};
+
 /// One `[name]` block with its entries in file order.
 struct ConfigSection {
   std::string name;
   int line = 0;  ///< line of the section header
-  std::vector<std::pair<std::string, std::string>> entries;
+  std::vector<ConfigEntry> entries;
 
   /// Raw value for `key`, or nullopt.
   [[nodiscard]] std::optional<std::string> find(const std::string& key) const;
 
+  /// Line number of `key`'s entry; the section header's line when the
+  /// key is absent. Lets validation errors point at the offending line.
+  [[nodiscard]] int entry_line(const std::string& key) const;
+
   /// Required string value; throws ConfigError when absent.
   [[nodiscard]] std::string get_string(const std::string& key) const;
 
-  /// Required double; throws ConfigError when absent or malformed.
+  /// Required double; throws ConfigError (carrying the entry's line) when
+  /// absent, malformed, or not finite (nan/inf are config errors: no
+  /// model quantity accepts them).
   [[nodiscard]] double get_double(const std::string& key) const;
 
   /// Optional double with a default.

@@ -30,6 +30,9 @@ SolveStatus run_phase(Tableau& t, std::vector<double>& cost,
   const std::size_t m = t.body.rows();
   const std::size_t rhs_col = t.total_cols;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    if (opt.budget && !opt.budget->charge()) {
+      return SolveStatus::kBudgetExhausted;
+    }
     // Entering column: smallest index with a positive reduced profit
     // (we maximize, so we look for cost[j] < -tol after canonicalizing
     // cost as "row to be driven non-negative").
@@ -90,6 +93,7 @@ const char* to_string(SolveStatus status) noexcept {
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kBudgetExhausted: return "budget-exhausted";
   }
   return "unknown";
 }
@@ -208,7 +212,8 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
       }
     }
     const SolveStatus s1 = run_phase(t, phase1, options, false);
-    if (s1 == SolveStatus::kIterationLimit) {
+    if (s1 == SolveStatus::kIterationLimit ||
+        s1 == SolveStatus::kBudgetExhausted) {
       result.status = s1;
       return result;
     }

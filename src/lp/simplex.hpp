@@ -9,11 +9,19 @@
 #include <vector>
 
 #include "lp/problem.hpp"
+#include "runtime/budget.hpp"
 
 namespace fedshare::lp {
 
-/// Solver outcome.
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+/// Solver outcome. kBudgetExhausted means the attached ComputeBudget
+/// (deadline / node cap / cancellation) tripped mid-solve.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kBudgetExhausted,
+};
 
 /// Human-readable status name (for logs and test messages).
 [[nodiscard]] const char* to_string(SolveStatus status) noexcept;
@@ -35,6 +43,10 @@ struct Solution {
 struct SimplexOptions {
   int max_iterations = 20000;  ///< per phase
   double tolerance = 1e-9;     ///< pivot / feasibility tolerance
+  /// Optional cooperative budget, charged one unit per pivot. When it
+  /// trips the solve returns kBudgetExhausted instead of spinning until
+  /// max_iterations. Not owned; must outlive the solve call.
+  const runtime::ComputeBudget* budget = nullptr;
 };
 
 /// Solves `problem` with the two-phase primal simplex method.

@@ -43,6 +43,11 @@ class Facility {
   [[nodiscard]] double availability() const noexcept {
     return config_.availability;
   }
+  /// The full validated config (used by the outage model to derive
+  /// degraded facilities).
+  [[nodiscard]] const FacilityConfig& config() const noexcept {
+    return config_;
+  }
 
   /// Time-discounted capacity at each location: R_i * T_i (uniform case;
   /// with custom units, the mean across locations).

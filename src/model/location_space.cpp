@@ -111,6 +111,41 @@ alloc::LocationPool LocationSpace::pool_for(game::Coalition coalition) const {
   return pool;
 }
 
+LocationSpace LocationSpace::with_outages(
+    const std::vector<std::vector<bool>>& up) const {
+  if (up.size() != facilities_.size()) {
+    throw std::invalid_argument(
+        "with_outages: need one up-mask per facility");
+  }
+  LocationSpace degraded;
+  degraded.num_locations_ = num_locations_;
+  for (std::size_t i = 0; i < facilities_.size(); ++i) {
+    const Facility& f = facilities_[i];
+    const auto& locs = facility_locations_[i];
+    const auto& mask = up[i];
+    if (mask.size() != locs.size()) {
+      throw std::invalid_argument(
+          "with_outages: up-mask size must match the facility's location "
+          "count");
+    }
+    FacilityConfig cfg;
+    cfg.name = f.name();
+    cfg.availability = 1.0;  // realised: survivors are fully up
+    std::vector<int> surviving;
+    for (std::size_t k = 0; k < locs.size(); ++k) {
+      if (!mask[k]) continue;
+      surviving.push_back(locs[k]);
+      // Full (availability-free) capacity at the surviving location.
+      cfg.custom_units.push_back(f.effective_units_at(static_cast<int>(k)) /
+                                 f.availability());
+    }
+    cfg.num_locations = static_cast<int>(surviving.size());
+    degraded.facilities_.emplace_back(static_cast<int>(i), std::move(cfg));
+    degraded.facility_locations_.push_back(std::move(surviving));
+  }
+  return degraded;
+}
+
 std::vector<double> LocationSpace::attribute_consumption(
     game::Coalition coalition,
     const std::vector<double>& units_per_location) const {

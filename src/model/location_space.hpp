@@ -60,6 +60,18 @@ class LocationSpace {
   [[nodiscard]] std::vector<int> pooled_location_ids(
       game::Coalition coalition) const;
 
+  /// Degraded copy realising an outage scenario: facility i keeps only
+  /// the locations whose entry in `up[i]` is true (up[i] is indexed like
+  /// locations_of(i) and must match its size). Because the outage
+  /// *realises* each facility's availability T_i, surviving locations
+  /// carry their full capacity R_il and the degraded facilities report
+  /// availability 1 — so a facility with T_i = 1 and an all-up mask is
+  /// unchanged, and the expected degraded capacity under masks sampled
+  /// from T_i equals the nominal effective capacity R_il * T_i. The
+  /// location universe (ids, size) is preserved, so overlaps survive.
+  [[nodiscard]] LocationSpace with_outages(
+      const std::vector<std::vector<bool>>& up) const;
+
   /// Splits an allocation's per-location consumed units (aligned with
   /// pool_for(coalition)) across facilities, pro-rata to each facility's
   /// capacity at that location. Returns consumed units per facility

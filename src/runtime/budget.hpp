@@ -1,0 +1,180 @@
+// Cooperative compute budgets for the solver hot loops.
+//
+// A ComputeBudget bundles a wall-clock deadline, a work-unit (node /
+// iteration / evaluation) cap, and a cancellation token. Solvers charge
+// the budget from their innermost loops and bail out with a structured
+// partial result when it trips, so no engine ever hangs past its
+// deadline by more than one amortisation window. Header-only so the
+// low-level libraries (lp, alloc, core) can consume it without a link
+// dependency; the richer resilience machinery lives in
+// runtime/{outage,resilient}.hpp.
+//
+// A budget is intended for one solver invocation on one thread; the
+// cancellation token alone may be shared across threads (e.g. a control
+// thread cancelling a worker).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace fedshare::runtime {
+
+/// Why a budget stopped charging.
+enum class StopReason { kNone, kDeadline, kNodeCap, kCancelled };
+
+/// Human-readable stop-reason name (for logs and report notes).
+[[nodiscard]] inline const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kNodeCap: return "node-cap";
+    case StopReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Shared cancellation flag. A default-constructed token is inert (never
+/// cancelled); create() makes a live one. Copies share the flag, so any
+/// holder — including another thread — can cancel every budget observing
+/// the token.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  [[nodiscard]] static CancellationToken create() {
+    CancellationToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  void cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Deadline + work cap + cancellation, checked cooperatively.
+///
+/// Usage in a hot loop:
+///
+///   while (...) {
+///     if (!budget.charge()) return partial_result();  // budget tripped
+///     ... one node / iteration / evaluation ...
+///   }
+///
+/// charge() is cheap: the clock is only consulted every
+/// kTimeCheckInterval charges (and on exhausted()), so per-unit overhead
+/// is a counter increment plus an occasional atomic load. Once tripped,
+/// a budget stays tripped.
+class ComputeBudget {
+ public:
+  /// No limits: charge() always succeeds. This is the default, so APIs
+  /// can take `const ComputeBudget&` with a `{}` default argument.
+  ComputeBudget() = default;
+
+  [[nodiscard]] static ComputeBudget unlimited() { return ComputeBudget(); }
+
+  /// Budget that trips `duration` from now.
+  template <class Rep, class Period>
+  [[nodiscard]] static ComputeBudget with_deadline(
+      std::chrono::duration<Rep, Period> duration) {
+    ComputeBudget b;
+    b.has_deadline_ = true;
+    b.deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      duration);
+    return b;
+  }
+
+  /// Budget that trips `ms` milliseconds from now (fractions allowed).
+  [[nodiscard]] static ComputeBudget with_deadline_ms(double ms) {
+    return with_deadline(std::chrono::duration<double, std::milli>(ms));
+  }
+
+  /// Caps total charged work units (nodes / iterations / evaluations).
+  ComputeBudget& cap_nodes(std::uint64_t max_nodes) {
+    has_node_cap_ = true;
+    node_cap_ = max_nodes;
+    return *this;
+  }
+
+  /// Attaches a cancellation token; cancel() on the token trips the
+  /// budget at the next charge.
+  ComputeBudget& on_token(CancellationToken token) {
+    token_ = std::move(token);
+    return *this;
+  }
+
+  /// Charges `n` work units. Returns true while within budget; returns
+  /// false (and records the stop reason) once any limit is exceeded.
+  [[nodiscard]] bool charge(std::uint64_t n = 1) const {
+    if (stop_ != StopReason::kNone) return false;
+    used_ += n;
+    if (has_node_cap_ && used_ > node_cap_) {
+      stop_ = StopReason::kNodeCap;
+      return false;
+    }
+    since_time_check_ += n;
+    if (since_time_check_ >= kTimeCheckInterval) {
+      since_time_check_ = 0;
+      return check_slow_limits();
+    }
+    return true;
+  }
+
+  /// Full check (including an immediate clock read) without charging.
+  [[nodiscard]] bool exhausted() const {
+    if (stop_ != StopReason::kNone) return true;
+    if (has_node_cap_ && used_ > node_cap_) {
+      stop_ = StopReason::kNodeCap;
+      return true;
+    }
+    return !check_slow_limits();
+  }
+
+  [[nodiscard]] StopReason stop_reason() const noexcept { return stop_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] bool limited() const noexcept {
+    return has_deadline_ || has_node_cap_ || token_.cancelled() ||
+           stop_ != StopReason::kNone;
+  }
+
+ private:
+  // Clock reads are amortised over this many charged units. Units range
+  // from ~0.1 us (exact-search nodes) to ~25 us (a V(S) evaluation), so
+  // this bounds deadline overshoot to a low single-digit number of
+  // milliseconds in the worst case.
+  static constexpr std::uint64_t kTimeCheckInterval = 64;
+
+  [[nodiscard]] bool check_slow_limits() const {
+    if (token_.cancelled()) {
+      stop_ = StopReason::kCancelled;
+      return false;
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      stop_ = StopReason::kDeadline;
+      return false;
+    }
+    return true;
+  }
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::uint64_t node_cap_ = 0;
+  bool has_node_cap_ = false;
+  CancellationToken token_;
+  mutable std::uint64_t used_ = 0;
+  mutable std::uint64_t since_time_check_ = 0;
+  mutable StopReason stop_ = StopReason::kNone;
+};
+
+}  // namespace fedshare::runtime

@@ -83,6 +83,45 @@ TEST(CliRunner, RejectsBadValuesWithConfigError) {
                io::ConfigError);
 }
 
+TEST(CliRunner, RangeErrorsPointAtTheOffendingLine) {
+  // Negative units on line 3.
+  try {
+    (void)run_report_from_string(
+        "[facility]\nlocations = 5\nunits = -1\n[demand]\n");
+    FAIL() << "expected ConfigError";
+  } catch (const io::ConfigError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("units"), std::string::npos);
+  }
+  // Availability outside (0, 1], line 3.
+  try {
+    (void)run_report_from_string(
+        "[facility]\nlocations = 5\navailability = 1.5\n[demand]\n");
+    FAIL() << "expected ConfigError";
+  } catch (const io::ConfigError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("availability"), std::string::npos);
+  }
+  EXPECT_THROW(
+      (void)run_report_from_string(
+          "[facility]\nlocations = 5\navailability = 0\n[demand]\n"),
+      io::ConfigError);
+  // Negative demand count, line 4.
+  try {
+    (void)run_report_from_string(
+        "[facility]\nlocations = 5\n[demand]\ncount = -2\n");
+    FAIL() << "expected ConfigError";
+  } catch (const io::ConfigError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("count"), std::string::npos);
+  }
+  // Non-finite values are rejected by the parser layer.
+  EXPECT_THROW((void)run_report_from_string(
+                   "[facility]\nlocations = 5\navailability = nan\n"
+                   "[demand]\n"),
+               io::ConfigError);
+}
+
 TEST(CliRunner, RejectsTooManyFacilities) {
   std::string config;
   for (int i = 0; i < 13; ++i) {
@@ -123,6 +162,66 @@ TEST(CliRunner, RegionKeysProduceHierarchySection) {
 TEST(CliRunner, NoRegionKeysNoHierarchySection) {
   const std::string report = run_report_from_string(kPaperConfig);
   EXPECT_EQ(report.find("Hierarchy"), std::string::npos);
+}
+
+TEST(CliRunner, DefaultOptionsAreByteIdenticalToThePlainReport) {
+  const auto config = io::Config::parse_string(kPaperConfig);
+  EXPECT_EQ(run_report(config), run_report(config, ReportOptions{}));
+}
+
+TEST(CliRunner, GenerousDeadlineKeepsTheExactEngines) {
+  const auto config = io::Config::parse_string(kPaperConfig);
+  ReportOptions opts;
+  opts.deadline_ms = 60'000.0;
+  const std::string report = run_report(config, opts);
+  EXPECT_NE(report.find("Resilience"), std::string::npos);
+  EXPECT_NE(report.find("coalition table: complete"), std::string::npos);
+  EXPECT_NE(report.find("shapley engine: exact"), std::string::npos);
+  EXPECT_EQ(report.find("monte-carlo"), std::string::npos);
+}
+
+TEST(CliRunner, ExpiredDeadlineStillProducesACompleteReport) {
+  // Ten facilities -> 1024 coalition evaluations, comfortably past the
+  // budget's 64-charge clock-check window, so a 0 ms deadline trips
+  // during tabulation and every downstream stage must degrade.
+  std::string config;
+  for (int i = 0; i < 10; ++i) {
+    config += "[facility]\nlocations = 20\n";
+  }
+  config += "[demand]\ncount = 4\nmin_locations = 50\n";
+  ReportOptions opts;
+  opts.deadline_ms = 0.0;
+  const std::string report =
+      run_report(io::Config::parse_string(config), opts);
+  EXPECT_NE(report.find("Resilience"), std::string::npos);
+  EXPECT_NE(report.find("truncated"), std::string::npos);
+  EXPECT_NE(report.find("monte-carlo"), std::string::npos);
+  EXPECT_NE(report.find("standard error"), std::string::npos);
+  // Core membership cannot be certified without the coalition table.
+  EXPECT_NE(report.find("n/a"), std::string::npos);
+  // Every scheme still reports shares for every facility.
+  EXPECT_NE(report.find("shapley"), std::string::npos);
+  EXPECT_NE(report.find("equal"), std::string::npos);
+}
+
+TEST(CliRunner, OutageSectionIsDeterministicGivenTheSeed) {
+  const std::string config =
+      "[facility]\nname = A\nlocations = 40\navailability = 0.7\n"
+      "[facility]\nname = B\nlocations = 60\navailability = 0.8\n"
+      "[facility]\nname = C\nlocations = 80\navailability = 0.9\n"
+      "[demand]\ncount = 2\nmin_locations = 60\n";
+  const auto parsed = io::Config::parse_string(config);
+  ReportOptions opts;
+  opts.outage_scenarios = 6;
+  opts.outage_seed = 17;
+  const std::string a = run_report(parsed, opts);
+  const std::string b = run_report(parsed, opts);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("Outage distribution"), std::string::npos);
+  EXPECT_NE(a.find("scenarios: 6/6 (seed 17)"), std::string::npos);
+  ReportOptions other = opts;
+  other.outage_seed = 18;
+  EXPECT_NE(a, run_report(parsed, other));
 }
 
 TEST(CliRunner, DumpGameRoundTripsThroughLoader) {

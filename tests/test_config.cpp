@@ -94,5 +94,42 @@ TEST(Config, EmptyInputIsEmptyConfig) {
   EXPECT_TRUE(Config::parse_string("# only comments\n\n").sections.empty());
 }
 
+TEST(Config, EntriesCarryTheirOwnLineNumbers) {
+  const auto cfg = Config::parse_string("[s]\n\nk = 1\nj = 2\n");
+  ASSERT_EQ(cfg.sections.size(), 1u);
+  EXPECT_EQ(cfg.sections[0].line, 1);
+  EXPECT_EQ(cfg.sections[0].entry_line("k"), 3);
+  EXPECT_EQ(cfg.sections[0].entry_line("j"), 4);
+  // Absent keys fall back to the section header's line.
+  EXPECT_EQ(cfg.sections[0].entry_line("absent"), 1);
+}
+
+TEST(Config, GetDoubleErrorsPointAtTheEntryLine) {
+  const auto cfg = Config::parse_string("[s]\n\n\nk = abc\n");
+  try {
+    (void)cfg.sections[0].get_double("k");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(Config, RejectsNonFiniteDoubles) {
+  const auto cfg =
+      Config::parse_string("[s]\na = nan\nb = inf\nc = -inf\nd = NaN\n");
+  EXPECT_THROW((void)cfg.sections[0].get_double("a"), ConfigError);
+  EXPECT_THROW((void)cfg.sections[0].get_double("b"), ConfigError);
+  EXPECT_THROW((void)cfg.sections[0].get_double("c"), ConfigError);
+  EXPECT_THROW((void)cfg.sections[0].get_double("d"), ConfigError);
+  try {
+    (void)cfg.sections[0].get_double("b");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace fedshare::io

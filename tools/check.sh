@@ -1,0 +1,22 @@
+#!/bin/sh
+# Run the full test suite twice: once in the plain RelWithDebInfo build
+# and once under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: tools/check.sh [extra ctest args...]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== plain build =="
+cmake -S "$root" -B "$root/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$root/build" -j "$jobs"
+ctest --test-dir "$root/build" -j "$jobs" --output-on-failure "$@"
+
+echo "== sanitized build (ASan + UBSan) =="
+cmake -S "$root" -B "$root/build-asan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=ON
+cmake --build "$root/build-asan" -j "$jobs"
+ctest --test-dir "$root/build-asan" -j "$jobs" --output-on-failure "$@"
+
+echo "== all checks passed =="

@@ -2,8 +2,10 @@
 //
 // Usage: fedshare_cli <federation.ini>
 //        fedshare_cli --help
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "cli/runner.hpp"
 
@@ -11,11 +13,23 @@ namespace {
 
 constexpr const char* kUsage =
     R"(usage: fedshare_cli <federation.ini> [--dump-game <out-file>]
+                    [--deadline-ms <ms>] [--outage-scenarios <k>]
+                    [--outage-seed <seed>]
 
 Computes coalition values, game properties and sharing-scheme shares
 (Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
 federation described by the config file. With --dump-game, additionally
 writes the characteristic function in the fedshare-game v1 format.
+
+Resilience options:
+  --deadline-ms <ms>       bound the exponential solvers; past the
+                           deadline the report degrades gracefully
+                           (Monte-Carlo Shapley with standard errors)
+                           instead of running long
+  --outage-scenarios <k>   sample k outage scenarios from facility
+                           availabilities and report share/payoff
+                           distributions
+  --outage-seed <seed>     seed for the outage sampler (default 1)
 
 Config example:
 
@@ -34,11 +48,23 @@ Config example:
   min_locations = 400
 )";
 
+bool parse_value(const char* flag, const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    std::cerr << "fedshare_cli: " << flag << " needs a number, got '" << text
+              << "'\n";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string config_path;
   std::string dump_path;
+  fedshare::cli::ReportOptions report_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -51,6 +77,38 @@ int main(int argc, char** argv) {
         return 2;
       }
       dump_path = argv[++i];
+      continue;
+    }
+    if (arg == "--deadline-ms" || arg == "--outage-scenarios" ||
+        arg == "--outage-seed") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: " << arg << " needs a value\n";
+        return 2;
+      }
+      double value = 0.0;
+      if (!parse_value(arg.c_str(), argv[++i], value)) return 2;
+      if (arg == "--deadline-ms") {
+        if (value < 0.0) {
+          std::cerr << "fedshare_cli: --deadline-ms must be >= 0\n";
+          return 2;
+        }
+        report_options.deadline_ms = value;
+      } else if (arg == "--outage-scenarios") {
+        if (value < 1.0 || value != static_cast<int>(value)) {
+          std::cerr
+              << "fedshare_cli: --outage-scenarios must be a positive "
+                 "integer\n";
+          return 2;
+        }
+        report_options.outage_scenarios = static_cast<int>(value);
+      } else {
+        if (value < 0.0 || value != static_cast<std::uint64_t>(value)) {
+          std::cerr << "fedshare_cli: --outage-seed must be a non-negative "
+                       "integer\n";
+          return 2;
+        }
+        report_options.outage_seed = static_cast<std::uint64_t>(value);
+      }
       continue;
     }
     if (!config_path.empty()) {
@@ -70,7 +128,7 @@ int main(int argc, char** argv) {
   }
   try {
     const auto config = fedshare::io::Config::parse(in);
-    std::cout << fedshare::cli::run_report(config);
+    std::cout << fedshare::cli::run_report(config, report_options);
     if (!dump_path.empty()) {
       std::ofstream dump(dump_path);
       if (!dump) {
