@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fedshare_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"

@@ -238,10 +238,12 @@ bench-build/CMakeFiles/ablate_outage.dir/ablate_outage.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /root/repo/src/core/coalition.hpp \
- /root/repo/src/runtime/budget.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/exec/value_cache.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/runtime/budget.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/model/demand.hpp \
  /root/repo/src/alloc/allocation.hpp \

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

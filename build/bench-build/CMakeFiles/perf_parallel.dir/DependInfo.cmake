@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_parallel.cpp" "bench-build/CMakeFiles/perf_parallel.dir/perf_parallel.cpp.o" "gcc" "bench-build/CMakeFiles/perf_parallel.dir/perf_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

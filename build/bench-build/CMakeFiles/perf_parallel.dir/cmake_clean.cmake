@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_parallel"
+  "../bench/perf_parallel.pdb"
+  "CMakeFiles/perf_parallel.dir/perf_parallel.cpp.o"
+  "CMakeFiles/perf_parallel.dir/perf_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

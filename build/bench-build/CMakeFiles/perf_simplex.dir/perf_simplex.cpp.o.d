@@ -224,8 +224,9 @@ bench-build/CMakeFiles/perf_simplex.dir/perf_simplex.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/core/coalition.hpp /root/repo/src/core/nucleolus.hpp \
- /root/repo/src/lp/simplex.hpp /root/repo/src/lp/problem.hpp \
- /root/repo/src/model/federation.hpp /root/repo/src/model/demand.hpp \
- /root/repo/src/model/location_space.hpp \
+ /root/repo/src/core/coalition.hpp /root/repo/src/exec/value_cache.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/nucleolus.hpp /root/repo/src/lp/simplex.hpp \
+ /root/repo/src/lp/problem.hpp /root/repo/src/model/federation.hpp \
+ /root/repo/src/model/demand.hpp /root/repo/src/model/location_space.hpp \
  /root/repo/src/model/facility.hpp /root/repo/src/sim/rng.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshare_exec.dir/exec/pool.cpp.o"
+  "CMakeFiles/fedshare_exec.dir/exec/pool.cpp.o.d"
+  "CMakeFiles/fedshare_exec.dir/exec/value_cache.cpp.o"
+  "CMakeFiles/fedshare_exec.dir/exec/value_cache.cpp.o.d"
+  "libfedshare_exec.a"
+  "libfedshare_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshare_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedshare_exec.a"
+)

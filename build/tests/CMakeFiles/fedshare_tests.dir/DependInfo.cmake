@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_config.cpp.o.d"
   "/root/repo/tests/test_core_solution.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_core_solution.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_core_solution.cpp.o.d"
   "/root/repo/tests/test_dividends.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_dividends.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_dividends.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_exec.cpp.o.d"
   "/root/repo/tests/test_federation_property.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_federation_property.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_federation_property.cpp.o.d"
   "/root/repo/tests/test_figures.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_figures.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_figures.cpp.o.d"
   "/root/repo/tests/test_game.cpp" "tests/CMakeFiles/fedshare_tests.dir/test_game.cpp.o" "gcc" "tests/CMakeFiles/fedshare_tests.dir/test_game.cpp.o.d"
@@ -55,6 +56,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fedshare_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_lp.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fedshare_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedshare_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

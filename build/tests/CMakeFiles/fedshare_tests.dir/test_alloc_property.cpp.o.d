@@ -320,4 +320,6 @@ tests/CMakeFiles/fedshare_tests.dir/test_alloc_property.cpp.o: \
  /usr/include/c++/12/ratio /root/repo/src/alloc/greedy.hpp \
  /root/repo/src/alloc/lp_relax.hpp /root/repo/src/runtime/resilient.hpp \
  /root/repo/src/core/game.hpp /root/repo/src/core/coalition.hpp \
- /root/repo/src/core/sharing.hpp /root/repo/src/sim/rng.hpp
+ /root/repo/src/exec/value_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/sharing.hpp \
+ /root/repo/src/sim/rng.hpp

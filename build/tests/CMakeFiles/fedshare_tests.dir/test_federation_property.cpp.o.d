@@ -296,10 +296,12 @@ tests/CMakeFiles/fedshare_tests.dir/test_federation_property.cpp.o: \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/sharing.hpp /root/repo/src/core/game.hpp \
- /root/repo/src/core/coalition.hpp /root/repo/src/runtime/budget.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/model/federation.hpp \
- /root/repo/src/model/demand.hpp /root/repo/src/alloc/allocation.hpp \
+ /root/repo/src/core/coalition.hpp /root/repo/src/exec/value_cache.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/model/federation.hpp /root/repo/src/model/demand.hpp \
+ /root/repo/src/alloc/allocation.hpp \
  /root/repo/src/model/location_space.hpp \
  /root/repo/src/model/facility.hpp /root/repo/src/model/value.hpp \
  /root/repo/src/sim/rng.hpp

@@ -316,9 +316,10 @@ tests/CMakeFiles/fedshare_tests.dir/test_figures.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/sharing.hpp \
  /root/repo/src/core/game.hpp /root/repo/src/core/coalition.hpp \
- /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/exec/value_cache.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/model/federation.hpp /root/repo/src/model/demand.hpp \
- /root/repo/src/alloc/allocation.hpp \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/runtime/budget.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/model/federation.hpp \
+ /root/repo/src/model/demand.hpp /root/repo/src/alloc/allocation.hpp \
  /root/repo/src/model/location_space.hpp \
  /root/repo/src/model/facility.hpp /root/repo/src/model/utility.hpp

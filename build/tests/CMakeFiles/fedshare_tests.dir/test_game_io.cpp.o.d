@@ -294,6 +294,8 @@ tests/CMakeFiles/fedshare_tests.dir/test_game_io.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/game_io.hpp /root/repo/src/core/game.hpp \
- /root/repo/src/core/coalition.hpp /root/repo/src/runtime/budget.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/core/shapley.hpp
+ /root/repo/src/core/coalition.hpp /root/repo/src/exec/value_cache.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/core/shapley.hpp

@@ -318,10 +318,11 @@ tests/CMakeFiles/fedshare_tests.dir/test_game_property.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/banzhaf.hpp /root/repo/src/core/game.hpp \
- /root/repo/src/core/coalition.hpp /root/repo/src/runtime/budget.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/core/core_solution.hpp \
- /root/repo/src/core/nucleolus.hpp /root/repo/src/lp/simplex.hpp \
- /root/repo/src/lp/problem.hpp /root/repo/src/core/owen.hpp \
- /root/repo/src/core/properties.hpp /root/repo/src/core/shapley.hpp \
- /root/repo/src/sim/rng.hpp
+ /root/repo/src/core/coalition.hpp /root/repo/src/exec/value_cache.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/core/core_solution.hpp /root/repo/src/core/nucleolus.hpp \
+ /root/repo/src/lp/simplex.hpp /root/repo/src/lp/problem.hpp \
+ /root/repo/src/core/owen.hpp /root/repo/src/core/properties.hpp \
+ /root/repo/src/core/shapley.hpp /root/repo/src/sim/rng.hpp

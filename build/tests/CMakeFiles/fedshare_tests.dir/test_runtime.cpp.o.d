@@ -325,9 +325,11 @@ tests/CMakeFiles/fedshare_tests.dir/test_runtime.cpp.o: \
  /root/repo/src/alloc/exact.hpp /root/repo/src/alloc/allocation.hpp \
  /root/repo/src/runtime/budget.hpp /root/repo/src/alloc/greedy.hpp \
  /root/repo/src/core/game.hpp /root/repo/src/core/coalition.hpp \
- /root/repo/src/core/shapley.hpp /root/repo/src/core/sharing.hpp \
- /root/repo/src/lp/problem.hpp /root/repo/src/lp/simplex.hpp \
- /root/repo/src/model/demand.hpp /root/repo/src/model/federation.hpp \
+ /root/repo/src/exec/value_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/shapley.hpp \
+ /root/repo/src/core/sharing.hpp /root/repo/src/lp/problem.hpp \
+ /root/repo/src/lp/simplex.hpp /root/repo/src/model/demand.hpp \
+ /root/repo/src/model/federation.hpp \
  /root/repo/src/model/location_space.hpp \
  /root/repo/src/model/facility.hpp /root/repo/src/runtime/outage.hpp \
  /root/repo/src/runtime/resilient.hpp

@@ -296,6 +296,8 @@ tests/CMakeFiles/fedshare_tests.dir/test_shapley.cpp.o: \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/banzhaf.hpp /root/repo/src/core/game.hpp \
- /root/repo/src/core/coalition.hpp /root/repo/src/runtime/budget.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/core/shapley.hpp
+ /root/repo/src/core/coalition.hpp /root/repo/src/exec/value_cache.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/core/shapley.hpp

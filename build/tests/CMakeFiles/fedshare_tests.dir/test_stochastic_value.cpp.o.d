@@ -316,9 +316,11 @@ tests/CMakeFiles/fedshare_tests.dir/test_stochastic_value.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/properties.hpp /root/repo/src/core/coalition.hpp \
- /root/repo/src/core/game.hpp /root/repo/src/runtime/budget.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/core/shapley.hpp \
+ /root/repo/src/core/game.hpp /root/repo/src/exec/value_cache.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/runtime/budget.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/core/shapley.hpp \
  /root/repo/src/model/stochastic_value.hpp \
  /root/repo/src/model/location_space.hpp \
  /root/repo/src/alloc/allocation.hpp /root/repo/src/model/facility.hpp \

@@ -215,12 +215,14 @@ tools/CMakeFiles/fedshare_cli.dir/fedshare_cli.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/coalition.hpp /root/repo/src/runtime/budget.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /root/repo/src/core/coalition.hpp /root/repo/src/exec/value_cache.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/runtime/budget.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/model/demand.hpp \
  /root/repo/src/alloc/allocation.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/model/location_space.hpp \
- /root/repo/src/model/facility.hpp
+ /root/repo/src/model/facility.hpp /root/repo/src/exec/pool.hpp

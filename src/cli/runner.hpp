@@ -36,6 +36,10 @@
 //                            facility's availability T_i and append a
 //                            share/payoff distribution section.
 //   --outage-seed <seed>     RNG seed for the outage sampler (default 1).
+//   --threads <n>            exec worker threads (see exec/pool.hpp);
+//                            maps to exec::set_threads() before the
+//                            report runs. Results are identical at any
+//                            thread count.
 //
 // Without any flag the output is byte-identical to previous releases.
 #pragma once

@@ -4,7 +4,25 @@
 #include <stdexcept>
 #include <utility>
 
+#include "exec/pool.hpp"
+
 namespace fedshare::game {
+
+namespace {
+
+// Masks per parallel chunk. Model-backed V(S) is an LP solve (µs–ms),
+// so small chunks keep the stealing balanced; for trivial function
+// games the per-chunk overhead is still negligible next to 2^n calls.
+constexpr std::uint64_t kTabulateChunk = 16;
+
+}  // namespace
+
+std::optional<double> Game::value_budgeted(
+    Coalition coalition, const runtime::ComputeBudget& budget) const {
+  // Every call materialises a fresh value: charge one unit first.
+  if (!budget.charge()) return std::nullopt;
+  return value(coalition);
+}
 
 TabularGame::TabularGame(int num_players, std::vector<double> values)
     : num_players_(num_players), values_(std::move(values)) {
@@ -26,6 +44,12 @@ double TabularGame::value(Coalition coalition) const {
     throw std::out_of_range("TabularGame::value: coalition out of range");
   }
   return values_[idx];
+}
+
+std::optional<double> TabularGame::value_budgeted(
+    Coalition coalition, const runtime::ComputeBudget& budget) const {
+  (void)budget;  // table reads are free under the charging rule
+  return value(coalition);
 }
 
 TabularGame TabularGame::zero_normalized() const {
@@ -60,16 +84,43 @@ double FunctionGame::value(Coalition coalition) const {
   return fn_(coalition);
 }
 
+CachedGame::CachedGame(const Game& base, exec::ValueCache& cache)
+    : base_(&base), cache_(&cache) {}
+
+int CachedGame::num_players() const { return base_->num_players(); }
+
+double CachedGame::value(Coalition coalition) const {
+  return cache_->value_or_compute(
+      coalition.bits(), [&] { return base_->value(coalition); });
+}
+
+std::optional<double> CachedGame::value_budgeted(
+    Coalition coalition, const runtime::ComputeBudget& budget) const {
+  return cache_->value_or_compute_budgeted(
+      coalition.bits(), budget, [&] { return base_->value(coalition); });
+}
+
 TabularGame tabulate(const Game& game) {
   const int n = game.num_players();
   if (n > 24) {
     throw std::invalid_argument("tabulate: n must be <= 24");
   }
+  if (const auto* tab = dynamic_cast<const TabularGame*>(&game)) {
+    return *tab;  // already materialised: copy the table
+  }
   const std::uint64_t count = std::uint64_t{1} << n;
   std::vector<double> values(count);
-  for (std::uint64_t mask = 0; mask < count; ++mask) {
-    values[mask] = game.value(Coalition::from_bits(mask));
-  }
+  // Each mask writes its own slot, so the parallel schedule is
+  // bit-identical to the serial loop at any thread count.
+  exec::parallel_for(0, count, kTabulateChunk,
+                     [&](const exec::ChunkRange& r) {
+                       for (std::uint64_t mask = r.begin; mask < r.end;
+                            ++mask) {
+                         values[mask] =
+                             game.value(Coalition::from_bits(mask));
+                       }
+                       return true;
+                     });
   return TabularGame(n, std::move(values));
 }
 
@@ -79,12 +130,22 @@ std::optional<TabularGame> tabulate_budgeted(
   if (n > 24) {
     throw std::invalid_argument("tabulate_budgeted: n must be <= 24");
   }
+  if (const auto* tab = dynamic_cast<const TabularGame*>(&game)) {
+    return *tab;  // re-reads are free under the charging rule
+  }
   const std::uint64_t count = std::uint64_t{1} << n;
   std::vector<double> values(count);
-  for (std::uint64_t mask = 0; mask < count; ++mask) {
-    if (!budget.charge()) return std::nullopt;
-    values[mask] = game.value(Coalition::from_bits(mask));
-  }
+  const bool ok = exec::parallel_for_budgeted(
+      0, count, kTabulateChunk, budget,
+      [&](const exec::ChunkRange& r, const runtime::ComputeBudget& b) {
+        for (std::uint64_t mask = r.begin; mask < r.end; ++mask) {
+          const auto v = game.value_budgeted(Coalition::from_bits(mask), b);
+          if (!v) return false;
+          values[mask] = *v;
+        }
+        return true;
+      });
+  if (!ok) return std::nullopt;
   return TabularGame(n, std::move(values));
 }
 

@@ -12,13 +12,16 @@
 #include <vector>
 
 #include "core/coalition.hpp"
+#include "exec/value_cache.hpp"
 #include "runtime/budget.hpp"
 
 namespace fedshare::game {
 
 /// Abstract transferable-utility game. Implementations must be
 /// deterministic: value(S) may be called many times for the same S.
-/// Convention: value(empty) == 0.
+/// They must also be safe to call concurrently from exec workers —
+/// value() is const and parallel tabulation evaluates disjoint masks
+/// from multiple threads. Convention: value(empty) == 0.
 class Game {
  public:
   virtual ~Game() = default;
@@ -29,6 +32,15 @@ class Game {
   /// Characteristic function V(S). `coalition` must only contain players
   /// < num_players().
   [[nodiscard]] virtual double value(Coalition coalition) const = 0;
+
+  /// Budget-aware V(S). Follows the charging rule in runtime/budget.hpp:
+  /// one unit per *distinct* V(S) materialisation, re-reads free. The
+  /// default charges one unit then evaluates (every call materialises);
+  /// TabularGame re-reads are free; CachedGame charges only on a cache
+  /// miss. Returns nullopt when the budget trips before the value is
+  /// produced.
+  [[nodiscard]] virtual std::optional<double> value_budgeted(
+      Coalition coalition, const runtime::ComputeBudget& budget) const;
 
   /// V of the grand coalition (convenience).
   [[nodiscard]] double grand_value() const {
@@ -45,6 +57,12 @@ class TabularGame final : public Game {
 
   [[nodiscard]] int num_players() const override { return num_players_; }
   [[nodiscard]] double value(Coalition coalition) const override;
+
+  /// Table reads are already-materialised values: free under the
+  /// charging rule, so this never trips the budget.
+  [[nodiscard]] std::optional<double> value_budgeted(
+      Coalition coalition,
+      const runtime::ComputeBudget& budget) const override;
 
   /// Direct access to the value table (index = coalition bitmask).
   [[nodiscard]] const std::vector<double>& values() const noexcept {
@@ -77,14 +95,46 @@ class FunctionGame final : public Game {
   ValueFn fn_;
 };
 
+/// A game decorated with a shared exec::ValueCache: each distinct V(S)
+/// is computed at most once per cache and then shared by every consumer
+/// (tabulation, Shapley, nucleolus, core checks, incentive and
+/// sensitivity sweeps). Thread-safe whenever the base game is; the
+/// cache outlives concurrent readers by construction (the caller owns
+/// both). Budget accounting follows the charging rule: a hit is free, a
+/// miss charges one unit.
+class CachedGame final : public Game {
+ public:
+  /// Neither `base` nor `cache` is owned; both must outlive this game.
+  CachedGame(const Game& base, exec::ValueCache& cache);
+
+  [[nodiscard]] int num_players() const override;
+  [[nodiscard]] double value(Coalition coalition) const override;
+  [[nodiscard]] std::optional<double> value_budgeted(
+      Coalition coalition,
+      const runtime::ComputeBudget& budget) const override;
+
+  [[nodiscard]] const exec::ValueCache& cache() const noexcept {
+    return *cache_;
+  }
+
+ private:
+  const Game* base_;
+  exec::ValueCache* cache_;
+};
+
 /// Evaluates `game` on every coalition and returns the tabular form.
-/// Requires num_players() <= 24.
+/// Requires num_players() <= 24. Already-tabular games return a copy of
+/// their table without re-evaluating. Masks are evaluated in parallel
+/// when the exec executor has threads > 1; each mask writes its own
+/// slot, so the result is bit-identical at any thread count.
 [[nodiscard]] TabularGame tabulate(const Game& game);
 
-/// Budgeted tabulation: charges `budget` one unit per V(S) evaluation
-/// (the dominant cost for model-backed games) and returns nullopt when
-/// it trips before all 2^n values are computed. Same requirements as
-/// tabulate().
+/// Budgeted tabulation: returns nullopt when `budget` trips before all
+/// 2^n values are materialised. Charging follows the charging rule in
+/// runtime/budget.hpp via Game::value_budgeted — one unit per distinct
+/// V(S) materialisation, so an already-tabular game (or a CachedGame
+/// hit) tabulates for free. Same requirements as tabulate(); runs in
+/// parallel under the exec executor with forked child budgets.
 [[nodiscard]] std::optional<TabularGame> tabulate_budgeted(
     const Game& game, const runtime::ComputeBudget& budget);
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/pool.hpp"
+
 namespace fedshare::game {
 
 namespace {
@@ -128,6 +130,156 @@ std::vector<double> shapley_permutations(const Game& game) {
   return sum;
 }
 
+namespace {
+
+// Fixed Monte-Carlo chunking: samples are decomposed into chunks of
+// kMcChunkSamples (pairs into kMcChunkPairs), each chunk drawing from
+// its own exec::chunk_seed stream and accumulating a private partial.
+// Partials are folded in ascending chunk order, so the estimate is
+// bit-identical at any thread count (including 1) — the decomposition,
+// the streams, and the fold order never depend on the schedule.
+constexpr std::uint64_t kMcChunkSamples = 32;
+constexpr std::uint64_t kMcChunkPairs = 16;
+
+struct McPartial {
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+  std::uint64_t drawn = 0;
+};
+
+// Plain-MC samples with global indices [begin, end) from the chunk's
+// stream. Budget: one sample costs n units, charged to `budget` (the
+// parent in serial runs, a forked child in parallel runs); returns
+// false on a trip, except that the first two global samples always
+// complete so the standard errors stay defined.
+bool run_mc_chunk(const Game& game, int n, std::uint64_t begin,
+                  std::uint64_t end, std::uint64_t stream_seed,
+                  const runtime::ComputeBudget* budget, McPartial& out) {
+  out.sum.assign(static_cast<std::size_t>(n), 0.0);
+  out.sum_sq.assign(static_cast<std::size_t>(n), 0.0);
+  out.drawn = 0;
+  SplitMix64 rng{stream_seed};
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::uint64_t s = begin; s < end; ++s) {
+    if (budget != nullptr &&
+        !budget->charge(static_cast<std::uint64_t>(n)) && s >= 2) {
+      return false;
+    }
+    ++out.drawn;
+    // Fisher-Yates shuffle.
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)], order[j]);
+    }
+    Coalition prefix;
+    double prev = 0.0;
+    for (const int p : order) {
+      const Coalition next = prefix.with(p);
+      const double val = game.value(next);
+      const double marginal = val - prev;
+      out.sum[static_cast<std::size_t>(p)] += marginal;
+      out.sum_sq[static_cast<std::size_t>(p)] += marginal * marginal;
+      prefix = next;
+      prev = val;
+    }
+  }
+  return true;
+}
+
+// Antithetic pairs with global indices [begin, end) from the chunk's
+// stream. A pair costs 2n units; the first global pair always
+// completes.
+bool run_antithetic_chunk(const Game& game, int n, std::uint64_t begin,
+                          std::uint64_t end, std::uint64_t stream_seed,
+                          const runtime::ComputeBudget* budget,
+                          McPartial& out) {
+  out.sum.assign(static_cast<std::size_t>(n), 0.0);
+  out.sum_sq.assign(static_cast<std::size_t>(n), 0.0);
+  out.drawn = 0;
+  SplitMix64 rng{stream_seed};
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> pair_marginal(static_cast<std::size_t>(n), 0.0);
+  for (std::uint64_t p = begin; p < end; ++p) {
+    if (budget != nullptr &&
+        !budget->charge(2 * static_cast<std::uint64_t>(n)) && p >= 1) {
+      return false;
+    }
+    ++out.drawn;
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)], order[j]);
+    }
+    std::fill(pair_marginal.begin(), pair_marginal.end(), 0.0);
+    for (int pass = 0; pass < 2; ++pass) {
+      Coalition prefix;
+      double prev = 0.0;
+      for (int k = 0; k < n; ++k) {
+        const int player =
+            pass == 0 ? order[static_cast<std::size_t>(k)]
+                      : order[static_cast<std::size_t>(n - 1 - k)];
+        const Coalition next = prefix.with(player);
+        const double val = game.value(next);
+        pair_marginal[static_cast<std::size_t>(player)] +=
+            0.5 * (val - prev);
+        prefix = next;
+        prev = val;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      out.sum[ui] += pair_marginal[ui];
+      out.sum_sq[ui] += pair_marginal[ui] * pair_marginal[ui];
+    }
+  }
+  return true;
+}
+
+// Runs `chunk_fn(range, budget-or-null)` over [0, total) in chunks of
+// `chunk_size`, threading forked child budgets through the exec
+// executor when a parent budget is present.
+template <typename ChunkFn>
+void run_mc_chunks(std::uint64_t total, std::uint64_t chunk_size,
+                   const runtime::ComputeBudget* budget,
+                   const ChunkFn& chunk_fn) {
+  if (budget != nullptr) {
+    exec::parallel_for_budgeted(
+        0, total, chunk_size, *budget,
+        [&](const exec::ChunkRange& r, const runtime::ComputeBudget& b) {
+          return chunk_fn(r, &b);
+        });
+  } else {
+    exec::parallel_for(0, total, chunk_size,
+                       [&](const exec::ChunkRange& r) {
+                         return chunk_fn(r, nullptr);
+                       });
+  }
+}
+
+// Ascending-chunk-order fold of the partials (fixed FP rounding).
+std::uint64_t fold_partials(const std::vector<McPartial>& partials, int n,
+                            std::vector<double>& sum,
+                            std::vector<double>& sum_sq) {
+  sum.assign(static_cast<std::size_t>(n), 0.0);
+  sum_sq.assign(static_cast<std::size_t>(n), 0.0);
+  std::uint64_t drawn = 0;
+  for (const McPartial& part : partials) {
+    if (part.drawn == 0) continue;
+    drawn += part.drawn;
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      sum[ui] += part.sum[ui];
+      sum_sq[ui] += part.sum_sq[ui];
+    }
+  }
+  return drawn;
+}
+
+}  // namespace
+
 MonteCarloShapley shapley_monte_carlo(const Game& game, std::uint64_t samples,
                                       std::uint64_t seed,
                                       const runtime::ComputeBudget* budget) {
@@ -141,41 +293,33 @@ MonteCarloShapley shapley_monte_carlo(const Game& game, std::uint64_t samples,
   result.standard_error.assign(static_cast<std::size_t>(n), 0.0);
   if (n == 0) return result;
 
-  SplitMix64 rng{seed ^ 0xa02bdbf7bb3c0a7ULL};
-  std::vector<int> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
+  const std::uint64_t base = seed ^ 0xa02bdbf7bb3c0a7ULL;
+  const std::uint64_t num_chunks =
+      (samples + kMcChunkSamples - 1) / kMcChunkSamples;
+  std::vector<McPartial> partials(num_chunks);
+  run_mc_chunks(samples, kMcChunkSamples, budget,
+                [&](const exec::ChunkRange& r,
+                    const runtime::ComputeBudget* b) {
+                  return run_mc_chunk(game, n, r.begin, r.end,
+                                      exec::chunk_seed(base, r.index), b,
+                                      partials[r.index]);
+                });
 
-  std::uint64_t drawn = 0;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    // One sample costs n V-evaluations; stop early when the budget trips,
-    // but always complete two samples so the standard errors exist.
-    if (budget != nullptr &&
-        !budget->charge(static_cast<std::uint64_t>(n)) && s >= 2) {
-      result.complete = false;
-      break;
-    }
-    ++drawn;
-    // Fisher-Yates shuffle.
-    for (int i = n - 1; i > 0; --i) {
-      const auto j = static_cast<std::size_t>(
-          rng.below(static_cast<std::uint64_t>(i) + 1));
-      std::swap(order[static_cast<std::size_t>(i)], order[j]);
-    }
-    Coalition prefix;
-    double prev = 0.0;
-    for (const int p : order) {
-      const Coalition next = prefix.with(p);
-      const double val = game.value(next);
-      const double marginal = val - prev;
-      sum[static_cast<std::size_t>(p)] += marginal;
-      sum_sq[static_cast<std::size_t>(p)] += marginal * marginal;
-      prefix = next;
-      prev = val;
-    }
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+  std::uint64_t drawn = fold_partials(partials, n, sum, sum_sq);
+  if (drawn < 2) {
+    // A parallel cancellation can skip chunk 0 before its budget-free
+    // minimum ran; redo it with an always-tripped budget, which draws
+    // exactly the first two samples.
+    const runtime::ComputeBudget floor_budget =
+        runtime::ComputeBudget().cap_nodes(0);
+    run_mc_chunk(game, n, 0, std::min(samples, kMcChunkSamples),
+                 exec::chunk_seed(base, 0), &floor_budget, partials[0]);
+    drawn = fold_partials(partials, n, sum, sum_sq);
   }
 
+  result.complete = drawn == samples;
   result.samples = drawn;
   const auto count = static_cast<double>(drawn);
   for (int i = 0; i < n; ++i) {
@@ -205,52 +349,35 @@ MonteCarloShapley shapley_monte_carlo_antithetic(
   result.standard_error.assign(static_cast<std::size_t>(n), 0.0);
   if (n == 0) return result;
 
-  SplitMix64 rng{seed ^ 0x9d2c5680aa60ce77ULL};
-  std::vector<int> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> pair_marginal(static_cast<std::size_t>(n), 0.0);
-
+  const std::uint64_t base = seed ^ 0x9d2c5680aa60ce77ULL;
   const std::uint64_t pairs = samples / 2;
-  std::uint64_t pairs_drawn = 0;
-  for (std::uint64_t p = 0; p < pairs; ++p) {
-    // One pair costs 2n V-evaluations; stop early when the budget trips,
-    // but always complete one pair so the estimate exists.
-    if (budget != nullptr &&
-        !budget->charge(2 * static_cast<std::uint64_t>(n)) && p >= 1) {
-      result.complete = false;
-      break;
-    }
-    ++pairs_drawn;
-    for (int i = n - 1; i > 0; --i) {
-      const auto j = static_cast<std::size_t>(
-          rng.below(static_cast<std::uint64_t>(i) + 1));
-      std::swap(order[static_cast<std::size_t>(i)], order[j]);
-    }
-    std::fill(pair_marginal.begin(), pair_marginal.end(), 0.0);
-    for (int pass = 0; pass < 2; ++pass) {
-      Coalition prefix;
-      double prev = 0.0;
-      for (int k = 0; k < n; ++k) {
-        const int player =
-            pass == 0 ? order[static_cast<std::size_t>(k)]
-                      : order[static_cast<std::size_t>(n - 1 - k)];
-        const Coalition next = prefix.with(player);
-        const double val = game.value(next);
-        pair_marginal[static_cast<std::size_t>(player)] +=
-            0.5 * (val - prev);
-        prefix = next;
-        prev = val;
-      }
-    }
-    for (int i = 0; i < n; ++i) {
-      const auto ui = static_cast<std::size_t>(i);
-      sum[ui] += pair_marginal[ui];
-      sum_sq[ui] += pair_marginal[ui] * pair_marginal[ui];
-    }
+  const std::uint64_t num_chunks =
+      (pairs + kMcChunkPairs - 1) / kMcChunkPairs;
+  std::vector<McPartial> partials(num_chunks);
+  run_mc_chunks(pairs, kMcChunkPairs, budget,
+                [&](const exec::ChunkRange& r,
+                    const runtime::ComputeBudget* b) {
+                  return run_antithetic_chunk(
+                      game, n, r.begin, r.end,
+                      exec::chunk_seed(base, r.index), b,
+                      partials[r.index]);
+                });
+
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+  std::uint64_t pairs_drawn = fold_partials(partials, n, sum, sum_sq);
+  if (pairs_drawn < 1) {
+    // See shapley_monte_carlo: guarantee the one-pair minimum even when
+    // a parallel cancellation skipped chunk 0.
+    const runtime::ComputeBudget floor_budget =
+        runtime::ComputeBudget().cap_nodes(0);
+    run_antithetic_chunk(game, n, 0, std::min(pairs, kMcChunkPairs),
+                         exec::chunk_seed(base, 0), &floor_budget,
+                         partials[0]);
+    pairs_drawn = fold_partials(partials, n, sum, sum_sq);
   }
 
+  result.complete = pairs_drawn == pairs;
   result.samples = 2 * pairs_drawn;
   const auto count = static_cast<double>(pairs_drawn);
   for (int i = 0; i < n; ++i) {

@@ -49,9 +49,13 @@ struct MonteCarloShapley {
 
 /// Estimates Shapley values by sampling `samples` uniform permutations
 /// (each sample evaluates V n+1 times along a random ordering).
-/// Deterministic given `seed`. Requires samples >= 2. When `budget` is
-/// given it is charged one unit per V evaluation; on exhaustion sampling
-/// stops early and the partial estimate is returned with
+/// Deterministic given `seed` *at any exec thread count*: samples are
+/// decomposed into fixed chunks, each drawing from its own
+/// exec::chunk_seed stream, and the per-chunk partials are folded in
+/// ascending chunk order, so serial and parallel runs are bit-identical
+/// when the budget does not trip. Requires samples >= 2. When `budget`
+/// is given it is charged one unit per V evaluation; on exhaustion
+/// sampling stops early and the partial estimate is returned with
 /// complete == false (never fewer than two samples).
 [[nodiscard]] MonteCarloShapley shapley_monte_carlo(
     const Game& game, std::uint64_t samples, std::uint64_t seed,
@@ -62,8 +66,9 @@ struct MonteCarloShapley {
 /// the estimator. For monotone games a player early in pi is late in the
 /// reverse, so the pair's marginals are negatively correlated and the
 /// standard error drops at equal V-evaluation cost. `samples` counts
-/// permutations (must be even and >= 2). Budget semantics as in
-/// shapley_monte_carlo, at pair granularity (never fewer than one pair).
+/// permutations (must be even and >= 2). Budget and thread-count
+/// determinism semantics as in shapley_monte_carlo, at pair granularity
+/// (never fewer than one pair).
 [[nodiscard]] MonteCarloShapley shapley_monte_carlo_antithetic(
     const Game& game, std::uint64_t samples, std::uint64_t seed,
     const runtime::ComputeBudget* budget = nullptr);

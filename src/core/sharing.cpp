@@ -71,7 +71,12 @@ std::vector<SchemeOutcome> compare_schemes(
     const Game& game, const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights) {
   const int n = game.num_players();
-  const double total = game.grand_value();
+  // Tabulate once: every scheme below (Shapley, the per-scheme core
+  // checks, nucleolus, Banzhaf) re-reads the same table instead of
+  // re-solving each coalition's V(S), and tabulate()'s TabularGame
+  // fast path makes the nested tabulations inside those solvers free.
+  const TabularGame tab = tabulate(game);
+  const double total = tab.grand_value();
 
   std::vector<SchemeOutcome> out;
   auto push = [&](Scheme scheme, std::vector<double> shares) {
@@ -82,11 +87,11 @@ std::vector<SchemeOutcome> compare_schemes(
       o.payoffs[i] = shares[i] * total;
     }
     o.shares = std::move(shares);
-    if (n <= 16) o.in_core = in_core(game, o.payoffs);
+    if (n <= 16) o.in_core = in_core(tab, o.payoffs);
     out.push_back(std::move(o));
   };
 
-  push(Scheme::kShapley, shapley_shares(game));
+  push(Scheme::kShapley, shapley_shares(tab));
   if (!availability_weights.empty()) {
     if (availability_weights.size() != static_cast<std::size_t>(n)) {
       throw std::invalid_argument(
@@ -104,8 +109,8 @@ std::vector<SchemeOutcome> compare_schemes(
          proportional_shares(consumption_weights));
   }
   push(Scheme::kEqual, equal_shares(n));
-  if (n <= 10) push(Scheme::kNucleolus, nucleolus_shares(game));
-  push(Scheme::kBanzhaf, banzhaf_index(game));
+  if (n <= 10) push(Scheme::kNucleolus, nucleolus_shares(tab));
+  push(Scheme::kBanzhaf, banzhaf_index(tab));
   return out;
 }
 

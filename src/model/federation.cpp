@@ -7,12 +7,16 @@
 namespace fedshare::model {
 
 Federation::Federation(LocationSpace space, DemandProfile demand)
-    : space_(std::move(space)), demand_(std::move(demand)) {
+    : space_(std::move(space)),
+      demand_(std::move(demand)),
+      cache_(std::make_shared<exec::ValueCache>()) {
   demand_.validate();
 }
 
 double Federation::value(game::Coalition coalition) const {
-  return coalition_value(space_, demand_, coalition);
+  return cache_->value_or_compute(coalition.bits(), [&] {
+    return coalition_value(space_, demand_, coalition);
+  });
 }
 
 game::TabularGame Federation::build_game() const {
@@ -38,6 +42,9 @@ std::vector<double> Federation::consumption_weights() const {
 void Federation::set_demand(DemandProfile demand) {
   demand.validate();
   demand_ = std::move(demand);
+  // Fresh cache rather than clear(): copies sharing the old cache keep
+  // their (still valid) values for the old demand profile.
+  cache_ = std::make_shared<exec::ValueCache>();
 }
 
 }  // namespace fedshare::model

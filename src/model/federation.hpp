@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/game.hpp"
+#include "exec/value_cache.hpp"
 #include "model/demand.hpp"
 #include "model/location_space.hpp"
 
@@ -34,7 +35,16 @@ class Federation {
   }
 
   /// V(S) computed by the allocation engine (see model/value.hpp).
+  /// Memoised per federation instance in a shared exec::ValueCache, so
+  /// each coalition's allocation LP is solved exactly once no matter how
+  /// many schemes, sweeps, or threads re-query it. Copies share the
+  /// cache until set_demand() gives the callee a fresh one.
   [[nodiscard]] double value(game::Coalition coalition) const;
+
+  /// The instance's V(S) memo (hit/miss statistics for benches).
+  [[nodiscard]] const exec::ValueCache& value_cache() const noexcept {
+    return *cache_;
+  }
 
   /// The federation's TU game, tabulated (all 2^n coalition values).
   /// Requires num_facilities() <= 24.
@@ -48,11 +58,13 @@ class Federation {
   [[nodiscard]] std::vector<double> consumption_weights() const;
 
   /// Replaces the demand profile (used by the demand-sweep benches).
+  /// Invalidates the V(S) memo: cached values depend on demand.
   void set_demand(DemandProfile demand);
 
  private:
   LocationSpace space_;
   DemandProfile demand_;
+  std::shared_ptr<exec::ValueCache> cache_;
 };
 
 }  // namespace fedshare::model

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/pool.hpp"
 #include "model/federation.hpp"
 
 namespace fedshare::policy {
@@ -113,10 +114,14 @@ std::vector<Profile> pure_nash_equilibria(const ProvisionGame& game,
     }
   }
   const std::size_t n = game.strategy_grids.size();
-  std::vector<Profile> equilibria;
-  Profile profile(n, 0);
-  for (std::size_t idx = 0; idx < total; ++idx) {
+  // Each profile's Nash check is independent: test them in parallel
+  // into per-profile slots, then collect in index order so the result
+  // list is identical at any thread count.
+  std::vector<char> is_nash(total, 0);
+  exec::parallel_for(0, total, 1, [&](const exec::ChunkRange& r) {
+    const std::size_t idx = r.begin;  // chunk size 1: one profile
     // Decode idx into a profile (mixed radix).
+    Profile profile(n, 0);
     std::size_t rem = idx;
     for (std::size_t i = 0; i < n; ++i) {
       profile[i] = rem % game.strategy_grids[i].size();
@@ -124,19 +129,31 @@ std::vector<Profile> pure_nash_equilibria(const ProvisionGame& game,
     }
     const std::vector<double> payoffs =
         profile_payoffs(game, policy, profile);
-    bool is_nash = true;
-    for (std::size_t i = 0; i < n && is_nash; ++i) {
+    bool nash = true;
+    for (std::size_t i = 0; i < n && nash; ++i) {
       Profile trial = profile;
       for (std::size_t s = 0; s < game.strategy_grids[i].size(); ++s) {
         if (s == profile[i]) continue;
         trial[i] = s;
         if (profile_payoffs(game, policy, trial)[i] > payoffs[i] + 1e-9) {
-          is_nash = false;
+          nash = false;
           break;
         }
       }
     }
-    if (is_nash) equilibria.push_back(profile);
+    is_nash[idx] = nash ? 1 : 0;
+    return true;
+  });
+  std::vector<Profile> equilibria;
+  Profile profile(n, 0);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (!is_nash[idx]) continue;
+    std::size_t rem = idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      profile[i] = rem % game.strategy_grids[i].size();
+      rem /= game.strategy_grids[i].size();
+    }
+    equilibria.push_back(profile);
   }
   return equilibria;
 }

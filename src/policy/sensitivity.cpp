@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/pool.hpp"
 #include "model/federation.hpp"
 
 namespace fedshare::policy {
@@ -50,7 +51,12 @@ SensitivityReport share_sensitivity(
   report.dpayoff.assign(n, std::vector<double>(n, 0.0));
   report.dshare.assign(n, std::vector<double>(n, 0.0));
 
-  for (std::size_t j = 0; j < n; ++j) {
+  // Each bumped column j is an independent full re-evaluation (its own
+  // Federation, game, and policy solve): sweep them in parallel, one
+  // result slot per column.
+  std::vector<Outcome> moved(n);
+  exec::parallel_for(0, n, 1, [&](const exec::ChunkRange& r) {
+    const std::size_t j = r.begin;  // chunk size 1: one column per chunk
     std::vector<model::FacilityConfig> bumped = configs;
     if (!bumped[j].custom_units.empty()) {
       // Extend heterogeneous facilities with their mean capacity.
@@ -62,11 +68,14 @@ SensitivityReport share_sensitivity(
       }
     }
     bumped[j].num_locations += delta_locations;
-    const Outcome moved = evaluate(bumped, demand, policy);
+    moved[j] = evaluate(bumped, demand, policy);
+    return true;
+  });
+  for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = 0; i < n; ++i) {
-      report.dpayoff[i][j] = (moved.payoffs[i] - base.payoffs[i]) /
+      report.dpayoff[i][j] = (moved[j].payoffs[i] - base.payoffs[i]) /
                              static_cast<double>(delta_locations);
-      report.dshare[i][j] = (moved.shares[i] - base.shares[i]) /
+      report.dshare[i][j] = (moved[j].shares[i] - base.shares[i]) /
                             static_cast<double>(delta_locations);
     }
   }

@@ -11,7 +11,22 @@
 //
 // A budget is intended for one solver invocation on one thread; the
 // cancellation token alone may be shared across threads (e.g. a control
-// thread cancelling a worker).
+// thread cancelling a worker). Parallel regions (src/exec) never share
+// one budget across workers: each chunk runs against a fork() of the
+// parent budget (same absolute deadline, same tokens, the parent's
+// remaining node headroom) and the driver reconciles the children's
+// charges into the parent at the join, so the parent's accounting and
+// stop reason match what a serial run would have recorded.
+//
+// Charging rule (what one unit means): a budget unit is charged exactly
+// once per *distinct* V(S) materialisation — i.e. when a characteristic-
+// function value is actually computed (an allocation LP solved, a
+// simplex pivot, an exact-search node, a Monte-Carlo evaluation along a
+// permutation). Re-reads of already-materialised values are free: a
+// TabularGame lookup, an exec::ValueCache hit, or a re-tabulation of an
+// already tabular game charge nothing. This keeps deadlines and node
+// caps proportional to real work, and makes repeated scheme evaluations
+// over one federation instance cost one tabulation, not many.
 #pragma once
 
 #include <atomic>
@@ -114,6 +129,34 @@ class ComputeBudget {
     return *this;
   }
 
+  /// Child budget for one worker of a parallel region: same absolute
+  /// deadline, same cancellation token, plus `job_token` (cancelled by
+  /// the driver when any sibling trips), and a node cap equal to this
+  /// budget's remaining headroom. An already-tripped parent forks
+  /// children that trip on their first charge. The parallel driver is
+  /// responsible for charging the children's used() back into the
+  /// parent at the join (see exec::parallel_for_budgeted).
+  [[nodiscard]] ComputeBudget fork(CancellationToken job_token) const {
+    ComputeBudget child;
+    child.has_deadline_ = has_deadline_;
+    child.deadline_ = deadline_;
+    child.token_ = token_;
+    child.aux_token_ = std::move(job_token);
+    if (has_node_cap_) {
+      child.has_node_cap_ = true;
+      child.node_cap_ = node_cap_ > used_ ? node_cap_ - used_ : 0;
+    }
+    if (stop_ != StopReason::kNone) {
+      child.has_node_cap_ = true;
+      child.node_cap_ = 0;
+    }
+    // One eager clock/token check per fork: a chunk charging fewer than
+    // kTimeCheckInterval units would otherwise never observe an
+    // already-expired deadline through the amortised path.
+    (void)child.exhausted();
+    return child;
+  }
+
   /// Charges `n` work units. Returns true while within budget; returns
   /// false (and records the stop reason) once any limit is exceeded.
   [[nodiscard]] bool charge(std::uint64_t n = 1) const {
@@ -145,7 +188,7 @@ class ComputeBudget {
   [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
   [[nodiscard]] bool limited() const noexcept {
     return has_deadline_ || has_node_cap_ || token_.cancelled() ||
-           stop_ != StopReason::kNone;
+           aux_token_.cancelled() || stop_ != StopReason::kNone;
   }
 
  private:
@@ -156,7 +199,7 @@ class ComputeBudget {
   static constexpr std::uint64_t kTimeCheckInterval = 64;
 
   [[nodiscard]] bool check_slow_limits() const {
-    if (token_.cancelled()) {
+    if (token_.cancelled() || aux_token_.cancelled()) {
       stop_ = StopReason::kCancelled;
       return false;
     }
@@ -172,6 +215,7 @@ class ComputeBudget {
   std::uint64_t node_cap_ = 0;
   bool has_node_cap_ = false;
   CancellationToken token_;
+  CancellationToken aux_token_;  ///< job-level token set by fork()
   mutable std::uint64_t used_ = 0;
   mutable std::uint64_t since_time_check_ = 0;
   mutable StopReason stop_ = StopReason::kNone;

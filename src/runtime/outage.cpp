@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/game.hpp"
+#include "exec/pool.hpp"
 #include "runtime/resilient.hpp"
 #include "sim/rng.hpp"
 
@@ -97,22 +98,45 @@ OutageReport evaluate_outages(const model::Federation& fed, int scenarios,
   };
   std::vector<Acc> accs;
 
-  for (int k = 0; k < scenarios; ++k) {
-    if (budget.exhausted()) break;
-    model::Federation degraded(model.degrade(fed.space(), static_cast<std::uint64_t>(k)),
-                               fed.demand());
-    const game::FunctionGame g(
-        n, [&degraded](game::Coalition c) { return degraded.value(c); });
-    const auto tab = game::tabulate_budgeted(g, budget);
-    if (!tab) break;
-    const ResilientSchemes rs = compare_schemes_resilient(
-        *tab, &*tab, degraded.availability_weights(),
-        degraded.consumption_weights(), budget);
-    // All-or-nothing per scenario: a degraded computation (any note)
-    // would make this scenario's rows incomparable with the rest, so it
-    // is discarded and the evaluation stops at the truncation point.
-    if (!rs.notes.empty()) break;
+  // Scenarios are independent — each has its own RNG stream — so they
+  // evaluate in parallel, one result slot per scenario. Aggregation
+  // below consumes the contiguous prefix of clean scenarios in index
+  // order, which reproduces the serial early-break semantics: a budget
+  // trip or degraded scenario truncates the evaluation at its index.
+  struct ScenarioResult {
+    bool ok = false;
+    double grand = 0.0;
+    ResilientSchemes rs;
+  };
+  std::vector<ScenarioResult> results(static_cast<std::size_t>(scenarios));
+  exec::parallel_for_budgeted(
+      0, static_cast<std::uint64_t>(scenarios), 1, budget,
+      [&](const exec::ChunkRange& r, const ComputeBudget& b) {
+        const auto k = r.begin;  // chunk size 1: one scenario per chunk
+        if (b.exhausted()) return false;
+        model::Federation degraded(model.degrade(fed.space(), k),
+                                   fed.demand());
+        const game::FunctionGame g(
+            n, [&degraded](game::Coalition c) { return degraded.value(c); });
+        const auto tab = game::tabulate_budgeted(g, b);
+        if (!tab) return false;
+        ScenarioResult& slot = results[k];
+        slot.rs = compare_schemes_resilient(
+            *tab, &*tab, degraded.availability_weights(),
+            degraded.consumption_weights(), b);
+        // All-or-nothing per scenario: a degraded computation (any note)
+        // would make this scenario's rows incomparable with the rest, so
+        // it is discarded and the evaluation stops at the truncation
+        // point.
+        if (!slot.rs.notes.empty()) return false;
+        slot.grand = tab->grand_value();
+        slot.ok = true;
+        return true;
+      });
 
+  for (std::size_t k = 0;
+       k < results.size() && results[k].ok; ++k) {
+    const ResilientSchemes& rs = results[k].rs;
     if (accs.empty()) {
       accs.resize(rs.outcomes.size());
       for (std::size_t j = 0; j < rs.outcomes.size(); ++j) {
@@ -124,7 +148,7 @@ OutageReport evaluate_outages(const model::Federation& fed, int scenarios,
       break;  // defensive: scheme set changed mid-run
     }
 
-    grand_samples.push_back(tab->grand_value());
+    grand_samples.push_back(results[k].grand);
     for (std::size_t j = 0; j < rs.outcomes.size(); ++j) {
       const auto& o = rs.outcomes[j];
       for (int i = 0; i < n; ++i) {

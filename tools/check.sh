@@ -1,6 +1,9 @@
 #!/bin/sh
-# Run the full test suite twice: once in the plain RelWithDebInfo build
-# and once under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Run the full test suite twice — once in the plain RelWithDebInfo build
+# and once under AddressSanitizer + UndefinedBehaviorSanitizer — then the
+# exec subsystem's tests a third time under ThreadSanitizer, which
+# exercises the work-stealing pool and the sharded value cache with real
+# worker threads.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -eu
@@ -18,5 +21,12 @@ cmake -S "$root" -B "$root/build-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=ON
 cmake --build "$root/build-asan" -j "$jobs"
 ctest --test-dir "$root/build-asan" -j "$jobs" --output-on-failure "$@"
+
+echo "== exec tests under ThreadSanitizer =="
+cmake -S "$root" -B "$root/build-tsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=thread
+cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
+ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
+  -R 'ExecTest'
 
 echo "== all checks passed =="

@@ -8,13 +8,14 @@
 #include <string>
 
 #include "cli/runner.hpp"
+#include "exec/pool.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
     R"(usage: fedshare_cli <federation.ini> [--dump-game <out-file>]
                     [--deadline-ms <ms>] [--outage-scenarios <k>]
-                    [--outage-seed <seed>]
+                    [--outage-seed <seed>] [--threads <n>]
 
 Computes coalition values, game properties and sharing-scheme shares
 (Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
@@ -30,6 +31,12 @@ Resilience options:
                            availabilities and report share/payoff
                            distributions
   --outage-seed <seed>     seed for the outage sampler (default 1)
+  --threads <n>            worker threads for tabulation, Monte-Carlo
+                           Shapley and outage sweeps (default 1; the
+                           FEDSHARE_THREADS env variable sets the
+                           default). Results are identical at any
+                           thread count; with 1 the output is
+                           byte-identical to earlier releases
 
 Config example:
 
@@ -77,6 +84,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       dump_path = argv[++i];
+      continue;
+    }
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: --threads needs a value\n";
+        return 2;
+      }
+      double value = 0.0;
+      if (!parse_value("--threads", argv[++i], value)) return 2;
+      if (value < 1.0 || value != static_cast<int>(value)) {
+        std::cerr << "fedshare_cli: --threads must be a positive integer\n";
+        return 2;
+      }
+      fedshare::exec::set_threads(static_cast<int>(value));
       continue;
     }
     if (arg == "--deadline-ms" || arg == "--outage-scenarios" ||
