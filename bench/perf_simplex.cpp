@@ -1,13 +1,32 @@
 // A5 microbenchmarks: the simplex substrate on the LP shapes this
-// library actually solves — least-core programs and allocation
-// relaxations.
+// library actually solves — least-core programs, allocation relaxations,
+// and the 2^n coalition-relaxation sweep that compares the dense tableau
+// engine against the revised engine (cold and warm-started).
+//
+// Besides the google-benchmark timings, the binary writes a
+// machine-readable BENCH_simplex.json summary (override the path with
+// FEDSHARE_BENCH_OUT) with per-n wall times, total pivot counts, and
+// cross-engine agreement, and supports `--smoke`: a fast consistency
+// run that exits non-zero when the engines disagree — tools/check.sh
+// runs it as the perf-smoke stage.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "alloc/lp_relax.hpp"
 #include "core/core_solution.hpp"
 #include "core/nucleolus.hpp"
 #include "lp/simplex.hpp"
 #include "model/federation.hpp"
+#include "model/value.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -82,6 +101,213 @@ void BM_LpRelaxAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_LpRelaxAllocation)->Arg(4)->Arg(8)->Arg(16);
 
+// --- dense vs revised on the coalition-relaxation sweep -------------------
+
+// Overlapping facilities: shared locations make coalition capacities
+// interact, so the per-coalition LPs have non-trivial bases.
+model::LocationSpace sweep_space(int n) {
+  std::vector<model::FacilityConfig> configs;
+  for (int i = 0; i < n; ++i) {
+    model::FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i);
+    cfg.num_locations = 8 + 4 * (i % 4);
+    cfg.units_per_location = 1.0 + 0.5 * (i % 3);
+    cfg.availability = 1.0 - 0.05 * (i % 4);
+    configs.push_back(std::move(cfg));
+  }
+  return model::LocationSpace::overlapping(std::move(configs), 40, 17);
+}
+
+// Multiple request classes so the capacity rows carry several nonzeros;
+// a single class would presolve entirely into variable bounds and every
+// engine would report zero pivots.
+model::DemandProfile sweep_demand() {
+  model::DemandProfile demand;
+  demand.classes.push_back({8.0, 6.0, 1.0, 1.0, 1.0});
+  demand.classes.push_back({4.0, 12.0, 2.0, 1.0, 1.0});
+  demand.classes.push_back({3.0, 3.0, 1.5, 0.9, 1.0});
+  return demand;
+}
+
+model::LpSweepResult run_sweep(const model::LocationSpace& space,
+                               const model::DemandProfile& demand,
+                               lp::SolverKind solver, bool warm) {
+  model::LpSweepOptions options;
+  options.simplex.solver = solver;
+  options.warm_start = warm;
+  return model::lp_relaxation_sweep(space, demand, options);
+}
+
+void BM_CoalitionSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // 0 = dense cold, 1 = revised cold, 2 = revised warm.
+  const int mode = static_cast<int>(state.range(1));
+  const auto space = sweep_space(n);
+  const auto demand = sweep_demand();
+  const lp::SolverKind solver =
+      mode == 0 ? lp::SolverKind::kDense : lp::SolverKind::kRevised;
+  std::uint64_t pivots = 0;
+  for (auto _ : state) {
+    const auto result = run_sweep(space, demand, solver, mode == 2);
+    pivots = result.total_pivots;
+    benchmark::DoNotOptimize(result.values.data());
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_CoalitionSweep)
+    ->ArgsProduct({{4, 6, 8, 10}, {0, 1, 2}})
+    ->ArgNames({"n", "mode"});
+
+// --- BENCH_simplex.json ---------------------------------------------------
+
+double median_ms(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+template <typename Fn>
+double time_ms(const Fn& fn, int reps) {
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    runs.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median_ms(std::move(runs));
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+struct SweepRow {
+  int n = 0;
+  double dense_ms = 0.0;
+  double revised_cold_ms = 0.0;
+  double revised_warm_ms = 0.0;
+  std::uint64_t dense_pivots = 0;
+  std::uint64_t revised_cold_pivots = 0;
+  std::uint64_t revised_warm_pivots = 0;
+  double cold_diff = 0.0;  ///< max |revised cold - dense|
+  double warm_diff = 0.0;  ///< max |revised warm - dense|
+};
+
+SweepRow measure_sweep(int n, int reps) {
+  const auto space = sweep_space(n);
+  const auto demand = sweep_demand();
+  SweepRow row;
+  row.n = n;
+  const auto dense = run_sweep(space, demand, lp::SolverKind::kDense, false);
+  const auto cold =
+      run_sweep(space, demand, lp::SolverKind::kRevised, false);
+  const auto warm = run_sweep(space, demand, lp::SolverKind::kRevised, true);
+  row.dense_pivots = dense.total_pivots;
+  row.revised_cold_pivots = cold.total_pivots;
+  row.revised_warm_pivots = warm.total_pivots;
+  row.cold_diff = max_abs_diff(dense.values, cold.values);
+  row.warm_diff = max_abs_diff(dense.values, warm.values);
+  row.dense_ms = time_ms(
+      [&] { run_sweep(space, demand, lp::SolverKind::kDense, false); },
+      reps);
+  row.revised_cold_ms = time_ms(
+      [&] { run_sweep(space, demand, lp::SolverKind::kRevised, false); },
+      reps);
+  row.revised_warm_ms = time_ms(
+      [&] { run_sweep(space, demand, lp::SolverKind::kRevised, true); },
+      reps);
+  return row;
+}
+
+void write_summary_json() {
+  std::vector<SweepRow> rows;
+  for (const int n : {4, 6, 8, 10, 12}) {
+    rows.push_back(measure_sweep(n, n >= 10 ? 1 : 3));
+  }
+
+  const char* out_env = std::getenv("FEDSHARE_BENCH_OUT");
+  const std::string path =
+      out_env != nullptr && *out_env != '\0' ? out_env : "BENCH_simplex.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "perf_simplex: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"simplex\",\n";
+  out << "  \"workload\": \"2^n coalition-relaxation sweep, overlapping "
+         "facilities, 3 request classes\",\n";
+  out << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    const double ratio =
+        r.revised_warm_pivots > 0
+            ? static_cast<double>(r.dense_pivots) /
+                  static_cast<double>(r.revised_warm_pivots)
+            : 0.0;
+    out << "    {\"n\": " << r.n << ", \"lps\": " << (1u << r.n)
+        << ", \"dense_ms\": " << r.dense_ms
+        << ", \"revised_cold_ms\": " << r.revised_cold_ms
+        << ", \"revised_warm_ms\": " << r.revised_warm_ms
+        << ", \"dense_pivots\": " << r.dense_pivots
+        << ", \"revised_cold_pivots\": " << r.revised_cold_pivots
+        << ", \"revised_warm_pivots\": " << r.revised_warm_pivots
+        << ", \"pivot_ratio_dense_over_warm\": " << ratio
+        << ", \"max_abs_diff_cold\": " << r.cold_diff
+        << ", \"max_abs_diff_warm\": " << r.warm_diff << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::cout << "(summary written to " << path << ")\n";
+}
+
+// --- --smoke: fast cross-engine consistency gate --------------------------
+
+int run_smoke() {
+  constexpr double kAgreeTol = 1e-7;
+  int failures = 0;
+  for (const int n : {5, 7}) {
+    const SweepRow row = measure_sweep(n, 1);
+    std::cout << "smoke n=" << n << ": dense_pivots=" << row.dense_pivots
+              << " revised_cold_pivots=" << row.revised_cold_pivots
+              << " revised_warm_pivots=" << row.revised_warm_pivots
+              << " max_diff_cold=" << row.cold_diff
+              << " max_diff_warm=" << row.warm_diff << "\n";
+    if (row.cold_diff > kAgreeTol || row.warm_diff > kAgreeTol) {
+      std::cerr << "perf_simplex --smoke: engines disagree at n=" << n
+                << " (cold " << row.cold_diff << ", warm " << row.warm_diff
+                << ", tol " << kAgreeTol << ")\n";
+      ++failures;
+    }
+    if (row.revised_warm_pivots >= row.dense_pivots) {
+      std::cerr << "perf_simplex --smoke: warm start saved no pivots at n="
+                << n << " (" << row.revised_warm_pivots << " vs "
+                << row.dense_pivots << " dense)\n";
+      ++failures;
+    }
+  }
+  std::cout << (failures == 0 ? "perf-smoke PASSED\n" : "perf-smoke FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_summary_json();
+  return 0;
+}

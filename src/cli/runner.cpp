@@ -139,7 +139,12 @@ model::Federation federation_from_config(const io::Config& config) {
   }
 }
 
-std::string run_report(const io::Config& config) {
+namespace {
+
+// Shared body of the non-resilient report; `lp_solver` picks the
+// simplex engine behind the nucleolus scheme.
+std::string plain_report(const io::Config& config,
+                         lp::SolverKind lp_solver) {
   const model::Federation fed = federation_from_config(config);
   int precision = 4;
   const auto options = config.sections_named("options");
@@ -181,8 +186,11 @@ std::string run_report(const io::Config& config) {
   headers.emplace_back("in core");
   io::Table table(std::move(headers));
   table.set_align(0, io::Align::kLeft);
-  const auto outcomes = game::compare_schemes(
-      g, fed.availability_weights(), fed.consumption_weights());
+  lp::SimplexOptions lp_options;
+  lp_options.solver = lp_solver;
+  const auto outcomes =
+      game::compare_schemes(g, fed.availability_weights(),
+                            fed.consumption_weights(), lp_options);
   for (const auto& o : outcomes) {
     std::vector<std::string> row{game::to_string(o.scheme)};
     for (int i = 0; i < n; ++i) {
@@ -228,6 +236,12 @@ std::string run_report(const io::Config& config) {
     rtable.print(out);
   }
   return out.str();
+}
+
+}  // namespace
+
+std::string run_report(const io::Config& config) {
+  return plain_report(config, lp::SolverKind::kDense);
 }
 
 namespace {
@@ -317,7 +331,7 @@ std::string resilient_report(const io::Config& config,
   runtime::ResilientSchemes rs = runtime::compare_schemes_resilient(
       tab ? static_cast<const game::Game&>(*tab) : fgame,
       tab ? &*tab : nullptr, fed.availability_weights(),
-      fed.consumption_weights(), budget);
+      fed.consumption_weights(), budget, 4096, 1, ropts.lp_solver);
   for (const auto& o : rs.outcomes) {
     std::vector<std::string> row{game::to_string(o.scheme)};
     for (int i = 0; i < n; ++i) {
@@ -438,7 +452,7 @@ std::string resilient_report(const io::Config& config,
 
 std::string run_report(const io::Config& config,
                        const ReportOptions& options) {
-  if (!options.any()) return run_report(config);
+  if (!options.any()) return plain_report(config, options.lp_solver);
   return resilient_report(config, options);
 }
 

@@ -40,6 +40,11 @@
 //                            maps to exec::set_threads() before the
 //                            report runs. Results are identical at any
 //                            thread count.
+//   --lp-solver <dense|revised>
+//                            simplex engine for the nucleolus LPs.
+//                            `revised` is the LU-factorized engine with
+//                            warm-started solve chains; `dense` (the
+//                            default) is the historical tableau solver.
 //
 // Without any flag the output is byte-identical to previous releases.
 #pragma once
@@ -49,6 +54,7 @@
 #include <string>
 
 #include "io/config.hpp"
+#include "lp/simplex.hpp"
 #include "model/federation.hpp"
 
 namespace fedshare::cli {
@@ -64,6 +70,11 @@ struct ReportOptions {
   int outage_scenarios = 0;
   /// Seed for the outage sampler.
   std::uint64_t outage_seed = 1;
+  /// Simplex engine for the nucleolus LPs (--lp-solver). kDense is the
+  /// historical engine; kRevised is the factorized-basis engine with
+  /// warm-started chains. Both produce the same shares to within the
+  /// report's printed precision.
+  lp::SolverKind lp_solver = lp::SolverKind::kDense;
 
   [[nodiscard]] bool any() const noexcept {
     return deadline_ms.has_value() || outage_scenarios > 0;

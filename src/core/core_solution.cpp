@@ -9,6 +9,11 @@
 namespace fedshare::game {
 
 LeastCoreResult least_core(const Game& game) {
+  return least_core(game, lp::SimplexOptions{});
+}
+
+LeastCoreResult least_core(const Game& game, const lp::SimplexOptions& options,
+                           lp::Basis* warm) {
   const int n = game.num_players();
   if (n < 1 || n > 12) {
     throw std::invalid_argument("least_core: n must be in [1, 12]");
@@ -40,7 +45,14 @@ LeastCoreResult least_core(const Game& game) {
   }
 
   LeastCoreResult out;
-  const lp::Solution sol = lp::solve(prob);
+  lp::Solution sol;
+  if (options.solver == lp::SolverKind::kRevised) {
+    lp::RevisedSimplex engine(prob, options);
+    sol = warm != nullptr ? engine.solve_from_basis(*warm) : engine.solve();
+    if (warm != nullptr && sol.optimal()) *warm = engine.basis();
+  } else {
+    sol = lp::solve(prob, options);
+  }
   if (!sol.optimal()) return out;
   out.solved = true;
   out.epsilon = sol.x[nv];

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/game.hpp"
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
 
 namespace fedshare::game {
 
@@ -21,6 +23,15 @@ struct LeastCoreResult {
 /// Solves the least-core LP. Requires 1 <= n <= 12 (the LP has 2^n - 2
 /// coalition rows).
 [[nodiscard]] LeastCoreResult least_core(const Game& game);
+
+/// Variant threading solver options through the LP (engine choice,
+/// tolerance, ComputeBudget). With SolverKind::kRevised and a non-null
+/// `warm`, the solve starts from *warm when it is non-empty and writes
+/// the optimal basis back, so a chain of least-core LPs over related
+/// games (demand sweeps, outage scenarios) re-solves in few pivots.
+[[nodiscard]] LeastCoreResult least_core(const Game& game,
+                                         const lp::SimplexOptions& options,
+                                         lp::Basis* warm = nullptr);
 
 /// Whether `allocation` lies in the core of `game`, up to `tolerance`.
 /// Checks efficiency (|x(N) - V(N)| <= tolerance) and coalitional

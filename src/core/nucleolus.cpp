@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 
+#include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
 
 namespace fedshare::game {
@@ -11,6 +13,32 @@ namespace fedshare::game {
 namespace {
 
 constexpr double kTol = 1e-7;
+
+// Warm-started chain over LPs that share one constraint set and differ
+// only in objective (the per-coalition aux-max probes and the per-player
+// uniqueness probes of a round). The previous optimum stays primal
+// feasible when only the objective moves, so each re-solve is a pure
+// phase-2 run from the last basis. Revised engine only.
+class ObjectiveChain {
+ public:
+  ObjectiveChain(const lp::Problem& prob, const lp::SimplexOptions& options)
+      : engine_(prob, options) {}
+
+  // Replaces the whole objective vector and re-solves warm.
+  [[nodiscard]] lp::Solution solve(const std::vector<double>& objective) {
+    for (std::size_t v = 0; v < objective.size(); ++v) {
+      engine_.set_objective_coefficient(v, objective[v]);
+    }
+    lp::Solution sol = basis_.empty() ? engine_.solve()
+                                      : engine_.solve_from_basis(basis_);
+    if (sol.optimal()) basis_ = engine_.basis();
+    return sol;
+  }
+
+ private:
+  lp::RevisedSimplex engine_;
+  lp::Basis basis_;
+};
 
 // Shared LP scaffolding for one round of the scheme. Variables are
 // x_0..x_{n-1} and epsilon (all free). `fixed` holds (mask, rhs) pairs
@@ -83,6 +111,11 @@ NucleolusResult nucleolus(const Game& game,
 
   const auto nv = static_cast<std::size_t>(n);
   std::vector<double> allocation;
+  const bool revised = options.solver == lp::SolverKind::kRevised;
+  // Round-to-round warm start: the variables never change across rounds
+  // (only the row set does), so the previous round's structural statuses
+  // seed the next round's basis through the crash path.
+  lp::Basis round_basis;
 
   // Each round fixes at least one coalition, so at most 2^n rounds; in
   // practice the allocation becomes unique after <= n-1 rounds.
@@ -90,7 +123,14 @@ NucleolusResult nucleolus(const Game& game,
     // 1. Least-core step over the remaining coalitions.
     lp::Problem prob = ctx.base_problem();
     prob.set_objective_coefficient(nv, 1.0);
-    const lp::Solution sol = lp::solve(prob, options);
+    lp::Solution sol;
+    if (revised) {
+      lp::RevisedSimplex engine(prob, options);
+      sol = engine.solve_from_basis(round_basis);
+      if (sol.optimal()) round_basis = engine.basis();
+    } else {
+      sol = lp::solve(prob, options);
+    }
     if (!sol.optimal()) return out;
     const double eps = sol.x[nv];
     out.levels.push_back(eps);
@@ -102,21 +142,46 @@ NucleolusResult nucleolus(const Game& game,
     std::vector<std::uint64_t> still_active;
     bool fixed_any = false;
     const lp::Problem base = ctx.base_problem();
-    for (const std::uint64_t mask : ctx.active) {
-      lp::Problem aux_max(nv + 1, lp::Objective::kMaximize);
-      for (std::size_t i = 0; i <= nv; ++i) aux_max.set_free(i);
-      for (int i = 0; i < n; ++i) {
-        if ((mask >> i) & 1u) {
-          aux_max.set_objective_coefficient(static_cast<std::size_t>(i), 1.0);
-        }
-      }
+    // All aux-max probes of a round share one constraint set (base rows
+    // plus eps pinned at the optimum); with the revised engine they run
+    // as a warm-started objective chain over a single instance.
+    std::optional<ObjectiveChain> aux_chain;
+    if (revised) {
+      lp::Problem aux(nv + 1, lp::Objective::kMaximize);
+      for (std::size_t i = 0; i <= nv; ++i) aux.set_free(i);
       for (const auto& c : base.constraints()) {
-        aux_max.add_constraint(c.coefficients, c.relation, c.rhs);
+        aux.add_constraint(c.coefficients, c.relation, c.rhs);
       }
       std::vector<double> pin(nv + 1, 0.0);
       pin[nv] = 1.0;
-      aux_max.add_constraint(std::move(pin), lp::Relation::kEqual, eps);
-      const lp::Solution aux_sol = lp::solve(aux_max, options);
+      aux.add_constraint(std::move(pin), lp::Relation::kEqual, eps);
+      aux_chain.emplace(aux, options);
+    }
+    for (const std::uint64_t mask : ctx.active) {
+      lp::Solution aux_sol;
+      if (revised) {
+        std::vector<double> obj(nv + 1, 0.0);
+        for (int i = 0; i < n; ++i) {
+          if ((mask >> i) & 1u) obj[static_cast<std::size_t>(i)] = 1.0;
+        }
+        aux_sol = aux_chain->solve(obj);
+      } else {
+        lp::Problem aux_max(nv + 1, lp::Objective::kMaximize);
+        for (std::size_t i = 0; i <= nv; ++i) aux_max.set_free(i);
+        for (int i = 0; i < n; ++i) {
+          if ((mask >> i) & 1u) {
+            aux_max.set_objective_coefficient(static_cast<std::size_t>(i),
+                                              1.0);
+          }
+        }
+        for (const auto& c : base.constraints()) {
+          aux_max.add_constraint(c.coefficients, c.relation, c.rhs);
+        }
+        std::vector<double> pin(nv + 1, 0.0);
+        pin[nv] = 1.0;
+        aux_max.add_constraint(std::move(pin), lp::Relation::kEqual, eps);
+        aux_sol = lp::solve(aux_max, options);
+      }
       if (!aux_sol.optimal()) return out;
       const double max_xs = aux_sol.objective;
       const double bound = tab.values()[mask] - eps;
@@ -134,23 +199,47 @@ NucleolusResult nucleolus(const Game& game,
     //    payoff range under the fixed constraints is a point.
     if (!ctx.active.empty()) {
       bool unique = true;
+      // The probes again share one constraint set; the revised chain
+      // maximizes +x_i / -x_i per player (min x_i == -max -x_i), so all
+      // 2n probes warm-start off each other.
+      std::optional<ObjectiveChain> probe_chain;
+      if (revised) {
+        lp::Problem p(nv + 1, lp::Objective::kMaximize);
+        for (std::size_t v2 = 0; v2 <= nv; ++v2) p.set_free(v2);
+        const lp::Problem base2 = ctx.base_problem();
+        for (const auto& c : base2.constraints()) {
+          p.add_constraint(c.coefficients, c.relation, c.rhs);
+        }
+        std::vector<double> pin_eps(nv + 1, 0.0);
+        pin_eps[nv] = 1.0;
+        p.add_constraint(std::move(pin_eps), lp::Relation::kEqual, eps);
+        probe_chain.emplace(p, options);
+      }
       for (int i = 0; i < n && unique; ++i) {
         double extremes[2];
         for (int dir = 0; dir < 2; ++dir) {
-          lp::Problem p(nv + 1, dir == 0 ? lp::Objective::kMinimize
-                                         : lp::Objective::kMaximize);
-          for (std::size_t v2 = 0; v2 <= nv; ++v2) p.set_free(v2);
-          p.set_objective_coefficient(static_cast<std::size_t>(i), 1.0);
-          const lp::Problem base = ctx.base_problem();
-          for (const auto& c : base.constraints()) {
-            p.add_constraint(c.coefficients, c.relation, c.rhs);
+          lp::Solution s2;
+          if (revised) {
+            std::vector<double> obj(nv + 1, 0.0);
+            obj[static_cast<std::size_t>(i)] = dir == 0 ? -1.0 : 1.0;
+            s2 = probe_chain->solve(obj);
+            if (s2.optimal() && dir == 0) s2.objective = -s2.objective;
+          } else {
+            lp::Problem p(nv + 1, dir == 0 ? lp::Objective::kMinimize
+                                           : lp::Objective::kMaximize);
+            for (std::size_t v2 = 0; v2 <= nv; ++v2) p.set_free(v2);
+            p.set_objective_coefficient(static_cast<std::size_t>(i), 1.0);
+            const lp::Problem base2 = ctx.base_problem();
+            for (const auto& c : base2.constraints()) {
+              p.add_constraint(c.coefficients, c.relation, c.rhs);
+            }
+            // Pin eps at the current level: the later rounds only shrink
+            // the feasible set, so a unique x-projection here is final.
+            std::vector<double> pin_eps(nv + 1, 0.0);
+            pin_eps[nv] = 1.0;
+            p.add_constraint(std::move(pin_eps), lp::Relation::kEqual, eps);
+            s2 = lp::solve(p, options);
           }
-          // Pin eps at the current level: the later rounds only shrink
-          // the feasible set, so a unique x-projection here is final.
-          std::vector<double> pin_eps(nv + 1, 0.0);
-          pin_eps[nv] = 1.0;
-          p.add_constraint(std::move(pin_eps), lp::Relation::kEqual, eps);
-          const lp::Solution s2 = lp::solve(p, options);
           if (!s2.optimal()) {
             unique = false;
             extremes[dir] = 0.0;

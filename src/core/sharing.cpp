@@ -54,7 +54,12 @@ std::vector<double> shapley_shares(const Game& game) {
 }
 
 std::vector<double> nucleolus_shares(const Game& game) {
-  const NucleolusResult r = nucleolus(game);
+  return nucleolus_shares(game, lp::SimplexOptions{});
+}
+
+std::vector<double> nucleolus_shares(const Game& game,
+                                     const lp::SimplexOptions& options) {
+  const NucleolusResult r = nucleolus(game, options);
   if (!r.solved) {
     throw std::runtime_error("nucleolus_shares: computation failed");
   }
@@ -70,6 +75,14 @@ std::vector<double> nucleolus_shares(const Game& game) {
 std::vector<SchemeOutcome> compare_schemes(
     const Game& game, const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights) {
+  return compare_schemes(game, availability_weights, consumption_weights,
+                         lp::SimplexOptions{});
+}
+
+std::vector<SchemeOutcome> compare_schemes(
+    const Game& game, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const lp::SimplexOptions& lp_options) {
   const int n = game.num_players();
   // Tabulate once: every scheme below (Shapley, the per-scheme core
   // checks, nucleolus, Banzhaf) re-reads the same table instead of
@@ -109,7 +122,7 @@ std::vector<SchemeOutcome> compare_schemes(
          proportional_shares(consumption_weights));
   }
   push(Scheme::kEqual, equal_shares(n));
-  if (n <= 10) push(Scheme::kNucleolus, nucleolus_shares(tab));
+  if (n <= 10) push(Scheme::kNucleolus, nucleolus_shares(tab, lp_options));
   push(Scheme::kBanzhaf, banzhaf_index(tab));
   return out;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/game.hpp"
+#include "lp/simplex.hpp"
 
 namespace fedshare::game {
 
@@ -47,6 +48,11 @@ enum class Scheme {
 /// when V(N) is ~0. Requires n <= 10.
 [[nodiscard]] std::vector<double> nucleolus_shares(const Game& game);
 
+/// Variant threading LP solver options (engine choice, tolerance,
+/// budget) into the nucleolus scheme's internal LPs.
+[[nodiscard]] std::vector<double> nucleolus_shares(
+    const Game& game, const lp::SimplexOptions& options);
+
 /// One scheme's outcome in a comparison run.
 struct SchemeOutcome {
   Scheme scheme;
@@ -62,5 +68,12 @@ struct SchemeOutcome {
 [[nodiscard]] std::vector<SchemeOutcome> compare_schemes(
     const Game& game, const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights);
+
+/// Variant threading LP solver options into the nucleolus scheme (the
+/// only scheme that solves LPs). The CLI's --lp-solver flag lands here.
+[[nodiscard]] std::vector<SchemeOutcome> compare_schemes(
+    const Game& game, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const lp::SimplexOptions& lp_options);
 
 }  // namespace fedshare::game

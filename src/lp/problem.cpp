@@ -36,6 +36,13 @@ void Problem::add_constraint(std::vector<double> coefficients,
   constraints_.push_back({std::move(coefficients), relation, rhs});
 }
 
+void Problem::set_constraint_rhs(std::size_t constraint, double rhs) {
+  if (constraint >= constraints_.size()) {
+    throw std::out_of_range("Problem: constraint index out of range");
+  }
+  constraints_[constraint].rhs = rhs;
+}
+
 bool Problem::is_free(std::size_t variable) const {
   if (variable >= free_.size()) {
     throw std::out_of_range("Problem: variable index out of range");

@@ -42,6 +42,11 @@ class Problem {
   void add_constraint(std::vector<double> coefficients, Relation relation,
                       double rhs);
 
+  /// Replaces the right-hand side of an existing constraint. The cheap
+  /// path for families of LPs that differ only in rhs (per-coalition
+  /// capacity patches): build once, patch in place, re-solve.
+  void set_constraint_rhs(std::size_t constraint, double rhs);
+
   [[nodiscard]] std::size_t num_variables() const noexcept {
     return objective_.size();
   }

@@ -1,0 +1,909 @@
+#include "lp/revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedshare::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Primal feasibility: how far a basic value may sit outside its bounds.
+constexpr double kFeasTol = 1e-7;
+// Dual feasibility: reduced-cost slack accepted when testing whether a
+// warm basis still qualifies for the dual simplex.
+constexpr double kDualTol = 1e-7;
+// Smallest |pivot element| accepted in a ratio test.
+constexpr double kPivTol = 1e-8;
+// Ratio-test tie window.
+constexpr double kRatioTol = 1e-9;
+// LU pivot below this aborts factorization as singular.
+constexpr double kSingularTol = 1e-11;
+// A step below this counts as degenerate for stall tracking.
+constexpr double kDegenTol = 1e-10;
+// Consecutive degenerate pivots before switching to Bland's rule.
+constexpr int kStallLimit = 32;
+// Eta-file length that triggers a refactorization.
+constexpr std::size_t kRefactorEvery = 64;
+
+}  // namespace
+
+RevisedSimplex::RevisedSimplex(const Problem& problem, SimplexOptions options)
+    : n_(problem.num_variables()),
+      sense_(problem.sense()),
+      csign_(problem.sense() == Objective::kMaximize ? -1.0 : 1.0),
+      options_(options),
+      objective_(problem.objective()) {
+  decl_lower_.resize(n_);
+  decl_upper_.assign(n_, kInf);
+  for (std::size_t v = 0; v < n_; ++v) {
+    decl_lower_[v] = problem.is_free(v) ? -kInf : 0.0;
+  }
+
+  cols_.resize(n_);
+  const auto& constraints = problem.constraints();
+  constraint_map_.resize(constraints.size());
+  constraint_rhs_.resize(constraints.size());
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const Constraint& c = constraints[i];
+    constraint_rhs_[i] = c.rhs;
+    std::size_t nnz = 0;
+    std::size_t last_var = 0;
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (c.coefficients[v] != 0.0) {
+        ++nnz;
+        last_var = v;
+      }
+    }
+    ConstraintMap& map = constraint_map_[i];
+    map.relation = c.relation;
+    if (nnz <= 1) {
+      // Singleton (or empty) row: absorbed into variable bounds by
+      // prepare(); empty rows become pure feasibility checks.
+      map.is_bound = true;
+      map.index = nnz == 1 ? last_var : 0;
+      map.coeff = nnz == 1 ? c.coefficients[last_var] : 0.0;
+    } else {
+      map.is_bound = false;
+      map.index = num_rows_;
+      row_relation_.push_back(c.relation);
+      for (std::size_t v = 0; v < n_; ++v) {
+        if (c.coefficients[v] != 0.0) {
+          cols_[v].push_back({num_rows_, c.coefficients[v]});
+        }
+      }
+      ++num_rows_;
+    }
+  }
+  num_cols_ = n_ + num_rows_;
+}
+
+void RevisedSimplex::set_constraint_rhs(std::size_t constraint, double rhs) {
+  if (constraint >= constraint_rhs_.size()) {
+    throw std::out_of_range("RevisedSimplex: constraint index out of range");
+  }
+  constraint_rhs_[constraint] = rhs;
+}
+
+void RevisedSimplex::set_bounds(std::size_t variable, double lower,
+                                double upper) {
+  if (variable >= n_) {
+    throw std::out_of_range("RevisedSimplex: variable index out of range");
+  }
+  decl_lower_[variable] = lower;
+  decl_upper_[variable] = upper;
+}
+
+void RevisedSimplex::set_objective_coefficient(std::size_t variable,
+                                               double coefficient) {
+  if (variable >= n_) {
+    throw std::out_of_range("RevisedSimplex: variable index out of range");
+  }
+  objective_[variable] = coefficient;
+}
+
+void RevisedSimplex::apply(const ProblemPatch& patch) {
+  for (const auto& r : patch.rhs) set_constraint_rhs(r.constraint, r.rhs);
+  for (const auto& b : patch.bounds) set_bounds(b.variable, b.lower, b.upper);
+}
+
+double RevisedSimplex::internal_cost(std::size_t j) const noexcept {
+  return j < n_ ? csign_ * objective_[j] : 0.0;
+}
+
+bool RevisedSimplex::prepare() {
+  bound_infeasible_ = false;
+  lower_.assign(num_cols_, 0.0);
+  upper_.assign(num_cols_, kInf);
+  for (std::size_t v = 0; v < n_; ++v) {
+    lower_[v] = decl_lower_[v];
+    upper_[v] = decl_upper_[v];
+  }
+  row_rhs_.assign(num_rows_, 0.0);
+
+  for (std::size_t i = 0; i < constraint_map_.size(); ++i) {
+    const ConstraintMap& map = constraint_map_[i];
+    const double b = constraint_rhs_[i];
+    if (!map.is_bound) {
+      row_rhs_[map.index] = b;
+      continue;
+    }
+    if (map.coeff == 0.0) {
+      // Empty row: `0 relation b` must hold outright.
+      const bool ok = map.relation == Relation::kLessEqual ? b >= -kFeasTol
+                      : map.relation == Relation::kGreaterEqual ? b <= kFeasTol
+                                                                : std::abs(b) <=
+                                                                      kFeasTol;
+      if (!ok) bound_infeasible_ = true;
+      continue;
+    }
+    const double val = b / map.coeff;
+    Relation rel = map.relation;
+    if (map.coeff < 0.0) {
+      if (rel == Relation::kLessEqual) rel = Relation::kGreaterEqual;
+      else if (rel == Relation::kGreaterEqual) rel = Relation::kLessEqual;
+    }
+    double& lo = lower_[map.index];
+    double& up = upper_[map.index];
+    switch (rel) {
+      case Relation::kLessEqual: up = std::min(up, val); break;
+      case Relation::kGreaterEqual: lo = std::max(lo, val); break;
+      case Relation::kEqual:
+        lo = std::max(lo, val);
+        up = std::min(up, val);
+        break;
+    }
+  }
+
+  // Slack bounds encode each surviving row's relation.
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    const std::size_t j = n_ + r;
+    switch (row_relation_[r]) {
+      case Relation::kLessEqual: lower_[j] = 0.0; upper_[j] = kInf; break;
+      case Relation::kGreaterEqual: lower_[j] = -kInf; upper_[j] = 0.0; break;
+      case Relation::kEqual: lower_[j] = 0.0; upper_[j] = 0.0; break;
+    }
+  }
+
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (lower_[j] > upper_[j] + 1e-9) bound_infeasible_ = true;
+  }
+  return !bound_infeasible_;
+}
+
+Solution RevisedSimplex::solve_bounds_only() const {
+  Solution out;
+  out.x.assign(n_, 0.0);
+  for (std::size_t v = 0; v < n_; ++v) {
+    const double c = csign_ * objective_[v];
+    const double lo = lower_[v];
+    const double up = upper_[v];
+    double x = 0.0;
+    if (c > 0.0) {
+      if (!std::isfinite(lo)) {
+        out.x.clear();
+        out.status = SolveStatus::kUnbounded;
+        return out;
+      }
+      x = lo;
+    } else if (c < 0.0) {
+      if (!std::isfinite(up)) {
+        out.x.clear();
+        out.status = SolveStatus::kUnbounded;
+        return out;
+      }
+      x = up;
+    } else {
+      if (lo > 0.0) x = lo;
+      else if (up < 0.0) x = up;
+    }
+    out.x[v] = x;
+  }
+  double obj = 0.0;
+  for (std::size_t v = 0; v < n_; ++v) obj += objective_[v] * out.x[v];
+  out.objective = obj;
+  out.status = SolveStatus::kOptimal;
+  return out;
+}
+
+void RevisedSimplex::reset_to_slack_basis() {
+  status_.assign(num_cols_, VarStatus::kAtLower);
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (std::isfinite(lower_[v])) status_[v] = VarStatus::kAtLower;
+    else if (std::isfinite(upper_[v])) status_[v] = VarStatus::kAtUpper;
+    else status_[v] = VarStatus::kFreeNonbasic;
+  }
+  basic_.resize(num_rows_);
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    status_[n_ + r] = VarStatus::kBasic;
+    basic_[r] = n_ + r;
+  }
+  etas_.clear();
+  has_basis_ = true;
+}
+
+void RevisedSimplex::adopt_statuses(const Basis& basis) {
+  status_ = basis.status;
+  // Sanitize: a nonbasic status must point at a finite bound under the
+  // *current* effective bounds (patches may have moved them).
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    switch (status_[j]) {
+      case VarStatus::kBasic:
+        break;
+      case VarStatus::kAtLower:
+        if (!std::isfinite(lower_[j])) {
+          status_[j] = std::isfinite(upper_[j]) ? VarStatus::kAtUpper
+                                                : VarStatus::kFreeNonbasic;
+        }
+        break;
+      case VarStatus::kAtUpper:
+        if (!std::isfinite(upper_[j])) {
+          status_[j] = std::isfinite(lower_[j]) ? VarStatus::kAtLower
+                                                : VarStatus::kFreeNonbasic;
+        }
+        break;
+      case VarStatus::kFreeNonbasic:
+        if (std::isfinite(lower_[j])) status_[j] = VarStatus::kAtLower;
+        else if (std::isfinite(upper_[j])) status_[j] = VarStatus::kAtUpper;
+        break;
+    }
+  }
+  // Enforce exactly num_rows_ basics: demote surplus (keep the lowest
+  // column indices), then promote nonbasic slacks to fill gaps.
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] != VarStatus::kBasic) continue;
+    if (count < num_rows_) {
+      ++count;
+    } else {
+      status_[j] = std::isfinite(lower_[j]) ? VarStatus::kAtLower
+                   : std::isfinite(upper_[j]) ? VarStatus::kAtUpper
+                                              : VarStatus::kFreeNonbasic;
+    }
+  }
+  for (std::size_t r = 0; r < num_rows_ && count < num_rows_; ++r) {
+    if (status_[n_ + r] != VarStatus::kBasic) {
+      status_[n_ + r] = VarStatus::kBasic;
+      ++count;
+    }
+  }
+  basic_.clear();
+  basic_.reserve(num_rows_);
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == VarStatus::kBasic) basic_.push_back(j);
+  }
+  etas_.clear();
+  has_basis_ = true;
+}
+
+std::vector<double> RevisedSimplex::column(std::size_t j) const {
+  std::vector<double> col(num_rows_, 0.0);
+  if (j < n_) {
+    for (const ColEntry& e : cols_[j]) col[e.row] = e.value;
+  } else {
+    col[j - n_] = 1.0;
+  }
+  return col;
+}
+
+double RevisedSimplex::column_dot(std::size_t j,
+                                  const std::vector<double>& y) const {
+  if (j < n_) {
+    double acc = 0.0;
+    for (const ColEntry& e : cols_[j]) acc += y[e.row] * e.value;
+    return acc;
+  }
+  return y[j - n_];
+}
+
+bool RevisedSimplex::factorize() {
+  const std::size_t m = num_rows_;
+  lu_ = Matrix(m, m, 0.0);
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::size_t j = basic_[p];
+    if (j < n_) {
+      for (const ColEntry& e : cols_[j]) lu_(e.row, p) = e.value;
+    } else {
+      lu_(j - n_, p) = 1.0;
+    }
+  }
+  perm_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) perm_[i] = i;
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < m; ++i) {
+      const double a = std::abs(lu_(i, k));
+      if (a > best) {
+        best = a;
+        piv = i;
+      }
+    }
+    if (best < kSingularTol) return false;
+    if (piv != k) {
+      lu_.swap_rows(piv, k);
+      std::swap(perm_[piv], perm_[k]);
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < m; ++i) {
+      const double f = lu_(i, k) / pivot;
+      lu_(i, k) = f;
+      if (f != 0.0) {
+        for (std::size_t c = k + 1; c < m; ++c) lu_(i, c) -= f * lu_(k, c);
+      }
+    }
+  }
+  etas_.clear();
+  return true;
+}
+
+void RevisedSimplex::ftran(std::vector<double>& v) const {
+  const std::size_t m = num_rows_;
+  // Solve B0 x = v via PA = LU, then roll the eta updates forward.
+  std::vector<double> t(m);
+  for (std::size_t i = 0; i < m; ++i) t[i] = v[perm_[i]];
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = t[i];
+    const double* row = lu_.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) acc -= row[k] * t[k];
+    t[i] = acc;
+  }
+  for (std::size_t ii = m; ii-- > 0;) {
+    double acc = t[ii];
+    const double* row = lu_.row_data(ii);
+    for (std::size_t c = ii + 1; c < m; ++c) acc -= row[c] * t[c];
+    t[ii] = acc / row[ii];
+  }
+  v = std::move(t);
+  for (const Eta& e : etas_) {
+    const double pivot_val = v[e.row];
+    if (pivot_val == 0.0) continue;
+    for (std::size_t i = 0; i < m; ++i) {
+      v[i] = i == e.row ? e.coef[i] * pivot_val : v[i] + e.coef[i] * pivot_val;
+    }
+  }
+}
+
+void RevisedSimplex::btran(std::vector<double>& v) const {
+  const std::size_t m = num_rows_;
+  // Transposed etas in reverse order, then B0^T y = w.
+  for (std::size_t ei = etas_.size(); ei-- > 0;) {
+    const Eta& e = etas_[ei];
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += e.coef[i] * v[i];
+    v[e.row] = acc;
+  }
+  // B0 = P^T L U  =>  B0^T = U^T L^T P. Forward solve U^T, backward
+  // solve L^T (unit diagonal), undo the permutation.
+  std::vector<double> t(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = v[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= lu_(k, i) * t[k];
+    t[i] = acc / lu_(i, i);
+  }
+  for (std::size_t ii = m; ii-- > 0;) {
+    double acc = t[ii];
+    for (std::size_t k = ii + 1; k < m; ++k) acc -= lu_(k, ii) * t[k];
+    t[ii] = acc;
+  }
+  for (std::size_t i = 0; i < m; ++i) v[perm_[i]] = t[i];
+}
+
+double RevisedSimplex::nonbasic_value(std::size_t j) const {
+  switch (status_[j]) {
+    case VarStatus::kAtLower: return lower_[j];
+    case VarStatus::kAtUpper: return upper_[j];
+    default: return 0.0;
+  }
+}
+
+bool RevisedSimplex::is_fixed(std::size_t j) const {
+  return std::isfinite(lower_[j]) && std::isfinite(upper_[j]) &&
+         upper_[j] - lower_[j] <= 1e-12;
+}
+
+void RevisedSimplex::compute_basic_values() {
+  std::vector<double> rhs = row_rhs_;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    const double val = nonbasic_value(j);
+    if (val == 0.0) continue;
+    if (j < n_) {
+      for (const ColEntry& e : cols_[j]) rhs[e.row] -= e.value * val;
+    } else {
+      rhs[j - n_] -= val;
+    }
+  }
+  ftran(rhs);
+  x_basic_ = std::move(rhs);
+}
+
+void RevisedSimplex::push_eta(std::size_t row_pos,
+                              const std::vector<double>& w) {
+  const std::size_t m = num_rows_;
+  Eta e;
+  e.row = row_pos;
+  e.coef.resize(m);
+  const double pivot = w[row_pos];
+  for (std::size_t i = 0; i < m; ++i) {
+    e.coef[i] = i == row_pos ? 1.0 / pivot : -w[i] / pivot;
+  }
+  etas_.push_back(std::move(e));
+  if (etas_.size() >= kRefactorEvery) {
+    if (!factorize()) {
+      // Numerically wedged: restart from the (always nonsingular) slack
+      // basis; the composite phase-1 recovers feasibility.
+      reset_to_slack_basis();
+      factorize();
+      basis_reset_ = true;
+    }
+    compute_basic_values();
+  }
+}
+
+bool RevisedSimplex::dual_feasible() const {
+  std::vector<double> y(num_rows_);
+  for (std::size_t p = 0; p < num_rows_; ++p) {
+    y[p] = internal_cost(basic_[p]);
+  }
+  btran(y);
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (status_[j] == VarStatus::kBasic || is_fixed(j)) continue;
+    const double d = internal_cost(j) - column_dot(j, y);
+    switch (status_[j]) {
+      case VarStatus::kAtLower:
+        if (d < -kDualTol) return false;
+        break;
+      case VarStatus::kAtUpper:
+        if (d > kDualTol) return false;
+        break;
+      default:
+        if (std::abs(d) > kDualTol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool RevisedSimplex::run_dual(Solution& out) {
+  const std::size_t m = num_rows_;
+  const std::size_t npos = num_cols_;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (options_.budget && !options_.budget->charge()) {
+      out.status = SolveStatus::kBudgetExhausted;
+      return false;
+    }
+    // Leaving: the basic with the largest bound violation.
+    std::size_t leave = m;
+    double worst = kFeasTol;
+    bool above = false;
+    for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t col = basic_[p];
+      const double xb = x_basic_[p];
+      double v = 0.0;
+      bool a = false;
+      if (xb < lower_[col] - kFeasTol) {
+        v = lower_[col] - xb;
+      } else if (xb > upper_[col] + kFeasTol) {
+        v = xb - upper_[col];
+        a = true;
+      } else {
+        continue;
+      }
+      if (v > worst + kRatioTol ||
+          (v > worst - kRatioTol && leave < m && col < basic_[leave])) {
+        worst = v;
+        leave = p;
+        above = a;
+      }
+    }
+    if (leave == m) return true;  // primal feasible; hand back
+
+    std::vector<double> y(m);
+    for (std::size_t p = 0; p < m; ++p) y[p] = internal_cost(basic_[p]);
+    btran(y);
+    std::vector<double> rho(m, 0.0);
+    rho[leave] = 1.0;
+    btran(rho);
+
+    // Entering: dual ratio test over sign-eligible columns.
+    std::size_t enter = npos;
+    double best_ratio = kInf;
+    double alpha_enter = 0.0;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic || is_fixed(j)) continue;
+      const double alpha = column_dot(j, rho);
+      if (std::abs(alpha) <= kPivTol) continue;
+      bool eligible = false;
+      switch (status_[j]) {
+        case VarStatus::kAtLower: eligible = above ? alpha > 0.0 : alpha < 0.0;
+          break;
+        case VarStatus::kAtUpper: eligible = above ? alpha < 0.0 : alpha > 0.0;
+          break;
+        default: eligible = true; break;
+      }
+      if (!eligible) continue;
+      const double d = internal_cost(j) - column_dot(j, y);
+      const double ratio = std::abs(d) / std::abs(alpha);
+      const bool take =
+          ratio < best_ratio - kRatioTol ||
+          (ratio <= best_ratio + kRatioTol &&
+           (enter == npos || std::abs(alpha) > std::abs(alpha_enter) + kRatioTol ||
+            (std::abs(alpha) >= std::abs(alpha_enter) - kRatioTol && j < enter)));
+      if (take) {
+        best_ratio = std::min(ratio, best_ratio);
+        enter = j;
+        alpha_enter = alpha;
+      }
+    }
+    if (enter == npos) {
+      // The violated row cannot be repaired by any nonbasic move.
+      out.status = SolveStatus::kInfeasible;
+      return false;
+    }
+
+    const std::size_t out_col = basic_[leave];
+    const double bound = above ? upper_[out_col] : lower_[out_col];
+    const double dxj = (x_basic_[leave] - bound) / alpha_enter;
+    const double range = upper_[enter] - lower_[enter];
+    if (std::isfinite(range) && std::abs(dxj) > range + kFeasTol) {
+      // A bounded dual would flip here; bail to the primal instead.
+      return true;
+    }
+
+    std::vector<double> w = column(enter);
+    ftran(w);
+    for (std::size_t p = 0; p < m; ++p) {
+      if (p != leave) x_basic_[p] -= dxj * w[p];
+    }
+    const double enter_val = nonbasic_value(enter) + dxj;
+    status_[out_col] = is_fixed(out_col) ? VarStatus::kAtLower
+                       : above           ? VarStatus::kAtUpper
+                                         : VarStatus::kAtLower;
+    status_[enter] = VarStatus::kBasic;
+    basic_[leave] = enter;
+    x_basic_[leave] = enter_val;
+    ++pivots_;
+    push_eta(leave, w);
+    if (basis_reset_) {
+      basis_reset_ = false;
+      return true;
+    }
+  }
+  return true;  // iteration cap: let the primal finish the job
+}
+
+bool RevisedSimplex::run_primal(Solution& out) {
+  const std::size_t m = num_rows_;
+  const std::size_t npos = num_cols_;
+  const double price_tol = std::max(options_.tolerance, 1e-9);
+  bool bland = false;
+  int stall = 0;
+  int iters_phase1 = 0;
+  int iters_phase2 = 0;
+  std::vector<double> y(m);
+
+  for (;;) {
+    if (options_.budget && !options_.budget->charge()) {
+      out.status = SolveStatus::kBudgetExhausted;
+      return false;
+    }
+
+    // Composite phase selection: while any basic violates a bound, price
+    // against the infeasibility gradient; otherwise the real objective.
+    bool infeasible = false;
+    for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t col = basic_[p];
+      if (x_basic_[p] < lower_[col] - kFeasTol ||
+          x_basic_[p] > upper_[col] + kFeasTol) {
+        infeasible = true;
+        break;
+      }
+    }
+    int& iters = infeasible ? iters_phase1 : iters_phase2;
+    if (iters++ >= options_.max_iterations) {
+      out.status = SolveStatus::kIterationLimit;
+      return false;
+    }
+
+    for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t col = basic_[p];
+      if (!infeasible) {
+        y[p] = internal_cost(col);
+      } else if (x_basic_[p] < lower_[col] - kFeasTol) {
+        y[p] = -1.0;
+      } else if (x_basic_[p] > upper_[col] + kFeasTol) {
+        y[p] = 1.0;
+      } else {
+        y[p] = 0.0;
+      }
+    }
+    btran(y);
+
+    // Pricing: Dantzig (largest |reduced cost|) normally, Bland
+    // (smallest eligible index) while recovering from a stall.
+    std::size_t enter = npos;
+    double best_score = price_tol;
+    double sigma = 1.0;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic || is_fixed(j)) continue;
+      const double cj = infeasible ? 0.0 : internal_cost(j);
+      const double d = cj - column_dot(j, y);
+      double dir = 0.0;
+      switch (status_[j]) {
+        case VarStatus::kAtLower:
+          if (d < -price_tol) dir = 1.0;
+          break;
+        case VarStatus::kAtUpper:
+          if (d > price_tol) dir = -1.0;
+          break;
+        default:
+          if (std::abs(d) > price_tol) dir = d < 0.0 ? 1.0 : -1.0;
+          break;
+      }
+      if (dir == 0.0) continue;
+      if (bland) {
+        enter = j;
+        sigma = dir;
+        break;
+      }
+      if (std::abs(d) > best_score) {
+        best_score = std::abs(d);
+        enter = j;
+        sigma = dir;
+      }
+    }
+    if (enter == npos) {
+      if (infeasible) {
+        out.status = SolveStatus::kInfeasible;
+        return false;
+      }
+      extract(out);
+      return true;
+    }
+
+    std::vector<double> w = column(enter);
+    ftran(w);
+
+    // Bounded ratio test. The entering variable's own range is the
+    // bound-flip candidate; each basic contributes the step at which it
+    // hits a bound (phase 1: an infeasible basic is blocked at the bound
+    // it is moving toward, where its cost contribution changes).
+    const double range = upper_[enter] - lower_[enter];
+    double t_best = std::isfinite(range) ? range : kInf;
+    std::size_t leave = m;
+    VarStatus leave_target = VarStatus::kAtLower;
+    for (std::size_t p = 0; p < m; ++p) {
+      const double wi = w[p];
+      if (std::abs(wi) <= kPivTol) continue;
+      const double rate = -sigma * wi;  // d x_basic[p] / d t
+      const std::size_t col = basic_[p];
+      const double xb = x_basic_[p];
+      const double lo = lower_[col];
+      const double up = upper_[col];
+      double ti;
+      VarStatus tgt;
+      if (infeasible && xb < lo - kFeasTol) {
+        if (rate <= kPivTol) continue;
+        ti = (lo - xb) / rate;
+        tgt = VarStatus::kAtLower;
+      } else if (infeasible && xb > up + kFeasTol) {
+        if (rate >= -kPivTol) continue;
+        ti = (up - xb) / rate;
+        tgt = VarStatus::kAtUpper;
+      } else if (rate < 0.0) {
+        if (!std::isfinite(lo)) continue;
+        ti = (lo - xb) / rate;
+        tgt = VarStatus::kAtLower;
+      } else {
+        if (!std::isfinite(up)) continue;
+        ti = (up - xb) / rate;
+        tgt = VarStatus::kAtUpper;
+      }
+      if (ti < 0.0) ti = 0.0;
+      bool take = false;
+      if (ti < t_best - kRatioTol) {
+        take = true;
+      } else if (ti <= t_best + kRatioTol) {
+        if (leave == m) {
+          take = true;  // prefer a pivot over a bound flip on ties
+        } else if (bland) {
+          take = col < basic_[leave];
+        } else {
+          const double cur = std::abs(w[leave]);
+          const double cand = std::abs(wi);
+          take = cand > cur + kRatioTol ||
+                 (cand >= cur - kRatioTol && col < basic_[leave]);
+        }
+      }
+      if (take) {
+        t_best = std::min(ti, t_best);
+        leave = p;
+        leave_target = tgt;
+      }
+    }
+
+    if (leave == m && !std::isfinite(t_best)) {
+      out.status =
+          infeasible ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
+      return false;
+    }
+
+    ++pivots_;
+    if (t_best > kDegenTol) {
+      stall = 0;
+      bland = false;
+    } else if (!bland && ++stall >= kStallLimit) {
+      bland = true;
+      stall = 0;
+    }
+
+    const double step = sigma * t_best;
+    if (leave == m) {
+      // Bound flip: the entering variable crosses to its other bound.
+      for (std::size_t p = 0; p < m; ++p) x_basic_[p] -= step * w[p];
+      status_[enter] = status_[enter] == VarStatus::kAtLower
+                           ? VarStatus::kAtUpper
+                           : VarStatus::kAtLower;
+      continue;
+    }
+
+    const double enter_val = nonbasic_value(enter) + step;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (p != leave) x_basic_[p] -= step * w[p];
+    }
+    const std::size_t out_col = basic_[leave];
+    status_[out_col] =
+        is_fixed(out_col) ? VarStatus::kAtLower : leave_target;
+    status_[enter] = VarStatus::kBasic;
+    basic_[leave] = enter;
+    x_basic_[leave] = enter_val;
+    push_eta(leave, w);
+    if (basis_reset_) {
+      basis_reset_ = false;
+      bland = false;
+      stall = 0;
+    }
+  }
+}
+
+void RevisedSimplex::extract(Solution& out) const {
+  out.x.assign(n_, 0.0);
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (status_[v] != VarStatus::kBasic) out.x[v] = nonbasic_value(v);
+  }
+  for (std::size_t p = 0; p < num_rows_; ++p) {
+    if (basic_[p] < n_) out.x[basic_[p]] = x_basic_[p];
+  }
+  double obj = 0.0;
+  for (std::size_t v = 0; v < n_; ++v) obj += objective_[v] * out.x[v];
+  out.objective = obj;
+  out.status = SolveStatus::kOptimal;
+}
+
+Solution RevisedSimplex::solve() {
+  Solution out;
+  const std::uint64_t start = pivots_;
+  if (!prepare()) {
+    out.status = SolveStatus::kInfeasible;
+    return out;
+  }
+  if (num_rows_ == 0) return solve_bounds_only();
+  reset_to_slack_basis();
+  factorize();
+  compute_basic_values();
+  run_primal(out);
+  out.pivots = pivots_ - start;
+  return out;
+}
+
+Solution RevisedSimplex::solve_from_basis(const Basis& basis) {
+  if (basis.empty()) return solve();
+  Solution out;
+  const std::uint64_t start = pivots_;
+  if (!prepare()) {
+    out.status = SolveStatus::kInfeasible;
+    return out;
+  }
+  if (num_rows_ == 0) return solve_bounds_only();
+
+  if (basis.status.size() == num_cols_) {
+    adopt_statuses(basis);
+    if (!factorize()) return solve();
+    compute_basic_values();
+    if (dual_feasible()) {
+      if (!run_dual(out)) {
+        out.pivots = pivots_ - start;
+        return out;
+      }
+    }
+    run_primal(out);
+    out.pivots = pivots_ - start;
+    return out;
+  }
+
+  // Dimension mismatch: crash a compatible basis from the structural
+  // statuses, then solve primally.
+  if (!crash_from(basis, out)) {
+    out.pivots = pivots_ - start;
+    return out;
+  }
+  run_primal(out);
+  out.pivots = pivots_ - start;
+  return out;
+}
+
+bool RevisedSimplex::crash_from(const Basis& basis, Solution& out) {
+  reset_to_slack_basis();
+  const std::size_t limit =
+      std::min({n_, basis.num_structural, basis.status.size()});
+  std::vector<std::size_t> wish;
+  for (std::size_t v = 0; v < limit; ++v) {
+    switch (basis.status[v]) {
+      case VarStatus::kBasic:
+        wish.push_back(v);
+        break;
+      case VarStatus::kAtLower:
+        if (std::isfinite(lower_[v])) status_[v] = VarStatus::kAtLower;
+        break;
+      case VarStatus::kAtUpper:
+        if (std::isfinite(upper_[v])) status_[v] = VarStatus::kAtUpper;
+        break;
+      case VarStatus::kFreeNonbasic:
+        if (!std::isfinite(lower_[v]) && !std::isfinite(upper_[v])) {
+          status_[v] = VarStatus::kFreeNonbasic;
+        }
+        break;
+    }
+  }
+  factorize();
+  for (const std::size_t v : wish) {
+    if (options_.budget && !options_.budget->charge()) {
+      out.status = SolveStatus::kBudgetExhausted;
+      return false;
+    }
+    std::vector<double> w = column(v);
+    ftran(w);
+    // Replace the slack with the largest exposure to this column.
+    std::size_t leave = num_rows_;
+    double best = kFeasTol;
+    for (std::size_t p = 0; p < num_rows_; ++p) {
+      if (basic_[p] < n_) continue;
+      if (std::abs(w[p]) > best) {
+        best = std::abs(w[p]);
+        leave = p;
+      }
+    }
+    if (leave == num_rows_) continue;  // dependent column; stays nonbasic
+    const std::size_t out_col = basic_[leave];
+    status_[out_col] = std::isfinite(lower_[out_col]) ? VarStatus::kAtLower
+                                                      : VarStatus::kAtUpper;
+    status_[v] = VarStatus::kBasic;
+    basic_[leave] = v;
+    ++pivots_;
+    push_eta(leave, w);
+    if (basis_reset_) {
+      basis_reset_ = false;
+      break;
+    }
+  }
+  compute_basic_values();
+  return true;
+}
+
+Basis RevisedSimplex::basis() const {
+  Basis b;
+  if (!has_basis_) return b;
+  b.status = status_;
+  b.num_structural = n_;
+  return b;
+}
+
+Solution solve_revised(const Problem& problem, const SimplexOptions& options) {
+  RevisedSimplex engine(problem, options);
+  return engine.solve();
+}
+
+}  // namespace fedshare::lp

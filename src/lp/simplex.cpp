@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "lp/matrix.hpp"
+#include "lp/revised_simplex.hpp"
 
 namespace fedshare::lp {
 
@@ -26,7 +27,8 @@ struct Tableau {
 // Uses Bland's rule (smallest eligible index) which precludes cycling.
 SolveStatus run_phase(Tableau& t, std::vector<double>& cost,
                       const SimplexOptions& opt,
-                      bool forbid_artificial_entering) {
+                      bool forbid_artificial_entering,
+                      std::uint64_t& pivots) {
   const std::size_t m = t.body.rows();
   const std::size_t rhs_col = t.total_cols;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
@@ -64,6 +66,7 @@ SolveStatus run_phase(Tableau& t, std::vector<double>& cost,
       }
     }
     if (leave == m) return SolveStatus::kUnbounded;
+    ++pivots;
 
     // Pivot.
     const double pivot = t.body(leave, enter);
@@ -98,7 +101,31 @@ const char* to_string(SolveStatus status) noexcept {
   return "unknown";
 }
 
+const char* to_string(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::kDense: return "dense";
+    case SolverKind::kRevised: return "revised";
+  }
+  return "unknown";
+}
+
+bool solver_kind_from_string(const std::string& name,
+                             SolverKind& out) noexcept {
+  if (name == "dense") {
+    out = SolverKind::kDense;
+    return true;
+  }
+  if (name == "revised") {
+    out = SolverKind::kRevised;
+    return true;
+  }
+  return false;
+}
+
 Solution solve(const Problem& problem, const SimplexOptions& options) {
+  if (options.solver == SolverKind::kRevised) {
+    return solve_revised(problem, options);
+  }
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
 
@@ -194,6 +221,7 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   }
 
   Solution result;
+  std::uint64_t pivots = 0;
 
   // Phase 1: minimize the sum of artificials. As a "driven non-negative"
   // cost row: start with +1 on each artificial, then subtract the rows in
@@ -211,15 +239,17 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
         }
       }
     }
-    const SolveStatus s1 = run_phase(t, phase1, options, false);
+    const SolveStatus s1 = run_phase(t, phase1, options, false, pivots);
     if (s1 == SolveStatus::kIterationLimit ||
         s1 == SolveStatus::kBudgetExhausted) {
       result.status = s1;
+      result.pivots = pivots;
       return result;
     }
     // -phase1[rhs] is the attained sum of artificials.
     if (-phase1[t.total_cols] > 1e-6) {
       result.status = SolveStatus::kInfeasible;
+      result.pivots = pivots;
       return result;
     }
     // Pivot any artificial still in the basis out (degenerate rows), or
@@ -264,7 +294,8 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
       }
     }
   }
-  const SolveStatus s2 = run_phase(t, phase2, options, true);
+  const SolveStatus s2 = run_phase(t, phase2, options, true, pivots);
+  result.pivots = pivots;
   if (s2 != SolveStatus::kOptimal) {
     result.status = s2;
     return result;

@@ -5,6 +5,7 @@
 // dense tableau with Bland's anti-cycling rule is both simple and robust.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,19 @@ enum class SolveStatus {
 /// Human-readable status name (for logs and test messages).
 [[nodiscard]] const char* to_string(SolveStatus status) noexcept;
 
+/// Which simplex engine solves the LP. kDense is the original two-phase
+/// tableau (robust, O(m*cols) per pivot, no warm starts); kRevised is
+/// the bounded-variable revised simplex in lp/revised_simplex.hpp (LU
+/// basis + eta file, warm-startable). Both implement the same Problem
+/// semantics and agree on status and objective to solver tolerance.
+enum class SolverKind { kDense, kRevised };
+
+/// Human-readable solver name ("dense" / "revised"), and its inverse
+/// (returns false on unknown names) for CLI flag parsing.
+[[nodiscard]] const char* to_string(SolverKind kind) noexcept;
+[[nodiscard]] bool solver_kind_from_string(const std::string& name,
+                                           SolverKind& out) noexcept;
+
 /// Result of a solve. `x` holds values for the problem's original
 /// variables (free variables already recombined); it is empty unless
 /// status == kOptimal.
@@ -33,6 +47,10 @@ struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> x;
+  /// Simplex iterations spent on this solve (pivots plus bound flips).
+  /// Comparable across the dense and revised engines; the perf bench
+  /// aggregates these to quantify warm-start savings.
+  std::uint64_t pivots = 0;
 
   [[nodiscard]] bool optimal() const noexcept {
     return status == SolveStatus::kOptimal;
@@ -47,9 +65,13 @@ struct SimplexOptions {
   /// trips the solve returns kBudgetExhausted instead of spinning until
   /// max_iterations. Not owned; must outlive the solve call.
   const runtime::ComputeBudget* budget = nullptr;
+  /// Engine selection; solve() dispatches on this, so every existing
+  /// call site can be switched per-solve (e.g. the CLI's --lp-solver).
+  SolverKind solver = SolverKind::kDense;
 };
 
-/// Solves `problem` with the two-phase primal simplex method.
+/// Solves `problem` with the engine selected by `options.solver`
+/// (two-phase dense tableau by default).
 [[nodiscard]] Solution solve(const Problem& problem,
                              const SimplexOptions& options = {});
 

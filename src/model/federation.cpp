@@ -19,6 +19,11 @@ double Federation::value(game::Coalition coalition) const {
   });
 }
 
+LpSweepResult Federation::relaxation_sweep(
+    const LpSweepOptions& options) const {
+  return lp_relaxation_sweep(space_, demand_, options);
+}
+
 game::TabularGame Federation::build_game() const {
   const game::FunctionGame fn(
       num_facilities(),

@@ -18,6 +18,7 @@
 #include "exec/value_cache.hpp"
 #include "model/demand.hpp"
 #include "model/location_space.hpp"
+#include "model/value.hpp"
 
 namespace fedshare::model {
 
@@ -49,6 +50,15 @@ class Federation {
   /// The federation's TU game, tabulated (all 2^n coalition values).
   /// Requires num_facilities() <= 24.
   [[nodiscard]] game::TabularGame build_game() const;
+
+  /// Tabulates the allocation-relaxation upper bound of every coalition
+  /// via the warm-started subset-lattice sweep (model/value.hpp). The
+  /// LP is built once over the grand pool; each coalition patches its
+  /// capacities in and — with SolverKind::kRevised — re-solves warm
+  /// from its lattice predecessor's basis. Deterministic for any thread
+  /// count. Requires num_facilities() <= 20.
+  [[nodiscard]] LpSweepResult relaxation_sweep(
+      const LpSweepOptions& options = {}) const;
 
   /// Eq. 6 weights: L_i * R_i * T_i per facility.
   [[nodiscard]] std::vector<double> availability_weights() const;

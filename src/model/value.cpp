@@ -1,6 +1,13 @@
 #include "model/value.hpp"
 
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
 #include "alloc/greedy.hpp"
+#include "alloc/lp_relax.hpp"
+#include "exec/pool.hpp"
+#include "lp/revised_simplex.hpp"
 
 namespace fedshare::model {
 
@@ -25,6 +32,156 @@ std::vector<double> consumption_weights(const LocationSpace& space,
   const alloc::AllocationResult result =
       coalition_allocation(space, demand, grand);
   return space.attribute_consumption(grand, result.units_per_location);
+}
+
+namespace {
+
+int popcount32(std::uint32_t v) noexcept {
+  int c = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace
+
+LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
+                                  const DemandProfile& demand,
+                                  const LpSweepOptions& options) {
+  demand.validate();
+  const int n = space.num_facilities();
+  if (n > 20) {
+    throw std::invalid_argument(
+        "lp_relaxation_sweep: more than 20 facilities");
+  }
+  const std::size_t count = std::size_t{1} << n;
+  LpSweepResult result;
+  result.values.assign(count, 0.0);
+  if (n == 0) return result;
+
+  const game::Coalition grand = game::Coalition::grand(n);
+  const std::vector<int> ids = space.pooled_location_ids(grand);
+  const std::size_t num_loc = ids.size();
+  alloc::RelaxationTemplate tmpl(num_loc, demand.classes);
+  if (tmpl.empty()) return result;
+
+  // Position of each location id within the grand pool, and each
+  // facility's capacity contribution at those positions. A coalition's
+  // capacity vector is the sum of its members' contributions (uncovered
+  // locations stay 0, equivalent to dropping them).
+  std::vector<std::size_t> pos_of(
+      static_cast<std::size_t>(space.num_locations()), 0);
+  for (std::size_t p = 0; p < num_loc; ++p) {
+    pos_of[static_cast<std::size_t>(ids[p])] = p;
+  }
+  struct Contribution {
+    std::size_t pos;
+    double units;
+  };
+  std::vector<std::vector<Contribution>> contrib(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& locs = space.locations_of(i);
+    const Facility& fac = space.facility(i);
+    auto& list = contrib[static_cast<std::size_t>(i)];
+    list.reserve(locs.size());
+    for (std::size_t k = 0; k < locs.size(); ++k) {
+      list.push_back({pos_of[static_cast<std::size_t>(locs[k])],
+                      fac.effective_units_at(static_cast<int>(k))});
+    }
+  }
+
+  const bool revised = options.simplex.solver == lp::SolverKind::kRevised;
+  const bool warm = revised && options.warm_start;
+  lp::SimplexOptions chunk_options = options.simplex;
+  chunk_options.budget = nullptr;  // budgets are forked per chunk below
+  // Template engine cloned per coalition: the clone carries the
+  // presolved computational form, so per-mask work is patch + solve.
+  std::optional<lp::RevisedSimplex> proto;
+  if (revised) proto.emplace(tmpl.problem(), chunk_options);
+
+  // Per-mask result slots keep the level sweep free of shared mutable
+  // state (the exec determinism contract): values, pivot counts, and
+  // warm-start bases are each written by exactly one mask.
+  std::vector<std::uint64_t> pivots(count, 0);
+  std::vector<unsigned char> solved(count, 0);
+  solved[0] = 1;
+  std::vector<lp::Basis> bases(warm ? count : 0);
+
+  const auto process = [&](std::uint32_t mask,
+                           const runtime::ComputeBudget* budget) {
+    std::vector<double> caps(num_loc, 0.0);
+    for (int i = 0; i < n; ++i) {
+      if (((mask >> i) & 1u) == 0) continue;
+      for (const Contribution& c : contrib[static_cast<std::size_t>(i)]) {
+        caps[c.pos] += c.units;
+      }
+    }
+    lp::Solution sol;
+    if (revised) {
+      lp::RevisedSimplex engine = *proto;
+      engine.set_budget(budget);
+      engine.apply(tmpl.capacity_patch(caps));
+      const std::uint32_t pred = mask & (mask - 1);
+      if (warm && !bases[pred].empty()) {
+        sol = engine.solve_from_basis(bases[pred]);
+      } else {
+        sol = engine.solve();
+      }
+      if (warm && sol.optimal()) bases[mask] = engine.basis();
+    } else {
+      lp::Problem prob = tmpl.problem();
+      tmpl.apply_capacities(prob, caps);
+      lp::SimplexOptions so = chunk_options;
+      so.budget = budget;
+      sol = lp::solve(prob, so);
+    }
+    pivots[mask] = sol.pivots;
+    if (sol.optimal()) {
+      result.values[mask] = sol.objective;
+      solved[mask] = 1;
+    }
+    return sol.status != lp::SolveStatus::kBudgetExhausted;
+  };
+
+  // Popcount-level sweep: every coalition's lattice predecessor
+  // (mask & (mask - 1)) sits one level down, so each parallel_for
+  // barrier guarantees the warm-start basis is ready before any reader.
+  std::vector<std::vector<std::uint32_t>> levels(
+      static_cast<std::size_t>(n) + 1);
+  for (std::uint32_t mask = 1; mask < count; ++mask) {
+    levels[static_cast<std::size_t>(popcount32(mask))].push_back(mask);
+  }
+  constexpr std::uint64_t kChunk = 4;
+  bool cancelled = false;
+  for (int lvl = 1; lvl <= n && !cancelled; ++lvl) {
+    const auto& ms = levels[static_cast<std::size_t>(lvl)];
+    if (options.simplex.budget != nullptr) {
+      cancelled = !exec::parallel_for_budgeted(
+          0, ms.size(), kChunk, *options.simplex.budget,
+          [&](const exec::ChunkRange& r, const runtime::ComputeBudget& child) {
+            for (std::uint64_t k = r.begin; k < r.end; ++k) {
+              if (!process(ms[k], &child)) return false;
+            }
+            return true;
+          });
+    } else {
+      exec::parallel_for(0, ms.size(), kChunk,
+                         [&](const exec::ChunkRange& r) {
+                           for (std::uint64_t k = r.begin; k < r.end; ++k) {
+                             process(ms[k], nullptr);
+                           }
+                           return true;
+                         });
+    }
+  }
+
+  for (std::size_t mask = 0; mask < count; ++mask) {
+    result.total_pivots += pivots[mask];
+    if (solved[mask] == 0) result.complete = false;
+  }
+  return result;
 }
 
 }  // namespace fedshare::model

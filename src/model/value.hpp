@@ -8,8 +8,12 @@
 // them.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "alloc/allocation.hpp"
 #include "core/coalition.hpp"
+#include "lp/simplex.hpp"
 #include "model/demand.hpp"
 #include "model/location_space.hpp"
 
@@ -30,5 +34,41 @@ namespace fedshare::model {
 /// resources under the grand coalition's optimal allocation.
 [[nodiscard]] std::vector<double> consumption_weights(
     const LocationSpace& space, const DemandProfile& demand);
+
+/// Options for lp_relaxation_sweep.
+struct LpSweepOptions {
+  /// Engine, tolerance, iteration cap, and (optional) budget for every
+  /// LP in the sweep. The budget is forked per chunk through the exec
+  /// layer, honoring the one-unit-per-pivot charging rule.
+  lp::SimplexOptions simplex;
+  /// Warm-start each coalition's LP from the optimal basis of its
+  /// predecessor in the subset lattice (mask & (mask - 1), the coalition
+  /// with the lowest member removed). Only effective with
+  /// SolverKind::kRevised; the dense engine always solves cold.
+  bool warm_start = true;
+};
+
+/// Result of lp_relaxation_sweep. `values[mask]` is the LP-relaxation
+/// upper bound on coalition `mask`'s allocation utility (exact for the
+/// d = 1 demand profiles of the paper's figures); `values[0] == 0`.
+struct LpSweepResult {
+  std::vector<double> values;  ///< 2^n entries, indexed by coalition mask
+  std::uint64_t total_pivots = 0;  ///< simplex iterations across all LPs
+  bool complete = true;  ///< false when the budget tripped mid-sweep
+};
+
+/// Tabulates the allocation-relaxation value of every coalition by
+/// sweeping the subset lattice level by level (popcount order): the LP
+/// is built once over the grand coalition's location set, each
+/// coalition patches in its pooled per-location capacities (uncovered
+/// locations get capacity 0, which is equivalent to dropping them), and
+/// — with the revised engine — re-solves warm from the basis of the
+/// coalition one member smaller. Levels run through exec::parallel_for
+/// with a fixed chunk decomposition and per-mask result slots, so the
+/// result (values and total_pivots) is bit-identical for any thread
+/// count. Throws std::invalid_argument for more than 20 facilities.
+[[nodiscard]] LpSweepResult lp_relaxation_sweep(
+    const LocationSpace& space, const DemandProfile& demand,
+    const LpSweepOptions& options = {});
 
 }  // namespace fedshare::model

@@ -142,7 +142,7 @@ ResilientSchemes compare_schemes_resilient(
     const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const ComputeBudget& budget, std::uint64_t mc_samples,
-    std::uint64_t mc_seed) {
+    std::uint64_t mc_seed, lp::SolverKind lp_solver) {
   const int n = game.num_players();
   const double total =
       tab != nullptr ? tab->grand_value() : game.grand_value();
@@ -203,6 +203,7 @@ ResilientSchemes compare_schemes_resilient(
                              ")");
     } else {
       lp::SimplexOptions options;
+      options.solver = lp_solver;
       options.budget = &budget;
       const auto r = game::nucleolus(*tab, options);
       if (r.solved) {

@@ -100,12 +100,14 @@ struct ResilientSchemes {
 /// schemes that need the full table (nucleolus, Banzhaf, core checks)
 /// are then skipped with notes and Shapley runs Monte Carlo against
 /// `game` directly. Pass empty weight vectors to skip the proportional
-/// schemes, mirroring game::compare_schemes.
+/// schemes, mirroring game::compare_schemes. `lp_solver` picks the
+/// simplex engine for the nucleolus LPs (the CLI's --lp-solver flag).
 [[nodiscard]] ResilientSchemes compare_schemes_resilient(
     const game::Game& game, const game::TabularGame* tab,
     const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const ComputeBudget& budget = {}, std::uint64_t mc_samples = 4096,
-    std::uint64_t mc_seed = 1);
+    std::uint64_t mc_seed = 1,
+    lp::SolverKind lp_solver = lp::SolverKind::kDense);
 
 }  // namespace fedshare::runtime

@@ -1,14 +1,23 @@
-// Property tests for the simplex solver: random two-variable LPs solved
-// independently by brute-force vertex enumeration.
+// Property tests for the simplex solvers: random two-variable LPs solved
+// independently by brute-force vertex enumeration, randomized agreement
+// between the dense and revised engines across solve statuses, and the
+// warm-started coalition sweep against its per-pool reference.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <optional>
 #include <vector>
 
+#include "exec/pool.hpp"
+#include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+#include "model/value.hpp"
+#include "alloc/lp_relax.hpp"
 #include "sim/rng.hpp"
 
 namespace fedshare::lp {
@@ -115,5 +124,191 @@ TEST_P(SimplexVsBruteForce, MinimizationIsConsistentWithNegatedMax) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsBruteForce,
                          ::testing::Range<std::uint64_t>(0, 40));
 
+// ---------------------------------------------------------------------
+// Dense vs revised engine agreement on unrestricted random LPs (signed
+// coefficients, mixed relations, free variables), which exercise every
+// solve status: optimal, infeasible, and unbounded.
+
+Problem random_general_lp(std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  const auto n = 2 + rng.below(4);   // 2..5 variables
+  const auto m = 1 + rng.below(6);   // 1..6 constraints
+  Problem p(n, rng.below(2) == 0 ? Objective::kMaximize
+                                 : Objective::kMinimize);
+  for (std::size_t j = 0; j < n; ++j) {
+    p.set_objective_coefficient(j, rng.uniform(-2.0, 2.0));
+    if (rng.below(4) == 0) p.set_free(j);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> row(n);
+    for (auto& a : row) {
+      a = rng.below(4) == 0 ? 0.0 : rng.uniform(-2.0, 2.0);
+    }
+    const auto rel = rng.below(3);
+    p.add_constraint(std::move(row),
+                     rel == 0   ? Relation::kLessEqual
+                     : rel == 1 ? Relation::kGreaterEqual
+                                : Relation::kEqual,
+                     rng.uniform(-4.0, 6.0));
+  }
+  return p;
+}
+
+class RevisedVsDense : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RevisedVsDense, StatusAndObjectiveAgree) {
+  const Problem p = random_general_lp(GetParam());
+  SimplexOptions revised;
+  revised.solver = SolverKind::kRevised;
+  const Solution a = solve(p);
+  const Solution b = solve(p, revised);
+  ASSERT_EQ(a.status, b.status) << "seed " << GetParam();
+  if (a.optimal()) {
+    const double scale = std::max(1.0, std::abs(a.objective));
+    EXPECT_NEAR(a.objective, b.objective, 1e-7 * scale)
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(RevisedVsDense, WarmEqualsColdAfterRhsPatches) {
+  // Snapshot the basis at one rhs vector, patch every rhs, and check the
+  // warm re-solve agrees with a cold solve of the patched problem (both
+  // engines). Statuses may legitimately change with the patch.
+  Problem p = random_general_lp(GetParam() ^ 0xbeefULL);
+  SimplexOptions options;
+  options.solver = SolverKind::kRevised;
+  RevisedSimplex engine(p, options);
+  const Solution first = engine.solve();
+  if (!first.optimal()) return;  // warm start needs a usable basis
+  const Basis basis = engine.basis();
+
+  sim::Xoshiro256 rng(GetParam() ^ 0xabcdULL);
+  for (std::size_t c = 0; c < p.num_constraints(); ++c) {
+    const double rhs = rng.uniform(-4.0, 6.0);
+    engine.set_constraint_rhs(c, rhs);
+    p.set_constraint_rhs(c, rhs);
+  }
+  const Solution warm = engine.solve_from_basis(basis);
+  const Solution cold_dense = solve(p);
+  ASSERT_EQ(warm.status, cold_dense.status) << "seed " << GetParam();
+  if (warm.optimal()) {
+    const double scale = std::max(1.0, std::abs(cold_dense.objective));
+    EXPECT_NEAR(warm.objective, cold_dense.objective, 1e-7 * scale)
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevisedVsDense,
+                         ::testing::Range<std::uint64_t>(0, 200));
+
 }  // namespace
 }  // namespace fedshare::lp
+
+// ---------------------------------------------------------------------
+// The warm-started coalition sweep: per-coalition values must match the
+// standalone per-pool relaxation for both engines, warm starting must
+// only change pivot counts (never values), and results must be
+// bit-identical at any thread count (suite names carry "LpSweep" so the
+// TSan preset picks them up; see tools/check.sh).
+
+namespace fedshare::model {
+namespace {
+
+LocationSpace sweep_space(int num_facilities) {
+  std::vector<FacilityConfig> configs;
+  for (int i = 0; i < num_facilities; ++i) {
+    FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i + 1);
+    cfg.num_locations = 6 + 3 * (i % 4);
+    cfg.units_per_location = 1.0 + 0.5 * (i % 3);
+    cfg.availability = 1.0 - 0.05 * (i % 5);
+    configs.push_back(std::move(cfg));
+  }
+  // Overlapping layout: shared locations make the pooled capacities —
+  // and hence the LPs — interact across coalition members.
+  return LocationSpace::overlapping(std::move(configs), 30, /*seed=*/11);
+}
+
+DemandProfile sweep_demand() {
+  // Multiple classes so the capacity rows carry >= 2 nonzeros; a single
+  // class presolves entirely into bounds and solves with zero pivots.
+  DemandProfile demand;
+  demand.classes.push_back({/*count=*/6.0, /*min_locations=*/4.0,
+                            /*units_per_location=*/1.0, /*exponent=*/1.0,
+                            /*holding_time=*/1.0});
+  demand.classes.push_back({3.0, 8.0, 2.0, 1.0, 1.0});
+  demand.classes.push_back({2.0, 2.0, 1.5, 0.8, 1.0});
+  return demand;
+}
+
+TEST(LpSweepProperty, MatchesPerPoolReferenceBothEngines) {
+  const LocationSpace space = sweep_space(6);
+  const DemandProfile demand = sweep_demand();
+
+  LpSweepOptions dense;
+  dense.simplex.solver = lp::SolverKind::kDense;
+  LpSweepOptions revised;
+  revised.simplex.solver = lp::SolverKind::kRevised;
+  const LpSweepResult rd = lp_relaxation_sweep(space, demand, dense);
+  const LpSweepResult rr = lp_relaxation_sweep(space, demand, revised);
+  ASSERT_TRUE(rd.complete);
+  ASSERT_TRUE(rr.complete);
+  ASSERT_EQ(rd.values.size(), std::size_t{1} << 6);
+  ASSERT_EQ(rr.values.size(), rd.values.size());
+
+  EXPECT_DOUBLE_EQ(rd.values[0], 0.0);
+  for (std::uint64_t mask = 1; mask < rd.values.size(); ++mask) {
+    const auto coalition = game::Coalition::from_bits(mask);
+    const double reference =
+        alloc::lp_upper_bound(space.pool_for(coalition), demand.classes);
+    EXPECT_NEAR(rd.values[mask], reference, 1e-7) << "mask " << mask;
+    EXPECT_NEAR(rr.values[mask], reference, 1e-7) << "mask " << mask;
+  }
+}
+
+TEST(LpSweepProperty, WarmStartChangesPivotsNotValues) {
+  const LocationSpace space = sweep_space(6);
+  const DemandProfile demand = sweep_demand();
+
+  LpSweepOptions warm;
+  warm.simplex.solver = lp::SolverKind::kRevised;
+  warm.warm_start = true;
+  LpSweepOptions cold = warm;
+  cold.warm_start = false;
+  const LpSweepResult rw = lp_relaxation_sweep(space, demand, warm);
+  const LpSweepResult rc = lp_relaxation_sweep(space, demand, cold);
+  ASSERT_TRUE(rw.complete);
+  ASSERT_TRUE(rc.complete);
+  ASSERT_EQ(rw.values.size(), rc.values.size());
+  for (std::size_t mask = 0; mask < rw.values.size(); ++mask) {
+    EXPECT_NEAR(rw.values[mask], rc.values[mask], 1e-9) << "mask " << mask;
+  }
+  // Warm starting exists to cut pivots; on this overlapping instance it
+  // must save a strict majority of the cold sweep's work.
+  EXPECT_LT(rw.total_pivots, rc.total_pivots);
+}
+
+TEST(LpSweepThreads, BitIdenticalAcrossThreadCounts) {
+  const LocationSpace space = sweep_space(7);
+  const DemandProfile demand = sweep_demand();
+  LpSweepOptions options;
+  options.simplex.solver = lp::SolverKind::kRevised;
+
+  const int saved = exec::threads();
+  exec::set_threads(1);
+  const LpSweepResult serial = lp_relaxation_sweep(space, demand, options);
+  exec::set_threads(4);
+  const LpSweepResult parallel = lp_relaxation_sweep(space, demand, options);
+  exec::set_threads(saved);
+
+  ASSERT_TRUE(serial.complete);
+  ASSERT_TRUE(parallel.complete);
+  EXPECT_EQ(serial.total_pivots, parallel.total_pivots);
+  ASSERT_EQ(serial.values.size(), parallel.values.size());
+  // Bitwise equality, not approximate: determinism is the contract.
+  EXPECT_EQ(0, std::memcmp(serial.values.data(), parallel.values.data(),
+                           serial.values.size() * sizeof(double)));
+}
+
+}  // namespace
+}  // namespace fedshare::model

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Run the full test suite twice — once in the plain RelWithDebInfo build
 # and once under AddressSanitizer + UndefinedBehaviorSanitizer — then the
-# exec subsystem's tests a third time under ThreadSanitizer, which
-# exercises the work-stealing pool and the sharded value cache with real
-# worker threads.
+# concurrency-sensitive tests a third time under ThreadSanitizer (the
+# work-stealing pool, the sharded value cache, and the parallel LP
+# sweep), and finally the perf-smoke gate: a fast coalition-sweep run
+# that fails when the dense and revised simplex engines disagree or the
+# warm start stops saving pivots.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -eu
@@ -22,11 +24,15 @@ cmake -S "$root" -B "$root/build-asan" \
 cmake --build "$root/build-asan" -j "$jobs"
 ctest --test-dir "$root/build-asan" -j "$jobs" --output-on-failure "$@"
 
-echo "== exec tests under ThreadSanitizer =="
+echo "== exec + LP-sweep tests under ThreadSanitizer =="
 cmake -S "$root" -B "$root/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
 ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
-  -R 'ExecTest'
+  -R 'ExecTest|LpSweep'
+
+echo "== perf smoke (dense vs revised simplex) =="
+cmake --build "$root/build" -j "$jobs" --target perf_simplex
+"$root/build/bench/perf_simplex" --smoke
 
 echo "== all checks passed =="

@@ -9,6 +9,7 @@
 
 #include "cli/runner.hpp"
 #include "exec/pool.hpp"
+#include "lp/simplex.hpp"
 
 namespace {
 
@@ -16,6 +17,7 @@ constexpr const char* kUsage =
     R"(usage: fedshare_cli <federation.ini> [--dump-game <out-file>]
                     [--deadline-ms <ms>] [--outage-scenarios <k>]
                     [--outage-seed <seed>] [--threads <n>]
+                    [--lp-solver <dense|revised>]
 
 Computes coalition values, game properties and sharing-scheme shares
 (Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
@@ -37,6 +39,11 @@ Resilience options:
                            default). Results are identical at any
                            thread count; with 1 the output is
                            byte-identical to earlier releases
+  --lp-solver <kind>       simplex engine for the nucleolus LPs:
+                           'dense' (default, the historical tableau
+                           solver) or 'revised' (LU-factorized basis
+                           with warm-started solve chains — much
+                           faster on larger games, same shares)
 
 Config example:
 
@@ -98,6 +105,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       fedshare::exec::set_threads(static_cast<int>(value));
+      continue;
+    }
+    if (arg == "--lp-solver") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: --lp-solver needs a value\n";
+        return 2;
+      }
+      if (!fedshare::lp::solver_kind_from_string(
+              argv[++i], report_options.lp_solver)) {
+        std::cerr << "fedshare_cli: --lp-solver must be 'dense' or "
+                     "'revised', got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
       continue;
     }
     if (arg == "--deadline-ms" || arg == "--outage-scenarios" ||
