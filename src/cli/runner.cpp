@@ -12,6 +12,7 @@
 #include "runtime/budget.hpp"
 #include "runtime/outage.hpp"
 #include "runtime/resilient.hpp"
+#include "verify/audit.hpp"
 
 namespace fedshare::cli {
 
@@ -66,6 +67,36 @@ std::optional<Hierarchy> hierarchy_from_labels(
     }
   }
   return h;
+}
+
+// Renders the --verify audit outcome. Deterministic text: counts,
+// pass/fail, and the (capped) issue list.
+void print_verification(std::ostream& out, verify::VerifyLevel level,
+                        const verify::AuditReport& report) {
+  io::print_heading(out, "Verification");
+  out << "level: " << verify::to_string(level) << "\n";
+  out << "audit checks: " << report.checks << " ("
+      << (report.passed ? "all passed" : "ISSUES FOUND") << ")\n";
+  if (report.lp_stats_valid) {
+    const auto& lp = report.lp;
+    out << "lp solves: " << lp.solves << " observed, " << lp.certified
+        << " certified, " << lp.unchecked << " unchecked";
+    if (lp.refined > 0) {
+      out << ", " << lp.refined << " repaired by refinement";
+    }
+    if (lp.escalated > 0) {
+      out << ", " << lp.escalated << " escalated (" << lp.dense_answers
+          << " answered by the dense engine)";
+    }
+    if (lp.failures > 0) out << ", " << lp.failures << " UNCERTIFIED";
+    out << "\n";
+  }
+  for (const auto& issue : report.issues) {
+    out << "issue: " << issue.check << ": " << issue.detail << "\n";
+  }
+  for (const auto& note : report.notes) {
+    out << "note: " << note.check << ": " << note.detail << "\n";
+  }
 }
 
 }  // namespace
@@ -142,9 +173,11 @@ model::Federation federation_from_config(const io::Config& config) {
 namespace {
 
 // Shared body of the non-resilient report; `lp_solver` picks the
-// simplex engine behind the nucleolus scheme.
-std::string plain_report(const io::Config& config,
-                         lp::SolverKind lp_solver) {
+// simplex engine behind the nucleolus scheme and `verify_level` the
+// --verify behaviour (kOff keeps this function byte-identical to the
+// historical report).
+std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
+                         verify::VerifyLevel verify_level) {
   const model::Federation fed = federation_from_config(config);
   int precision = 4;
   const auto options = config.sections_named("options");
@@ -188,9 +221,12 @@ std::string plain_report(const io::Config& config,
   table.set_align(0, io::Align::kLeft);
   lp::SimplexOptions lp_options;
   lp_options.solver = lp_solver;
-  const auto outcomes =
-      game::compare_schemes(g, fed.availability_weights(),
-                            fed.consumption_weights(), lp_options);
+  verify::VerifyOptions verify_options;
+  verify_options.level = verify_level;
+  auto audited = verify::audited_compare_schemes(
+      g, fed.availability_weights(), fed.consumption_weights(), lp_options,
+      verify_options);
+  const auto& outcomes = audited.outcomes;
   for (const auto& o : outcomes) {
     std::vector<std::string> row{game::to_string(o.scheme)};
     for (int i = 0; i < n; ++i) {
@@ -235,13 +271,18 @@ std::string plain_report(const io::Config& config,
     out << '\n';
     rtable.print(out);
   }
+
+  if (verify_level != verify::VerifyLevel::kOff) {
+    print_verification(out, verify_level, audited.report);
+  }
   return out.str();
 }
 
 }  // namespace
 
 std::string run_report(const io::Config& config) {
-  return plain_report(config, lp::SolverKind::kDense);
+  return plain_report(config, lp::SolverKind::kDense,
+                      verify::VerifyLevel::kOff);
 }
 
 namespace {
@@ -328,10 +369,20 @@ std::string resilient_report(const io::Config& config,
   headers.emplace_back("in core");
   io::Table table(std::move(headers));
   table.set_align(0, io::Align::kLeft);
-  runtime::ResilientSchemes rs = runtime::compare_schemes_resilient(
-      tab ? static_cast<const game::Game&>(*tab) : fgame,
-      tab ? &*tab : nullptr, fed.availability_weights(),
-      fed.consumption_weights(), budget, 4096, 1, ropts.lp_solver);
+  verify::VerifyOptions verify_options;
+  verify_options.level = ropts.verify;
+  verify::AuditReport audit;
+  runtime::ResilientSchemes rs =
+      ropts.verify == verify::VerifyLevel::kOff
+          ? runtime::compare_schemes_resilient(
+                tab ? static_cast<const game::Game&>(*tab) : fgame,
+                tab ? &*tab : nullptr, fed.availability_weights(),
+                fed.consumption_weights(), budget, 4096, 1, ropts.lp_solver)
+          : runtime::compare_schemes_resilient_verified(
+                tab ? static_cast<const game::Game&>(*tab) : fgame,
+                tab ? &*tab : nullptr, fed.availability_weights(),
+                fed.consumption_weights(), verify_options, &audit, budget,
+                4096, 1, ropts.lp_solver);
   for (const auto& o : rs.outcomes) {
     std::vector<std::string> row{game::to_string(o.scheme)};
     for (int i = 0; i < n; ++i) {
@@ -402,6 +453,10 @@ std::string resilient_report(const io::Config& config,
     out << "note: " << note << "\n";
   }
 
+  if (ropts.verify != verify::VerifyLevel::kOff) {
+    print_verification(out, ropts.verify, audit);
+  }
+
   if (ropts.outage_scenarios > 0) {
     const runtime::OutageReport report = runtime::evaluate_outages(
         fed, ropts.outage_scenarios, ropts.outage_seed, budget);
@@ -452,7 +507,9 @@ std::string resilient_report(const io::Config& config,
 
 std::string run_report(const io::Config& config,
                        const ReportOptions& options) {
-  if (!options.any()) return plain_report(config, options.lp_solver);
+  if (!options.any()) {
+    return plain_report(config, options.lp_solver, options.verify);
+  }
   return resilient_report(config, options);
 }
 

@@ -45,6 +45,17 @@
 //                            `revised` is the LU-factorized engine with
 //                            warm-started solve chains; `dense` (the
 //                            default) is the historical tableau solver.
+//   --verify <off|cheap|full>
+//                            verification level (see verify/). `cheap`
+//                            audits the game and every scheme outcome
+//                            (monotonicity/superadditivity samples,
+//                            efficiency, core residuals, nucleolus
+//                            excess optimality) and appends a
+//                            Verification section; `full` additionally
+//                            runs every LP solve through the
+//                            certificate-check / refine / cross-engine
+//                            cascade. `off` (the default) skips all of
+//                            it.
 //
 // Without any flag the output is byte-identical to previous releases.
 #pragma once
@@ -56,6 +67,7 @@
 #include "io/config.hpp"
 #include "lp/simplex.hpp"
 #include "model/federation.hpp"
+#include "verify/certificates.hpp"
 
 namespace fedshare::cli {
 
@@ -75,6 +87,11 @@ struct ReportOptions {
   /// warm-started chains. Both produce the same shares to within the
   /// report's printed precision.
   lp::SolverKind lp_solver = lp::SolverKind::kDense;
+  /// Verification level (--verify). kOff leaves every code path — and
+  /// the output — untouched; kCheap appends a Verification section with
+  /// the game/outcome audits; kFull additionally certifies every LP
+  /// solve through the verification cascade.
+  verify::VerifyLevel verify = verify::VerifyLevel::kOff;
 
   [[nodiscard]] bool any() const noexcept {
     return deadline_ms.has_value() || outage_scenarios > 0;

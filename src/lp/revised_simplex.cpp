@@ -69,6 +69,7 @@ RevisedSimplex::RevisedSimplex(const Problem& problem, SimplexOptions options)
       map.is_bound = false;
       map.index = num_rows_;
       row_relation_.push_back(c.relation);
+      row_constraint_.push_back(i);
       for (std::size_t v = 0; v < n_; ++v) {
         if (c.coefficients[v] != 0.0) {
           cols_[v].push_back({num_rows_, c.coefficients[v]});
@@ -78,6 +79,7 @@ RevisedSimplex::RevisedSimplex(const Problem& problem, SimplexOptions options)
     }
   }
   num_cols_ = n_ + num_rows_;
+  if (options_.observer != nullptr) mirror_ = problem;
 }
 
 void RevisedSimplex::set_constraint_rhs(std::size_t constraint, double rhs) {
@@ -85,6 +87,7 @@ void RevisedSimplex::set_constraint_rhs(std::size_t constraint, double rhs) {
     throw std::out_of_range("RevisedSimplex: constraint index out of range");
   }
   constraint_rhs_[constraint] = rhs;
+  if (mirror_.has_value()) mirror_->set_constraint_rhs(constraint, rhs);
 }
 
 void RevisedSimplex::set_bounds(std::size_t variable, double lower,
@@ -94,6 +97,9 @@ void RevisedSimplex::set_bounds(std::size_t variable, double lower,
   }
   decl_lower_[variable] = lower;
   decl_upper_[variable] = upper;
+  // Declared bounds have no Problem-level representation: the mirror no
+  // longer describes the LP being solved, so observers go silent.
+  mirror_.reset();
 }
 
 void RevisedSimplex::set_objective_coefficient(std::size_t variable,
@@ -102,6 +108,9 @@ void RevisedSimplex::set_objective_coefficient(std::size_t variable,
     throw std::out_of_range("RevisedSimplex: variable index out of range");
   }
   objective_[variable] = coefficient;
+  if (mirror_.has_value()) {
+    mirror_->set_objective_coefficient(variable, coefficient);
+  }
 }
 
 void RevisedSimplex::apply(const ProblemPatch& patch) {
@@ -117,6 +126,8 @@ bool RevisedSimplex::prepare() {
   bound_infeasible_ = false;
   lower_.assign(num_cols_, 0.0);
   upper_.assign(num_cols_, kInf);
+  src_lo_.assign(n_, kNoSource);
+  src_hi_.assign(n_, kNoSource);
   for (std::size_t v = 0; v < n_; ++v) {
     lower_[v] = decl_lower_[v];
     upper_[v] = decl_upper_[v];
@@ -147,12 +158,31 @@ bool RevisedSimplex::prepare() {
     }
     double& lo = lower_[map.index];
     double& up = upper_[map.index];
+    // Track which constraint supplies the binding side (preferring a
+    // constraint over an equal declared bound) so certificates can
+    // discharge bound multipliers back onto original constraints.
+    const auto tighten_lo = [&](std::size_t constraint) {
+      if (val > lo) {
+        lo = val;
+        src_lo_[map.index] = constraint;
+      } else if (val == lo && src_lo_[map.index] == kNoSource) {
+        src_lo_[map.index] = constraint;
+      }
+    };
+    const auto tighten_up = [&](std::size_t constraint) {
+      if (val < up) {
+        up = val;
+        src_hi_[map.index] = constraint;
+      } else if (val == up && src_hi_[map.index] == kNoSource) {
+        src_hi_[map.index] = constraint;
+      }
+    };
     switch (rel) {
-      case Relation::kLessEqual: up = std::min(up, val); break;
-      case Relation::kGreaterEqual: lo = std::max(lo, val); break;
+      case Relation::kLessEqual: tighten_up(i); break;
+      case Relation::kGreaterEqual: tighten_lo(i); break;
       case Relation::kEqual:
-        lo = std::max(lo, val);
-        up = std::min(up, val);
+        tighten_lo(i);
+        tighten_up(i);
         break;
     }
   }
@@ -185,6 +215,8 @@ Solution RevisedSimplex::solve_bounds_only() const {
       if (!std::isfinite(lo)) {
         out.x.clear();
         out.status = SolveStatus::kUnbounded;
+        out.ray.assign(n_, 0.0);
+        out.ray[v] = -1.0;
         return out;
       }
       x = lo;
@@ -192,6 +224,8 @@ Solution RevisedSimplex::solve_bounds_only() const {
       if (!std::isfinite(up)) {
         out.x.clear();
         out.status = SolveStatus::kUnbounded;
+        out.ray.assign(n_, 0.0);
+        out.ray[v] = 1.0;
         return out;
       }
       x = up;
@@ -205,6 +239,29 @@ Solution RevisedSimplex::solve_bounds_only() const {
   for (std::size_t v = 0; v < n_; ++v) obj += objective_[v] * out.x[v];
   out.objective = obj;
   out.status = SolveStatus::kOptimal;
+  // Dual certificate: with no real rows every reduced cost equals the
+  // internal objective coefficient; discharge each pinned variable's
+  // cost onto the singleton constraint that pins it.
+  out.duals.assign(constraint_map_.size(), 0.0);
+  bool have_duals = true;
+  for (std::size_t v = 0; v < n_ && have_duals; ++v) {
+    const double c = csign_ * objective_[v];
+    if (c == 0.0) continue;
+    if (c > 0.0) {
+      if (src_lo_[v] != kNoSource) {
+        out.duals[src_lo_[v]] += csign_ * c / constraint_map_[src_lo_[v]].coeff;
+      } else if (lower_[v] != 0.0) {
+        have_duals = false;  // declared bound binds: no constraint witness
+      }
+    } else {
+      if (src_hi_[v] != kNoSource) {
+        out.duals[src_hi_[v]] += csign_ * c / constraint_map_[src_hi_[v]].coeff;
+      } else {
+        have_duals = false;
+      }
+    }
+  }
+  if (!have_duals) out.duals.clear();
   return out;
 }
 
@@ -539,8 +596,16 @@ bool RevisedSimplex::run_dual(Solution& out) {
       }
     }
     if (enter == npos) {
-      // The violated row cannot be repaired by any nonbasic move.
+      // The violated row cannot be repaired by any nonbasic move. The
+      // btran'd unit row rho prices every column with the sign pattern
+      // of a Farkas multiplier: sigma * rho^T A_j lies on the blocked
+      // side for each nonbasic, and the leaving basic's own violation
+      // supplies the strict positivity.
       out.status = SolveStatus::kInfeasible;
+      const double sigma = above ? 1.0 : -1.0;
+      std::vector<double> y_row(m);
+      for (std::size_t p = 0; p < m; ++p) y_row[p] = sigma * rho[p];
+      if (!farkas_from_rows(y_row, out)) out.farkas.clear();
       return false;
     }
 
@@ -657,7 +722,11 @@ bool RevisedSimplex::run_primal(Solution& out) {
     }
     if (enter == npos) {
       if (infeasible) {
+        // Phase-1 optimum with positive violation: the btran'd
+        // infeasibility gradient y certifies — no nonbasic move can
+        // shrink the violated rows, so y is a Farkas multiplier.
         out.status = SolveStatus::kInfeasible;
+        if (!farkas_from_rows(y, out)) out.farkas.clear();
         return false;
       }
       extract(out);
@@ -726,8 +795,27 @@ bool RevisedSimplex::run_primal(Solution& out) {
     }
 
     if (leave == m && !std::isfinite(t_best)) {
+      // Infinite ratio. Phase 2: a genuine recession direction along the
+      // entering column. Phase 1: a numerical corner (an infeasible basic
+      // should always block) — report infeasible without a certificate
+      // and let the verification cascade escalate.
       out.status =
           infeasible ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
+      if (!infeasible) {
+        out.ray.assign(n_, 0.0);
+        if (enter < n_) out.ray[enter] = sigma;
+        for (std::size_t p = 0; p < m; ++p) {
+          if (basic_[p] < n_) out.ray[basic_[p]] = -sigma * w[p];
+        }
+        double cd = 0.0;
+        for (std::size_t v = 0; v < n_; ++v) {
+          cd += objective_[v] * out.ray[v];
+        }
+        const bool improves = sense_ == Objective::kMaximize
+                                  ? cd > options_.tolerance
+                                  : cd < -options_.tolerance;
+        if (!improves) out.ray.clear();
+      }
       return false;
     }
 
@@ -781,6 +869,161 @@ void RevisedSimplex::extract(Solution& out) const {
   for (std::size_t v = 0; v < n_; ++v) obj += objective_[v] * out.x[v];
   out.objective = obj;
   out.status = SolveStatus::kOptimal;
+
+  // Dual certificate. Real rows expose csign * (btran of basic costs);
+  // a nonbasic structural pinned at a singleton-sourced bound discharges
+  // its reduced cost onto that constraint, so the exposed duals satisfy
+  // the conventions on lp::Solution over the *original* constraint set.
+  // A variable pinned at a declared non-natural bound with a nonzero
+  // reduced cost has no constraint-space witness: leave duals empty.
+  std::vector<double> y(num_rows_);
+  for (std::size_t p = 0; p < num_rows_; ++p) y[p] = internal_cost(basic_[p]);
+  btran(y);
+  out.duals.assign(constraint_map_.size(), 0.0);
+  for (std::size_t i = 0; i < constraint_map_.size(); ++i) {
+    if (!constraint_map_[i].is_bound) {
+      out.duals[i] = csign_ * y[constraint_map_[i].index];
+    }
+  }
+  bool have_duals = true;
+  for (std::size_t v = 0; v < n_ && have_duals; ++v) {
+    if (status_[v] == VarStatus::kBasic) continue;
+    const double d = internal_cost(v) - column_dot(v, y);
+    if (std::abs(d) <= kDualTol) continue;
+    if (status_[v] == VarStatus::kFreeNonbasic) {
+      have_duals = false;  // free nonbasic with nonzero reduced cost
+      break;
+    }
+    // Internally we minimize, so d > 0 supports the lower bound and
+    // d < 0 the upper. In degenerate lo == up corners the recorded
+    // status may name the *other* bound, so pick the side d supports —
+    // provided the variable actually sits on it.
+    const double val = nonbasic_value(v);
+    if (d > 0.0) {
+      if (val != lower_[v]) {
+        have_duals = false;
+      } else if (src_lo_[v] != kNoSource) {
+        out.duals[src_lo_[v]] +=
+            csign_ * d / constraint_map_[src_lo_[v]].coeff;
+      } else if (lower_[v] != 0.0) {
+        have_duals = false;  // declared non-natural bound: no witness
+      }
+    } else {
+      if (val != upper_[v] || src_hi_[v] == kNoSource) {
+        have_duals = false;  // upper bounds have no natural-zero escape
+      } else {
+        out.duals[src_hi_[v]] +=
+            csign_ * d / constraint_map_[src_hi_[v]].coeff;
+      }
+    }
+  }
+  if (!have_duals) out.duals.clear();
+}
+
+void RevisedSimplex::bound_farkas(Solution& out) const {
+  const std::size_t nc = constraint_map_.size();
+  // An outright-violated empty row is its own witness.
+  for (std::size_t i = 0; i < nc; ++i) {
+    const ConstraintMap& map = constraint_map_[i];
+    if (!map.is_bound || map.coeff != 0.0) continue;
+    const double b = constraint_rhs_[i];
+    switch (map.relation) {
+      case Relation::kLessEqual:
+        if (b < -kFeasTol) {
+          out.farkas.assign(nc, 0.0);
+          out.farkas[i] = -1.0;
+          return;
+        }
+        break;
+      case Relation::kGreaterEqual:
+        if (b > kFeasTol) {
+          out.farkas.assign(nc, 0.0);
+          out.farkas[i] = 1.0;
+          return;
+        }
+        break;
+      case Relation::kEqual:
+        if (std::abs(b) > kFeasTol) {
+          out.farkas.assign(nc, 0.0);
+          out.farkas[i] = b > 0.0 ? 1.0 : -1.0;
+          return;
+        }
+        break;
+    }
+  }
+  // An empty bound interval combines the two source constraints (1/a on
+  // the lower source, -1/a on the upper) into y with A^T y = 0 and
+  // y^T b = lo - up > 0. A declared bound on the lower side is fine when
+  // natural (x >= 0 needs no multiplier); elsewhere there is no witness.
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (lower_[v] <= upper_[v] + 1e-9) continue;
+    out.farkas.assign(nc, 0.0);
+    if (src_lo_[v] != kNoSource) {
+      out.farkas[src_lo_[v]] = 1.0 / constraint_map_[src_lo_[v]].coeff;
+    } else if (lower_[v] != 0.0) {
+      out.farkas.clear();
+      return;
+    }
+    if (src_hi_[v] != kNoSource) {
+      out.farkas[src_hi_[v]] += -1.0 / constraint_map_[src_hi_[v]].coeff;
+    } else {
+      out.farkas.clear();
+      return;
+    }
+    double ytb = 0.0;
+    for (std::size_t i = 0; i < nc; ++i) {
+      ytb += out.farkas[i] * constraint_rhs_[i];
+    }
+    if (!(ytb > kFeasTol)) out.farkas.clear();
+    return;
+  }
+}
+
+bool RevisedSimplex::farkas_from_rows(const std::vector<double>& y_row,
+                                      Solution& out) const {
+  const std::size_t nc = constraint_map_.size();
+  std::vector<double> y(nc, 0.0);
+  // Slack-sign admissibility doubles as the exposed sign condition on
+  // each surviving row's multiplier.
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    switch (row_relation_[r]) {
+      case Relation::kLessEqual:
+        if (y_row[r] > kDualTol) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (y_row[r] < -kDualTol) return false;
+        break;
+      case Relation::kEqual:
+        break;
+    }
+    y[row_constraint_[r]] = y_row[r];
+  }
+  // Discharge each structural column's gradient g = y_row^T A_j onto the
+  // singleton constraint supplying the bound it presses against; the
+  // natural lower bound x >= 0 legally keeps g < 0 undischarged.
+  for (std::size_t v = 0; v < n_; ++v) {
+    const double g = column_dot(v, y_row);
+    if (std::abs(g) <= kDualTol) continue;
+    if (g > 0.0) {
+      if (src_hi_[v] == kNoSource) return false;
+      y[src_hi_[v]] -= g / constraint_map_[src_hi_[v]].coeff;
+    } else if (src_lo_[v] != kNoSource) {
+      y[src_lo_[v]] -= g / constraint_map_[src_lo_[v]].coeff;
+    } else if (lower_[v] != 0.0) {
+      return false;  // free variable / declared bound: no witness
+    }
+  }
+  double ytb = 0.0;
+  for (std::size_t i = 0; i < nc; ++i) ytb += y[i] * constraint_rhs_[i];
+  if (!(ytb > kFeasTol)) return false;
+  out.farkas = std::move(y);
+  return true;
+}
+
+void RevisedSimplex::notify(Solution& out) {
+  if (options_.observer != nullptr && mirror_.has_value()) {
+    options_.observer->on_solve(*mirror_, out);
+  }
 }
 
 Solution RevisedSimplex::solve() {
@@ -788,14 +1031,21 @@ Solution RevisedSimplex::solve() {
   const std::uint64_t start = pivots_;
   if (!prepare()) {
     out.status = SolveStatus::kInfeasible;
+    bound_farkas(out);
+    notify(out);
     return out;
   }
-  if (num_rows_ == 0) return solve_bounds_only();
+  if (num_rows_ == 0) {
+    out = solve_bounds_only();
+    notify(out);
+    return out;
+  }
   reset_to_slack_basis();
   factorize();
   compute_basic_values();
   run_primal(out);
   out.pivots = pivots_ - start;
+  notify(out);
   return out;
 }
 
@@ -805,9 +1055,15 @@ Solution RevisedSimplex::solve_from_basis(const Basis& basis) {
   const std::uint64_t start = pivots_;
   if (!prepare()) {
     out.status = SolveStatus::kInfeasible;
+    bound_farkas(out);
+    notify(out);
     return out;
   }
-  if (num_rows_ == 0) return solve_bounds_only();
+  if (num_rows_ == 0) {
+    out = solve_bounds_only();
+    notify(out);
+    return out;
+  }
 
   if (basis.status.size() == num_cols_) {
     adopt_statuses(basis);
@@ -816,11 +1072,13 @@ Solution RevisedSimplex::solve_from_basis(const Basis& basis) {
     if (dual_feasible()) {
       if (!run_dual(out)) {
         out.pivots = pivots_ - start;
+        notify(out);
         return out;
       }
     }
     run_primal(out);
     out.pivots = pivots_ - start;
+    notify(out);
     return out;
   }
 
@@ -828,10 +1086,12 @@ Solution RevisedSimplex::solve_from_basis(const Basis& basis) {
   // statuses, then solve primally.
   if (!crash_from(basis, out)) {
     out.pivots = pivots_ - start;
+    notify(out);
     return out;
   }
   run_primal(out);
   out.pivots = pivots_ - start;
+  notify(out);
   return out;
 }
 

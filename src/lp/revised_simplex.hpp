@@ -43,6 +43,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "lp/matrix.hpp"
@@ -150,6 +151,8 @@ class RevisedSimplex {
   [[nodiscard]] std::size_t num_structural() const noexcept { return n_; }
 
  private:
+  static constexpr std::size_t kNoSource = static_cast<std::size_t>(-1);
+
   struct Eta {
     std::size_t row = 0;
     std::vector<double> coef;
@@ -200,6 +203,18 @@ class RevisedSimplex {
   bool run_primal(Solution& out);
   void extract(Solution& out) const;
 
+  // Certificate construction (see lp::Solution). bound_farkas witnesses
+  // a presolve-detected infeasibility (empty bound interval / violated
+  // empty row); farkas_from_rows discharges a row-space infeasibility
+  // multiplier onto original constraints (returns false when a declared
+  // bound blocks the witness — the certificate is then left empty).
+  void bound_farkas(Solution& out) const;
+  bool farkas_from_rows(const std::vector<double>& y_row,
+                        Solution& out) const;
+  // Reports `out` to options_.observer when one is attached and the
+  // mirrored Problem is still valid (set_bounds invalidates it).
+  void notify(Solution& out);
+
   // Immutable-ish problem data (patched in place).
   std::size_t n_ = 0;         ///< structural variables
   std::size_t num_rows_ = 0;  ///< rows after presolve (basis dimension)
@@ -211,12 +226,24 @@ class RevisedSimplex {
   std::vector<ConstraintMap> constraint_map_;  ///< per original constraint
   std::vector<double> constraint_rhs_;         ///< per original constraint
   std::vector<Relation> row_relation_;         ///< per real row
+  std::vector<std::size_t> row_constraint_;    ///< real row -> constraint
   std::vector<std::vector<ColEntry>> cols_;    ///< structural columns
   std::vector<double> decl_lower_, decl_upper_;  ///< declared var bounds
+  /// Mirror of the constructing Problem, kept patched in step with
+  /// set_constraint_rhs / set_objective_coefficient so observer
+  /// callbacks can hand the verifier the LP actually solved. Only
+  /// maintained when an observer is attached; set_bounds discards it
+  /// (declared bounds have no Problem representation).
+  std::optional<Problem> mirror_;
 
   // Derived per solve (by prepare()).
   std::vector<double> lower_, upper_;  ///< effective bounds per column
   std::vector<double> row_rhs_;        ///< per real row
+  /// Which original (singleton) constraint produced each structural
+  /// variable's binding effective lower/upper bound — kNoSource when the
+  /// bound is declared/natural. Certificates discharge reduced costs at
+  /// a bound onto its source constraint.
+  std::vector<std::size_t> src_lo_, src_hi_;
   bool bound_infeasible_ = false;
 
   // Basis state.

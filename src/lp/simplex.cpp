@@ -25,10 +25,14 @@ struct Tableau {
 
 // One simplex phase: pivot on `cost` until no improving column remains.
 // Uses Bland's rule (smallest eligible index) which precludes cycling.
+// On kUnbounded, `unbounded_col` (when non-null) receives the entering
+// column whose ratio test found no blocking row — the recession
+// direction behind Solution::ray.
 SolveStatus run_phase(Tableau& t, std::vector<double>& cost,
                       const SimplexOptions& opt,
                       bool forbid_artificial_entering,
-                      std::uint64_t& pivots) {
+                      std::uint64_t& pivots,
+                      std::size_t* unbounded_col = nullptr) {
   const std::size_t m = t.body.rows();
   const std::size_t rhs_col = t.total_cols;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
@@ -65,7 +69,10 @@ SolveStatus run_phase(Tableau& t, std::vector<double>& cost,
         }
       }
     }
-    if (leave == m) return SolveStatus::kUnbounded;
+    if (leave == m) {
+      if (unbounded_col != nullptr) *unbounded_col = enter;
+      return SolveStatus::kUnbounded;
+    }
     ++pivots;
 
     // Pivot.
@@ -122,10 +129,9 @@ bool solver_kind_from_string(const std::string& name,
   return false;
 }
 
-Solution solve(const Problem& problem, const SimplexOptions& options) {
-  if (options.solver == SolverKind::kRevised) {
-    return solve_revised(problem, options);
-  }
+namespace {
+
+Solution solve_dense(const Problem& problem, const SimplexOptions& options) {
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
 
@@ -172,6 +178,8 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
       const double c = sense * problem.objective()[v];
       if (c > 0.0 || (problem.is_free(v) && c < 0.0)) {
         s.status = SolveStatus::kUnbounded;
+        s.ray.assign(n, 0.0);
+        s.ray[v] = c > 0.0 ? 1.0 : -1.0;
         return s;
       }
     }
@@ -184,6 +192,14 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   std::size_t slack_cursor = structural;
   std::size_t art_cursor = t.artificial_begin;
   std::vector<bool> has_artificial_row(m, false);
+  // Per-row bookkeeping for certificate extraction: the sign applied
+  // during rhs normalisation, and which slack/surplus and artificial
+  // column (if any) belongs to each row — those columns' reduced costs
+  // are the simplex multipliers in normalized row space.
+  std::vector<double> row_sign(m, 1.0);
+  std::vector<double> row_slack_sign(m, 1.0);
+  std::vector<std::size_t> row_slack(m, SIZE_MAX);
+  std::vector<std::size_t> row_art(m, SIZE_MAX);
 
   for (std::size_t r = 0; r < m; ++r) {
     const auto& c = problem.constraints()[r];
@@ -194,6 +210,7 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
       if (rel == Relation::kLessEqual) rel = Relation::kGreaterEqual;
       else if (rel == Relation::kGreaterEqual) rel = Relation::kLessEqual;
     }
+    row_sign[r] = sign;
     for (std::size_t v = 0; v < n; ++v) {
       const double a = sign * c.coefficients[v];
       t.body(r, pos_col[v]) += a;
@@ -203,17 +220,23 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
     switch (rel) {
       case Relation::kLessEqual:
         t.body(r, slack_cursor) = 1.0;
+        row_slack[r] = slack_cursor;
+        row_slack_sign[r] = 1.0;
         t.basis[r] = slack_cursor++;
         break;
       case Relation::kGreaterEqual:
         t.body(r, slack_cursor) = -1.0;
+        row_slack[r] = slack_cursor;
+        row_slack_sign[r] = -1.0;
         ++slack_cursor;
         t.body(r, art_cursor) = 1.0;
+        row_art[r] = art_cursor;
         t.basis[r] = art_cursor++;
         has_artificial_row[r] = true;
         break;
       case Relation::kEqual:
         t.body(r, art_cursor) = 1.0;
+        row_art[r] = art_cursor;
         t.basis[r] = art_cursor++;
         has_artificial_row[r] = true;
         break;
@@ -250,6 +273,25 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
     if (-phase1[t.total_cols] > 1e-6) {
       result.status = SolveStatus::kInfeasible;
       result.pivots = pivots;
+      // Farkas certificate from the phase-1 duals. With w the optimal
+      // multipliers of min sum(artificials) over the normalized rows,
+      // w^T A' <= 0 column-wise while w^T b' equals the (positive)
+      // attained infeasibility, so y_r = row_sign_r * w_r witnesses
+      // infeasibility in original constraint space. w is read off the
+      // phase-1 reduced-cost row: 1 - cost at the row's artificial, or
+      // -slack_sign * cost at its slack when the row never had one.
+      result.farkas.assign(m, 0.0);
+      double ytb = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double w = row_art[r] != SIZE_MAX
+                             ? 1.0 - phase1[row_art[r]]
+                             : -row_slack_sign[r] * phase1[row_slack[r]];
+        result.farkas[r] = row_sign[r] * w;
+        ytb += result.farkas[r] * problem.constraints()[r].rhs;
+      }
+      // Guard against numerical junk: a Farkas ray must strictly
+      // separate; otherwise report infeasibility without a certificate.
+      if (!(ytb > options.tolerance)) result.farkas.clear();
       return result;
     }
     // Pivot any artificial still in the basis out (degenerate rows), or
@@ -294,10 +336,36 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
       }
     }
   }
-  const SolveStatus s2 = run_phase(t, phase2, options, true, pivots);
+  std::size_t unbounded_enter = t.total_cols;
+  const SolveStatus s2 =
+      run_phase(t, phase2, options, true, pivots, &unbounded_enter);
   result.pivots = pivots;
   if (s2 != SolveStatus::kOptimal) {
     result.status = s2;
+    if (s2 == SolveStatus::kUnbounded && unbounded_enter < t.total_cols) {
+      // Recession direction from the entering column: the entering
+      // variable steps +1 while each basic variable moves by minus its
+      // tableau coefficient; recombining the split columns yields a ray
+      // over the original variables.
+      std::vector<double> d(structural, 0.0);
+      if (unbounded_enter < structural) d[unbounded_enter] = 1.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (t.basis[r] < structural) {
+          d[t.basis[r]] = -t.body(r, unbounded_enter);
+        }
+      }
+      result.ray.assign(n, 0.0);
+      double cd = 0.0;
+      for (std::size_t v = 0; v < n; ++v) {
+        result.ray[v] = d[pos_col[v]];
+        if (neg_col[v] != SIZE_MAX) result.ray[v] -= d[neg_col[v]];
+        cd += problem.objective()[v] * result.ray[v];
+      }
+      const bool improves = problem.sense() == Objective::kMaximize
+                                ? cd > options.tolerance
+                                : cd < -options.tolerance;
+      if (!improves) result.ray.clear();
+    }
     return result;
   }
 
@@ -319,6 +387,35 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   }
   result.objective = obj;
   result.status = SolveStatus::kOptimal;
+
+  // Dual certificate from the phase-2 reduced-cost row. The multiplier
+  // of normalized row r is the reduced cost of its artificial column
+  // (cost zero, identity column), or slack_sign * the reduced cost of
+  // its slack. Mapping back to original coordinates multiplies by the
+  // rhs-normalisation sign and by the sense exposure so that the
+  // conventions documented on lp::Solution hold for either sense.
+  result.duals.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double w = row_art[r] != SIZE_MAX
+                         ? phase2[row_art[r]]
+                         : row_slack_sign[r] * phase2[row_slack[r]];
+    result.duals[r] = sense * row_sign[r] * w;
+  }
+  return result;
+}
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  if (options.solver == SolverKind::kRevised) {
+    // The revised engine notifies the observer itself (it also owns the
+    // warm-started entry points that never pass through this wrapper).
+    return solve_revised(problem, options);
+  }
+  Solution result = solve_dense(problem, options);
+  if (options.observer != nullptr) {
+    options.observer->on_solve(problem, result);
+  }
   return result;
 }
 

@@ -43,6 +43,31 @@ enum class SolverKind { kDense, kRevised };
 /// Result of a solve. `x` holds values for the problem's original
 /// variables (free variables already recombined); it is empty unless
 /// status == kOptimal.
+///
+/// Certificates: alongside the answer, both engines emit the evidence
+/// that the answer is right, in the coordinates of the *original*
+/// Problem (one multiplier per constraint, one component per variable):
+///
+///  * kOptimal    -> `duals` (may be paired with `x` by verify::check_lp
+///    to confirm primal feasibility, dual feasibility, complementary
+///    slackness, and a vanishing duality gap). Convention: for a
+///    kMaximize problem, duals[i] >= 0 on <= rows, <= 0 on >= rows,
+///    free on == rows, and reduced costs c_j - y^T A_j are <= 0 for
+///    every non-free variable and == 0 for free/basic ones; kMinimize
+///    flips every inequality.
+///  * kInfeasible -> `farkas`, a Farkas ray y over constraints with
+///    y_i <= 0 on <= rows, y_i >= 0 on >= rows, free on == rows,
+///    (A^T y)_j <= 0 for non-free variables, == 0 for free ones, and
+///    y^T b > 0 — so y^T(Ax) <= 0 <  y^T b for every x >= 0, proving no
+///    feasible point exists.
+///  * kUnbounded  -> `ray`, a recession direction d with d_j >= 0 for
+///    non-free variables, A d respecting every relation at rhs 0, and
+///    c^T d improving the objective without bound.
+///
+/// A certificate vector may be empty when the engine could not produce
+/// one (e.g. infeasibility detected against API-declared bounds that
+/// have no constraint-space witness); verify treats a missing
+/// certificate as unverified, not as wrong.
 struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
@@ -51,10 +76,35 @@ struct Solution {
   /// Comparable across the dense and revised engines; the perf bench
   /// aggregates these to quantify warm-start savings.
   std::uint64_t pivots = 0;
+  /// Dual values, one per constraint (kOptimal only; see above).
+  std::vector<double> duals;
+  /// Farkas infeasibility ray, one per constraint (kInfeasible only).
+  std::vector<double> farkas;
+  /// Unbounded recession direction, one per variable (kUnbounded only).
+  std::vector<double> ray;
 
   [[nodiscard]] bool optimal() const noexcept {
     return status == SolveStatus::kOptimal;
   }
+};
+
+/// Post-solve hook. When SimplexOptions::observer is set, every engine
+/// solve (dense, revised cold, revised warm — including each link of a
+/// warm-started chain) reports its finished Solution together with the
+/// Problem it answered, and the observer may repair or replace the
+/// solution in place. This is how src/verify attaches certificate
+/// checking, iterative refinement, and the cross-engine escalation
+/// cascade to call sites it does not own (nucleolus rounds, relaxation
+/// sweeps) without those layers depending on verify.
+///
+/// Implementations must be thread-safe: parallel sweeps clone solver
+/// instances per worker but share the observer pointer.
+class SolveObserver {
+ public:
+  virtual ~SolveObserver() = default;
+  /// `problem` reflects every patch applied before the solve; `solution`
+  /// is the engine's answer and may be overwritten with a repaired one.
+  virtual void on_solve(const Problem& problem, Solution& solution) = 0;
 };
 
 /// Solver knobs.
@@ -68,6 +118,9 @@ struct SimplexOptions {
   /// Engine selection; solve() dispatches on this, so every existing
   /// call site can be switched per-solve (e.g. the CLI's --lp-solver).
   SolverKind solver = SolverKind::kDense;
+  /// Optional post-solve hook (see SolveObserver). Not owned; must
+  /// outlive every solve. nullptr (the default) is zero-overhead.
+  SolveObserver* observer = nullptr;
 };
 
 /// Solves `problem` with the engine selected by `options.solver`

@@ -92,6 +92,15 @@ class CancellationToken {
 /// a budget stays tripped.
 class ComputeBudget {
  public:
+  /// The one clock every deadline is measured on. Pinned to a monotonic
+  /// clock so a wall-clock jump (NTP step, DST, suspend/resume with a
+  /// drifted RTC) can neither fire a deadline early nor push it out;
+  /// the static_assert turns any future drift back to a wall clock into
+  /// a compile error instead of a latent production hang.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "ComputeBudget deadlines must use a monotonic clock");
+
   /// No limits: charge() always succeeds. This is the default, so APIs
   /// can take `const ComputeBudget&` with a `{}` default argument.
   ComputeBudget() = default;
@@ -104,9 +113,8 @@ class ComputeBudget {
       std::chrono::duration<Rep, Period> duration) {
     ComputeBudget b;
     b.has_deadline_ = true;
-    b.deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      duration);
+    b.deadline_ = Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(duration);
     return b;
   }
 
@@ -203,14 +211,14 @@ class ComputeBudget {
       stop_ = StopReason::kCancelled;
       return false;
     }
-    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    if (has_deadline_ && Clock::now() >= deadline_) {
       stop_ = StopReason::kDeadline;
       return false;
     }
     return true;
   }
 
-  std::chrono::steady_clock::time_point deadline_{};
+  Clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::uint64_t node_cap_ = 0;
   bool has_node_cap_ = false;

@@ -13,6 +13,7 @@
 #include "core/nucleolus.hpp"
 #include "core/shapley.hpp"
 #include "lp/simplex.hpp"
+#include "verify/certified.hpp"
 
 namespace fedshare::runtime {
 
@@ -137,12 +138,17 @@ ResilientShapley resilient_shapley(const game::Game& game,
   return out;
 }
 
-ResilientSchemes compare_schemes_resilient(
+namespace {
+
+// Shared implementation; `observer` (may be null) is attached to the
+// nucleolus LPs — the only solves this cascade performs.
+ResilientSchemes compare_schemes_impl(
     const game::Game& game, const game::TabularGame* tab,
     const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const ComputeBudget& budget, std::uint64_t mc_samples,
-    std::uint64_t mc_seed, lp::SolverKind lp_solver) {
+    std::uint64_t mc_seed, lp::SolverKind lp_solver,
+    lp::SolveObserver* observer) {
   const int n = game.num_players();
   const double total =
       tab != nullptr ? tab->grand_value() : game.grand_value();
@@ -205,6 +211,7 @@ ResilientSchemes compare_schemes_resilient(
       lp::SimplexOptions options;
       options.solver = lp_solver;
       options.budget = &budget;
+      options.observer = observer;
       const auto r = game::nucleolus(*tab, options);
       if (r.solved) {
         std::vector<double> shares;
@@ -236,6 +243,64 @@ ResilientSchemes compare_schemes_resilient(
             ? "core membership: skipped (coalition table unavailable under "
               "deadline)"
             : "core membership: skipped (n > 16)");
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilientSchemes compare_schemes_resilient(
+    const game::Game& game, const game::TabularGame* tab,
+    const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const ComputeBudget& budget, std::uint64_t mc_samples,
+    std::uint64_t mc_seed, lp::SolverKind lp_solver) {
+  return compare_schemes_impl(game, tab, availability_weights,
+                              consumption_weights, budget, mc_samples, mc_seed,
+                              lp_solver, nullptr);
+}
+
+ResilientSchemes compare_schemes_resilient_verified(
+    const game::Game& game, const game::TabularGame* tab,
+    const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const verify::VerifyOptions& verify_options, verify::AuditReport* audit,
+    const ComputeBudget& budget, std::uint64_t mc_samples,
+    std::uint64_t mc_seed, lp::SolverKind lp_solver) {
+  if (verify_options.level == verify::VerifyLevel::kOff || audit == nullptr) {
+    return compare_schemes_resilient(game, tab, availability_weights,
+                                     consumption_weights, budget, mc_samples,
+                                     mc_seed, lp_solver);
+  }
+
+  lp::SimplexOptions base;
+  base.solver = lp_solver;
+  base.budget = &budget;
+  verify::CertifyingObserver observer(verify_options, base);
+  const bool full = verify_options.level == verify::VerifyLevel::kFull;
+  ResilientSchemes out = compare_schemes_impl(
+      game, tab, availability_weights, consumption_weights, budget, mc_samples,
+      mc_seed, lp_solver, full ? &observer : nullptr);
+
+  if (tab != nullptr) {
+    *audit = verify::audit_game(*tab, verify_options);
+    verify::audit_outcomes(*tab, out.outcomes, base, verify_options, *audit);
+  } else {
+    audit->add_issue("coverage",
+                     "audits skipped: coalition table unavailable under "
+                     "deadline",
+                     0.0);
+  }
+  if (full) {
+    audit->lp = observer.stats();
+    audit->lp_stats_valid = true;
+    if (audit->lp.failures > 0) {
+      audit->add_issue(
+          "lp-certificates",
+          std::to_string(audit->lp.failures) +
+              " solve(s) exhausted the cascade without a valid certificate",
+          static_cast<double>(audit->lp.failures));
+    }
   }
   return out;
 }

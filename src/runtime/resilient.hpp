@@ -19,6 +19,8 @@
 #include "core/game.hpp"
 #include "core/sharing.hpp"
 #include "runtime/budget.hpp"
+#include "verify/audit.hpp"
+#include "verify/certificates.hpp"
 
 namespace fedshare::runtime {
 
@@ -106,6 +108,25 @@ struct ResilientSchemes {
     const game::Game& game, const game::TabularGame* tab,
     const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
+    const ComputeBudget& budget = {}, std::uint64_t mc_samples = 4096,
+    std::uint64_t mc_seed = 1,
+    lp::SolverKind lp_solver = lp::SolverKind::kDense);
+
+/// Verification-aware variant (the CLI's --verify flag with a deadline
+/// active). Behaviour by verify_options.level:
+///  * kOff   — identical to compare_schemes_resilient; `audit` untouched.
+///  * kCheap — same computation, then game/outcome audits into `*audit`.
+///  * kFull  — every nucleolus LP additionally runs under the
+///    certificate-check/refine/escalate cascade (verify/certified.hpp),
+///    and the observer's tallies land in audit->lp.
+/// When tabulation was cut short (tab == nullptr) the audits are skipped
+/// — sampling V(S) on the raw game could re-trigger the very work the
+/// deadline cut — and an issue records that verification was abridged.
+[[nodiscard]] ResilientSchemes compare_schemes_resilient_verified(
+    const game::Game& game, const game::TabularGame* tab,
+    const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const verify::VerifyOptions& verify_options, verify::AuditReport* audit,
     const ComputeBudget& budget = {}, std::uint64_t mc_samples = 4096,
     std::uint64_t mc_seed = 1,
     lp::SolverKind lp_solver = lp::SolverKind::kDense);

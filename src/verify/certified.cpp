@@ -1,0 +1,145 @@
+#include "verify/certified.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lp/revised_simplex.hpp"
+#include "verify/refine.hpp"
+
+namespace fedshare::verify {
+
+namespace {
+
+// True when `status` ends the cascade immediately: a tripped budget or
+// iteration cap is a resource decision, not a wrong answer — escalating
+// would spend resources the caller already refused to spend.
+bool terminal(lp::SolveStatus status) {
+  return status == lp::SolveStatus::kIterationLimit ||
+         status == lp::SolveStatus::kBudgetExhausted;
+}
+
+void apply_fault(const VerifyOptions& options, lp::Solution& solution,
+                 CascadeRung rung) {
+  if (options.fault_hook) options.fault_hook(solution, rung);
+}
+
+}  // namespace
+
+CertifiedSolve certify_or_escalate(const lp::Problem& problem,
+                                   lp::Solution primary,
+                                   const lp::SimplexOptions& lp_options,
+                                   const VerifyOptions& verify_options) {
+  const double tol = verify_options.tolerance;
+  CertifiedSolve best;
+  best.solution = std::move(primary);
+  best.rung = CascadeRung::kPrimary;
+  apply_fault(verify_options, best.solution, CascadeRung::kPrimary);
+  best.report = check_lp(problem, best.solution, tol);
+  if (best.report.valid || terminal(best.solution.status)) return best;
+
+  // Rung 2: iterative refinement (optimal answers only — there is
+  // nothing to polish about a Farkas ray that fails its sign checks).
+  if (best.solution.status == lp::SolveStatus::kOptimal &&
+      !best.solution.duals.empty()) {
+    CertifiedSolve refined = best;
+    refined.rung = CascadeRung::kRefined;
+    refine_lp(problem, refined.solution, verify_options);
+    apply_fault(verify_options, refined.solution, CascadeRung::kRefined);
+    refined.report = check_lp(problem, refined.solution, tol);
+    if (refined.report.valid) return refined;
+    if (refined.report.max_residual < best.report.max_residual) {
+      best = std::move(refined);
+    }
+  }
+
+  // Escalation rungs re-solve from scratch with no warm state. The
+  // observer field is stripped so a cascade solve can never re-enter
+  // the cascade.
+  lp::SimplexOptions cold = lp_options;
+  cold.observer = nullptr;
+
+  cold.solver = lp::SolverKind::kRevised;
+  CertifiedSolve revised;
+  revised.rung = CascadeRung::kRevisedCold;
+  revised.solution = lp::solve(problem, cold);
+  apply_fault(verify_options, revised.solution, CascadeRung::kRevisedCold);
+  revised.report = check_lp(problem, revised.solution, tol);
+  if (revised.report.valid || terminal(revised.solution.status)) {
+    return revised;
+  }
+  if (revised.report.checked &&
+      revised.report.max_residual < best.report.max_residual) {
+    best = std::move(revised);
+  }
+
+  cold.solver = lp::SolverKind::kDense;
+  CertifiedSolve dense;
+  dense.rung = CascadeRung::kDenseCold;
+  dense.solution = lp::solve(problem, cold);
+  apply_fault(verify_options, dense.solution, CascadeRung::kDenseCold);
+  dense.report = check_lp(problem, dense.solution, tol);
+  if (dense.report.valid || terminal(dense.solution.status)) return dense;
+  if (dense.report.checked &&
+      dense.report.max_residual < best.report.max_residual) {
+    best = std::move(dense);
+  }
+  // Cascade exhausted: hand back the least-bad answer with its failing
+  // report — the caller decides whether an uncertified answer is usable.
+  return best;
+}
+
+CertifiedSolve certified_solve(const lp::Problem& problem,
+                               const lp::SimplexOptions& lp_options,
+                               const VerifyOptions& verify_options) {
+  lp::SimplexOptions primary = lp_options;
+  primary.observer = nullptr;
+  return certify_or_escalate(problem, lp::solve(problem, primary), lp_options,
+                             verify_options);
+}
+
+CertifyingObserver::CertifyingObserver(VerifyOptions verify_options,
+                                       lp::SimplexOptions lp_options)
+    : verify_options_(std::move(verify_options)),
+      lp_options_(lp_options) {
+  lp_options_.observer = nullptr;
+}
+
+void CertifyingObserver::on_solve(const lp::Problem& problem,
+                                  lp::Solution& solution) {
+  CertifiedSolve result = certify_or_escalate(problem, std::move(solution),
+                                              lp_options_, verify_options_);
+  solution = std::move(result.solution);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.solves;
+  if (!result.report.checked) {
+    ++stats_.unchecked;
+  } else if (result.report.valid) {
+    ++stats_.certified;
+    stats_.worst_residual =
+        std::max(stats_.worst_residual, result.report.max_residual);
+  } else {
+    ++stats_.failures;
+  }
+  switch (result.rung) {
+    case CascadeRung::kPrimary:
+      break;
+    case CascadeRung::kRefined:
+      ++stats_.refined;
+      break;
+    case CascadeRung::kRevisedCold:
+      ++stats_.escalated;
+      break;
+    case CascadeRung::kDenseCold:
+      ++stats_.escalated;
+      ++stats_.dense_answers;
+      break;
+  }
+}
+
+CertifyingObserver::Stats CertifyingObserver::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fedshare::verify

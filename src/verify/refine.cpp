@@ -1,0 +1,222 @@
+#include "verify/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fedshare::verify {
+
+namespace {
+
+// Double-double accumulator: an unevaluated sum hi + lo with |lo| <=
+// ulp(hi)/2. add() uses Knuth's two_sum; fma_prod() uses an FMA to split
+// the product error exactly.
+struct DD {
+  double hi = 0.0;
+  double lo = 0.0;
+
+  void add(double v) {
+    const double s = hi + v;
+    const double bb = s - hi;
+    const double err = (hi - (s - bb)) + (v - bb);
+    hi = s;
+    lo += err;
+  }
+  void add_prod(double a, double b) {
+    const double p = a * b;
+    const double err = std::fma(a, b, -p);
+    add(p);
+    lo += err;
+  }
+  [[nodiscard]] double value() const { return hi + lo; }
+};
+
+// Exact-as-possible residual r = rhs - M x over the selected rows/cols.
+double residual_row(const std::vector<double>& coef,
+                    const std::vector<double>& x, double rhs) {
+  DD acc;
+  acc.add(rhs);
+  for (std::size_t j = 0; j < coef.size(); ++j) {
+    if (coef[j] != 0.0 && x[j] != 0.0) acc.add_prod(-coef[j], x[j]);
+  }
+  return acc.value();
+}
+
+// Solves the normal equations (M^T M) d = M^T r with plain Gaussian
+// elimination (partial pivoting). M is rows x cols in row-major order;
+// returns false when the system is numerically singular.
+bool least_squares(const std::vector<std::vector<const double*>>& rows,
+                   const std::vector<std::size_t>& cols,
+                   const std::vector<double>& r, std::vector<double>& d) {
+  const std::size_t nr = rows.size();
+  const std::size_t nc = cols.size();
+  std::vector<double> mtm(nc * nc, 0.0);
+  std::vector<double> mtr(nc, 0.0);
+  for (std::size_t a = 0; a < nc; ++a) {
+    for (std::size_t b = a; b < nc; ++b) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < nr; ++i) {
+        acc += (*rows[i][cols[a]]) * (*rows[i][cols[b]]);
+      }
+      mtm[a * nc + b] = acc;
+      mtm[b * nc + a] = acc;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < nr; ++i) acc += (*rows[i][cols[a]]) * r[i];
+    mtr[a] = acc;
+  }
+  // Gaussian elimination on the (nc x nc) normal matrix.
+  std::vector<std::size_t> perm(nc);
+  for (std::size_t i = 0; i < nc; ++i) perm[i] = i;
+  for (std::size_t k = 0; k < nc; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(mtm[k * nc + k]);
+    for (std::size_t i = k + 1; i < nc; ++i) {
+      const double a = std::abs(mtm[i * nc + k]);
+      if (a > best) {
+        best = a;
+        piv = i;
+      }
+    }
+    if (best < 1e-14) return false;
+    if (piv != k) {
+      for (std::size_t c = 0; c < nc; ++c) {
+        std::swap(mtm[piv * nc + c], mtm[k * nc + c]);
+      }
+      std::swap(mtr[piv], mtr[k]);
+    }
+    const double pivot = mtm[k * nc + k];
+    for (std::size_t i = k + 1; i < nc; ++i) {
+      const double f = mtm[i * nc + k] / pivot;
+      if (f == 0.0) continue;
+      for (std::size_t c = k; c < nc; ++c) mtm[i * nc + c] -= f * mtm[k * nc + c];
+      mtr[i] -= f * mtr[k];
+    }
+  }
+  d.assign(nc, 0.0);
+  for (std::size_t ii = nc; ii-- > 0;) {
+    double acc = mtr[ii];
+    for (std::size_t c = ii + 1; c < nc; ++c) acc -= mtm[ii * nc + c] * d[c];
+    d[ii] = acc / mtm[ii * nc + ii];
+  }
+  return true;
+}
+
+}  // namespace
+
+RefineResult refine_lp(const lp::Problem& problem, lp::Solution& solution,
+                       const VerifyOptions& options) {
+  RefineResult result;
+  if (solution.status != lp::SolveStatus::kOptimal) return result;
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  if (solution.x.size() != n || solution.duals.size() != m) return result;
+  result.attempted = true;
+  result.residual_before =
+      check_lp(problem, solution, options.tolerance).max_residual;
+  result.residual_after = result.residual_before;
+
+  // Active set from the incoming solution: equality rows, rows with a
+  // live multiplier, and rows tight to within tolerance. Support: free
+  // variables and variables away from their zero bound.
+  const double tol = options.tolerance;
+  std::vector<std::size_t> act;
+  std::vector<std::vector<const double*>> act_rows;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& con = problem.constraints()[i];
+    const double slack = residual_row(con.coefficients, solution.x, con.rhs);
+    const bool live = con.relation == lp::Relation::kEqual ||
+                      std::abs(solution.duals[i]) > tol ||
+                      std::abs(slack) <= tol;
+    if (!live) continue;
+    act.push_back(i);
+    std::vector<const double*> ptrs(n);
+    for (std::size_t j = 0; j < n; ++j) ptrs[j] = &con.coefficients[j];
+    act_rows.push_back(std::move(ptrs));
+  }
+  // A non-free variable hovering just off its zero bound is drift, not
+  // support: snap it back onto the bound and exclude it, so the bound
+  // effectively joins the active system. The best-iterate guard below
+  // makes a wrong snap harmless.
+  const double snap = std::max(tol, 1e-3);
+  std::vector<std::size_t> support;
+  std::vector<std::size_t> snapped;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (problem.is_free(j) || std::abs(solution.x[j]) > snap) {
+      support.push_back(j);
+    } else if (solution.x[j] != 0.0) {
+      snapped.push_back(j);
+    }
+  }
+  if (act.empty() || support.empty()) return result;
+
+  lp::Solution best = solution;  // pre-snap: "never worse" baseline
+  for (const std::size_t j : snapped) solution.x[j] = 0.0;
+  for (int round = 0; round < options.max_refine_rounds; ++round) {
+    // Primal Newton step: A_act[:,S] dx = (b_act - A_act x), residual in
+    // double-double.
+    std::vector<double> r(act.size());
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      const auto& con = problem.constraints()[act[i]];
+      r[i] = residual_row(con.coefficients, solution.x, con.rhs);
+    }
+    std::vector<double> dx;
+    if (least_squares(act_rows, support, r, dx)) {
+      for (std::size_t s = 0; s < support.size(); ++s) {
+        solution.x[support[s]] += dx[s];
+      }
+    }
+    // Dual Newton step on the transposed system: for each support
+    // variable, y^T A_j should equal c_j.
+    std::vector<std::vector<const double*>> tr_rows;
+    std::vector<double> rc(support.size());
+    std::vector<std::vector<double>> tr_storage(support.size());
+    for (std::size_t s = 0; s < support.size(); ++s) {
+      const std::size_t j = support[s];
+      auto& row = tr_storage[s];
+      row.resize(act.size());
+      DD acc;
+      acc.add(problem.objective()[j]);
+      for (std::size_t i = 0; i < act.size(); ++i) {
+        const double a = problem.constraints()[act[i]].coefficients[j];
+        row[i] = a;
+        if (a != 0.0 && solution.duals[act[i]] != 0.0) {
+          acc.add_prod(-a, solution.duals[act[i]]);
+        }
+      }
+      rc[s] = acc.value();
+      std::vector<const double*> ptrs(act.size());
+      for (std::size_t i = 0; i < act.size(); ++i) ptrs[i] = &row[i];
+      tr_rows.push_back(std::move(ptrs));
+    }
+    std::vector<std::size_t> all_act(act.size());
+    for (std::size_t i = 0; i < act.size(); ++i) all_act[i] = i;
+    std::vector<double> dy;
+    if (least_squares(tr_rows, all_act, rc, dy)) {
+      for (std::size_t i = 0; i < act.size(); ++i) {
+        solution.duals[act[i]] += dy[i];
+      }
+    }
+    // Recompute the objective from the polished x (double-double).
+    DD obj;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (solution.x[j] != 0.0) obj.add_prod(problem.objective()[j],
+                                             solution.x[j]);
+    }
+    solution.objective = obj.value();
+
+    const double after =
+        check_lp(problem, solution, options.tolerance).max_residual;
+    ++result.rounds;
+    if (after < result.residual_after) {
+      result.residual_after = after;
+      best = solution;
+    }
+    if (after <= options.tolerance * 1e-3) break;  // converged
+  }
+  // Never make things worse: keep the best iterate seen.
+  solution = std::move(best);
+  return result;
+}
+
+}  // namespace fedshare::verify

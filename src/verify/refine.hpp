@@ -1,0 +1,40 @@
+// Iterative refinement of LP solutions in compensated arithmetic.
+//
+// A simplex optimum is defined by its active set: with A_act the tight
+// rows and S the support (nonzero or free) variables, (x, y) solve
+//
+//   A_act[:,S] x_S = b_act        (primal active system)
+//   A_act[:,S]^T y_act = c_S      (dual active system)
+//
+// Rounding across a long warm-start chain can leave (x, y) satisfying
+// these only to ~1e-6. refine_lp() re-solves the residual systems —
+// residuals accumulated in double-double (error-free two_sum / FMA
+// two_prod) so they are exact to ~1e-32 — and applies Newton corrections
+// for up to VerifyOptions::max_refine_rounds rounds. The active set is
+// taken from the incoming solution and never changed: refinement
+// polishes a basis, it does not pivot. Over/under-determined active
+// systems are solved via the (tiny, dense) normal equations.
+#pragma once
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "verify/certificates.hpp"
+
+namespace fedshare::verify {
+
+/// Result of one refinement attempt.
+struct RefineResult {
+  bool attempted = false;  ///< solution was optimal with a dual vector
+  int rounds = 0;          ///< Newton rounds actually applied
+  double residual_before = 0.0;
+  double residual_after = 0.0;
+};
+
+/// Polishes an optimal `solution` in place (x, duals, objective).
+/// Returns immediately for non-optimal statuses or missing duals. Never
+/// makes things worse: corrections are kept only when they reduce the
+/// certificate residual.
+RefineResult refine_lp(const lp::Problem& problem, lp::Solution& solution,
+                       const VerifyOptions& options);
+
+}  // namespace fedshare::verify

@@ -3,9 +3,11 @@
 # and once under AddressSanitizer + UndefinedBehaviorSanitizer — then the
 # concurrency-sensitive tests a third time under ThreadSanitizer (the
 # work-stealing pool, the sharded value cache, and the parallel LP
-# sweep), and finally the perf-smoke gate: a fast coalition-sweep run
-# that fails when the dense and revised simplex engines disagree or the
-# warm start stops saving pivots.
+# sweep), then the perf-smoke gate: a fast coalition-sweep run that
+# fails when the dense and revised simplex engines disagree or the warm
+# start stops saving pivots, and finally a 10-second differential LP
+# fuzz run (tools/fuzz_lp) that cross-checks the engines and their
+# optimality/Farkas certificates on random instances.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -eu
@@ -34,5 +36,13 @@ ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
 echo "== perf smoke (dense vs revised simplex) =="
 cmake --build "$root/build" -j "$jobs" --target perf_simplex
 "$root/build/bench/perf_simplex" --smoke
+
+echo "== verification smoke (certified vs plain sweep) =="
+cmake --build "$root/build" -j "$jobs" --target perf_verify
+"$root/build/bench/perf_verify" --smoke
+
+echo "== differential LP fuzz (dense vs revised vs warm, certified) =="
+cmake --build "$root/build" -j "$jobs" --target fuzz_lp
+"$root/build/tools/fuzz_lp" --seconds 10
 
 echo "== all checks passed =="

@@ -10,6 +10,7 @@
 #include "cli/runner.hpp"
 #include "exec/pool.hpp"
 #include "lp/simplex.hpp"
+#include "verify/certificates.hpp"
 
 namespace {
 
@@ -18,6 +19,7 @@ constexpr const char* kUsage =
                     [--deadline-ms <ms>] [--outage-scenarios <k>]
                     [--outage-seed <seed>] [--threads <n>]
                     [--lp-solver <dense|revised>]
+                    [--verify <off|cheap|full>]
 
 Computes coalition values, game properties and sharing-scheme shares
 (Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
@@ -44,6 +46,14 @@ Resilience options:
                            solver) or 'revised' (LU-factorized basis
                            with warm-started solve chains — much
                            faster on larger games, same shares)
+  --verify <level>         verification level: 'off' (default, no
+                           checks, unchanged output), 'cheap' (audit
+                           the game and every sharing outcome; appends
+                           a Verification section) or 'full' (cheap
+                           plus a dual/Farkas certificate check on
+                           every LP solve, with iterative refinement
+                           and a cross-engine cascade repairing any
+                           solve whose certificate fails)
 
 Config example:
 
@@ -117,6 +127,26 @@ int main(int argc, char** argv) {
         std::cerr << "fedshare_cli: --lp-solver must be 'dense' or "
                      "'revised', got '"
                   << argv[i] << "'\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--verify" || arg.rfind("--verify=", 0) == 0) {
+      std::string value;
+      if (arg == "--verify") {
+        if (i + 1 >= argc) {
+          std::cerr << "fedshare_cli: --verify needs a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(std::string("--verify=").size());
+      }
+      if (!fedshare::verify::verify_level_from_string(
+              value, report_options.verify)) {
+        std::cerr << "fedshare_cli: --verify must be 'off', 'cheap' or "
+                     "'full', got '"
+                  << value << "'\n";
         return 2;
       }
       continue;
