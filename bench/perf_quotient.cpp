@@ -1,0 +1,263 @@
+// A5 macrobenchmark: the symmetry-quotient coalition engine against the
+// full warm-started sweep it short-circuits.
+//
+// The headline workload is a typed federation — 4 facility types with 4
+// identical facilities each (n = 16) — where the quotient solves one LP
+// per orbit (5^4 = 625) instead of one per mask (2^16 = 65536). The
+// binary writes a machine-readable BENCH_quotient.json (override the
+// path with FEDSHARE_BENCH_OUT) with wall times, LP counts, pivot
+// counts, speedups, and max-abs-diff agreement columns, and supports
+// `--smoke`: a fast agreement gate (small n, quotient sweep and
+// quotient tabulation vs. their brute-force counterparts) that exits
+// non-zero on disagreement — tools/check.sh runs it as a perf-smoke
+// stage.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/symmetry.hpp"
+#include "lp/simplex.hpp"
+#include "model/federation.hpp"
+#include "model/value.hpp"
+
+namespace {
+
+using namespace fedshare;
+
+// `types` facility types, `copies` identical facilities per type, all
+// disjoint so the config detector groups them.
+model::LocationSpace typed_space(int types, int copies) {
+  std::vector<model::FacilityConfig> configs;
+  for (int t = 0; t < types; ++t) {
+    for (int c = 0; c < copies; ++c) {
+      model::FacilityConfig cfg;
+      cfg.name = "T" + std::to_string(t) + "F" + std::to_string(c);
+      cfg.num_locations = 8 + 4 * t;
+      cfg.units_per_location = 1.0 + 0.5 * t;
+      cfg.availability = 1.0 - 0.05 * t;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  return model::LocationSpace::disjoint(std::move(configs));
+}
+
+// Several request classes so the LPs carry non-trivial bases (same
+// shape as perf_simplex's sweep demand).
+model::DemandProfile typed_demand() {
+  model::DemandProfile demand;
+  demand.classes.push_back({8.0, 6.0, 1.0, 1.0, 1.0});
+  demand.classes.push_back({4.0, 12.0, 2.0, 1.0, 1.0});
+  demand.classes.push_back({3.0, 3.0, 1.5, 0.9, 1.0});
+  return demand;
+}
+
+model::LpSweepResult run_sweep(const model::LocationSpace& space,
+                               const model::DemandProfile& demand,
+                               game::SymmetryMode symmetry) {
+  model::LpSweepOptions options;
+  options.simplex.solver = lp::SolverKind::kRevised;
+  options.warm_start = true;
+  options.symmetry = symmetry;
+  return model::lp_relaxation_sweep(space, demand, options);
+}
+
+void BM_FullWarmSweep(benchmark::State& state) {
+  const auto space = typed_space(4, static_cast<int>(state.range(0)));
+  const auto demand = typed_demand();
+  for (auto _ : state) {
+    const auto result = run_sweep(space, demand, game::SymmetryMode::kOff);
+    benchmark::DoNotOptimize(result.values.data());
+  }
+}
+BENCHMARK(BM_FullWarmSweep)->Arg(2)->Arg(3);
+
+void BM_QuotientSweep(benchmark::State& state) {
+  const auto space = typed_space(4, static_cast<int>(state.range(0)));
+  const auto demand = typed_demand();
+  for (auto _ : state) {
+    const auto result = run_sweep(space, demand, game::SymmetryMode::kExact);
+    benchmark::DoNotOptimize(result.values.data());
+  }
+}
+BENCHMARK(BM_QuotientSweep)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_QuotientBuildGame(benchmark::State& state) {
+  const model::Federation fed(typed_space(4, static_cast<int>(state.range(0))),
+                              typed_demand());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fed.build_game(game::SymmetryMode::kExact));
+  }
+}
+BENCHMARK(BM_QuotientBuildGame)->Arg(2)->Arg(3);
+
+// --- BENCH_quotient.json --------------------------------------------------
+
+double median_ms(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+template <typename Fn>
+double time_ms(const Fn& fn, int reps) {
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    runs.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median_ms(std::move(runs));
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+struct QuotientRow {
+  int types = 0;
+  int copies = 0;
+  int n = 0;
+  double full_ms = 0.0;
+  double quotient_ms = 0.0;
+  std::uint64_t full_lps = 0;
+  std::uint64_t quotient_lps = 0;
+  std::uint64_t full_pivots = 0;
+  std::uint64_t quotient_pivots = 0;
+  double sweep_diff = 0.0;  ///< max |quotient sweep - full sweep|
+};
+
+QuotientRow measure_quotient(int types, int copies, int reps) {
+  const auto space = typed_space(types, copies);
+  const auto demand = typed_demand();
+  QuotientRow row;
+  row.types = types;
+  row.copies = copies;
+  row.n = types * copies;
+  const auto full = run_sweep(space, demand, game::SymmetryMode::kOff);
+  const auto quotient = run_sweep(space, demand, game::SymmetryMode::kExact);
+  row.full_lps = full.lps_solved;
+  row.quotient_lps = quotient.lps_solved;
+  row.full_pivots = full.total_pivots;
+  row.quotient_pivots = quotient.total_pivots;
+  row.sweep_diff = max_abs_diff(full.values, quotient.values);
+  row.full_ms = time_ms(
+      [&] { run_sweep(space, demand, game::SymmetryMode::kOff); }, reps);
+  row.quotient_ms = time_ms(
+      [&] { run_sweep(space, demand, game::SymmetryMode::kExact); }, reps);
+  return row;
+}
+
+// Brute-force tabulation cross-check (n <= 12): the quotient build must
+// reproduce the per-mask greedy tabulation.
+double tabulation_diff(int types, int copies) {
+  const model::Federation fed(typed_space(types, copies), typed_demand());
+  return max_abs_diff(fed.build_game().values(),
+                      fed.build_game(game::SymmetryMode::kExact).values());
+}
+
+void write_summary_json() {
+  std::vector<QuotientRow> rows;
+  rows.push_back(measure_quotient(4, 2, 3));   // n = 8
+  rows.push_back(measure_quotient(4, 3, 1));   // n = 12
+  rows.push_back(measure_quotient(4, 4, 1));   // n = 16 (the headline)
+  const double tab_diff = tabulation_diff(4, 3);
+
+  const char* out_env = std::getenv("FEDSHARE_BENCH_OUT");
+  const std::string path = out_env != nullptr && *out_env != '\0'
+                               ? out_env
+                               : "BENCH_quotient.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "perf_quotient: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"quotient\",\n";
+  out << "  \"workload\": \"typed federation (4 types x k copies), "
+         "revised warm sweep: full 2^n lattice vs symmetry quotient\",\n";
+  out << "  \"tabulation_max_abs_diff_n12\": " << tab_diff << ",\n";
+  out << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const QuotientRow& r = rows[i];
+    const double speedup =
+        r.quotient_ms > 0.0 ? r.full_ms / r.quotient_ms : 0.0;
+    out << "    {\"types\": " << r.types << ", \"copies\": " << r.copies
+        << ", \"n\": " << r.n << ", \"masks\": " << (1u << r.n)
+        << ", \"full_ms\": " << r.full_ms
+        << ", \"quotient_ms\": " << r.quotient_ms
+        << ", \"speedup\": " << speedup << ", \"full_lps\": " << r.full_lps
+        << ", \"quotient_lps\": " << r.quotient_lps
+        << ", \"full_pivots\": " << r.full_pivots
+        << ", \"quotient_pivots\": " << r.quotient_pivots
+        << ", \"max_abs_diff\": " << r.sweep_diff << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::cout << "(summary written to " << path << ")\n";
+}
+
+// --- --smoke: fast quotient agreement gate --------------------------------
+
+int run_smoke() {
+  constexpr double kAgreeTol = 1e-7;
+  int failures = 0;
+
+  const QuotientRow row = measure_quotient(4, 2, 1);  // n = 8
+  std::cout << "smoke n=" << row.n << ": full_lps=" << row.full_lps
+            << " quotient_lps=" << row.quotient_lps
+            << " max_abs_diff=" << row.sweep_diff << "\n";
+  if (row.sweep_diff > kAgreeTol) {
+    std::cerr << "perf_quotient --smoke: quotient sweep disagrees with the "
+                 "full sweep (diff "
+              << row.sweep_diff << ", tol " << kAgreeTol << ")\n";
+    ++failures;
+  }
+  if (row.quotient_lps >= row.full_lps) {
+    std::cerr << "perf_quotient --smoke: quotient saved no LPs ("
+              << row.quotient_lps << " vs " << row.full_lps << ")\n";
+    ++failures;
+  }
+
+  const double tab_diff = tabulation_diff(3, 2);  // n = 6 brute force
+  std::cout << "smoke tabulation: max_abs_diff=" << tab_diff << "\n";
+  if (tab_diff > kAgreeTol) {
+    std::cerr << "perf_quotient --smoke: quotient tabulation disagrees with "
+                 "brute force (diff "
+              << tab_diff << ", tol " << kAgreeTol << ")\n";
+    ++failures;
+  }
+
+  std::cout << (failures == 0 ? "perf-smoke PASSED\n"
+                              : "perf-smoke FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_summary_json();
+  return 0;
+}

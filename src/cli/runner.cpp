@@ -172,12 +172,42 @@ model::Federation federation_from_config(const io::Config& config) {
 
 namespace {
 
+// The --symmetry section: detected types, multiplicities, and the orbit
+// count the quotient engine evaluated instead of all 2^n coalitions.
+void print_symmetry(std::ostringstream& out, const model::Federation& fed,
+                    const game::PlayerPartition& partition,
+                    game::SymmetryMode mode) {
+  io::print_heading(out, "Symmetry");
+  out << "mode: " << game::to_string(mode)
+      << (partition.is_trivial() ? " (no interchangeable facilities; full "
+                                   "tabulation used)"
+                                 : "")
+      << "\n";
+  io::Table table({"type", "facilities", "multiplicity"});
+  table.set_align(0, io::Align::kLeft);
+  table.set_align(1, io::Align::kLeft);
+  for (int t = 0; t < partition.num_types(); ++t) {
+    std::string members;
+    for (const int i : partition.members(t)) {
+      if (!members.empty()) members += "+";
+      members += fed.space().facility(i).name();
+    }
+    table.add_row({std::to_string(t), members,
+                   std::to_string(partition.multiplicity(t))});
+  }
+  table.print(out);
+  out << "orbits: " << partition.orbit_count() << " of "
+      << (std::uint64_t{1} << fed.num_facilities())
+      << " coalitions evaluated\n";
+}
+
 // Shared body of the non-resilient report; `lp_solver` picks the
-// simplex engine behind the nucleolus scheme and `verify_level` the
-// --verify behaviour (kOff keeps this function byte-identical to the
-// historical report).
+// simplex engine behind the nucleolus scheme, `verify_level` the
+// --verify behaviour, and `symmetry` the quotient engine (kOff keeps
+// this function byte-identical to the historical report).
 std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
-                         verify::VerifyLevel verify_level) {
+                         verify::VerifyLevel verify_level,
+                         game::SymmetryMode symmetry) {
   const model::Federation fed = federation_from_config(config);
   int precision = 4;
   const auto options = config.sections_named("options");
@@ -188,7 +218,7 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
 
   std::ostringstream out;
   const int n = fed.num_facilities();
-  const auto g = fed.build_game();
+  const auto g = fed.build_game(symmetry);
 
   io::print_heading(out, "Coalition values");
   io::Table values({"coalition", "V(S)"});
@@ -210,6 +240,10 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
       << ", " << (props.convex ? "convex" : "not convex") << ", "
       << (props.monotone ? "monotone" : "not monotone") << ", "
       << (props.essential ? "essential" : "inessential") << "\n";
+
+  if (symmetry != game::SymmetryMode::kOff) {
+    print_symmetry(out, fed, fed.symmetry_partition(symmetry), symmetry);
+  }
 
   io::print_heading(out, "Sharing schemes");
   std::vector<std::string> headers{"scheme"};
@@ -282,7 +316,7 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
 
 std::string run_report(const io::Config& config) {
   return plain_report(config, lp::SolverKind::kDense,
-                      verify::VerifyLevel::kOff);
+                      verify::VerifyLevel::kOff, game::SymmetryMode::kOff);
 }
 
 namespace {
@@ -315,7 +349,10 @@ std::string resilient_report(const io::Config& config,
           : runtime::ComputeBudget::unlimited();
   const game::FunctionGame fgame(
       n, [&fed](game::Coalition c) { return fed.value(c); });
-  const auto tab = game::tabulate_budgeted(fgame, budget);
+  // With --symmetry the tabulation collapses to one allocation per
+  // orbit; with kOff this is exactly the historical budgeted
+  // tabulation of fgame.
+  const auto tab = fed.build_game_budgeted(ropts.symmetry, budget);
 
   io::print_heading(out, "Coalition values");
   io::Table values({"coalition", "V(S)"});
@@ -361,6 +398,11 @@ std::string resilient_report(const io::Config& config,
   } else {
     out << "\nGame properties: not evaluated (coalition table unavailable "
            "under deadline)\n";
+  }
+
+  if (ropts.symmetry != game::SymmetryMode::kOff) {
+    print_symmetry(out, fed, fed.symmetry_partition(ropts.symmetry),
+                   ropts.symmetry);
   }
 
   io::print_heading(out, "Sharing schemes");
@@ -508,7 +550,8 @@ std::string resilient_report(const io::Config& config,
 std::string run_report(const io::Config& config,
                        const ReportOptions& options) {
   if (!options.any()) {
-    return plain_report(config, options.lp_solver, options.verify);
+    return plain_report(config, options.lp_solver, options.verify,
+                        options.symmetry);
   }
   return resilient_report(config, options);
 }

@@ -56,6 +56,14 @@
 //                            certificate-check / refine / cross-engine
 //                            cascade. `off` (the default) skips all of
 //                            it.
+//   --symmetry <off|auto|exact>
+//                            symmetry quotient (see core/symmetry.hpp).
+//                            `exact` groups equal-config facilities into
+//                            types and evaluates one allocation per
+//                            orbit (prod (m_t + 1) instead of 2^n);
+//                            `auto` verifies the grouping on sampled
+//                            coalitions first; `off` (the default)
+//                            keeps the per-coalition path.
 //
 // Without any flag the output is byte-identical to previous releases.
 #pragma once
@@ -92,6 +100,13 @@ struct ReportOptions {
   /// the game/outcome audits; kFull additionally certifies every LP
   /// solve through the verification cascade.
   verify::VerifyLevel verify = verify::VerifyLevel::kOff;
+  /// Symmetry quotient (--symmetry, see core/symmetry.hpp). kOff (the
+  /// default) keeps the historical per-mask tabulation and output;
+  /// kExact groups equal-config facilities into types and evaluates one
+  /// allocation per orbit; kAuto additionally verifies the grouping
+  /// with the sampling oracle. Non-kOff modes append a Symmetry section
+  /// but produce the same values (symmetric games only).
+  game::SymmetryMode symmetry = game::SymmetryMode::kOff;
 
   [[nodiscard]] bool any() const noexcept {
     return deadline_ms.has_value() || outage_scenarios > 0;

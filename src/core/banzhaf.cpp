@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/lattice.hpp"
 #include "core/shapley.hpp"
 
 namespace fedshare::game {
@@ -11,20 +12,9 @@ std::vector<double> banzhaf_raw(const Game& game) {
   if (n < 1 || n > 24) {
     throw std::invalid_argument("banzhaf_raw: n must be in [1, 24]");
   }
-  const TabularGame tab = tabulate(game);
-  const std::vector<double>& v = tab.values();
-  const double scale = 1.0 / static_cast<double>(std::uint64_t{1} << (n - 1));
-  std::vector<double> beta(static_cast<std::size_t>(n), 0.0);
-  const std::uint64_t count = std::uint64_t{1} << n;
-  for (std::uint64_t mask = 0; mask < count; ++mask) {
-    const double base = v[mask];
-    for (int i = 0; i < n; ++i) {
-      if ((mask >> i) & 1u) continue;
-      beta[static_cast<std::size_t>(i)] +=
-          scale * (v[mask | (std::uint64_t{1} << i)] - base);
-    }
-  }
-  return beta;
+  // Lattice kernel: per-player passes in ascending mask order, which is
+  // the scalar loop's accumulation sequence — bitwise-neutral rewire.
+  return banzhaf_lattice(tabulate(game));
 }
 
 std::vector<double> banzhaf_index(const Game& game) {

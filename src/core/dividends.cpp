@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/lattice.hpp"
+
 namespace fedshare::game {
 
 std::vector<double> harsanyi_dividends(const Game& game) {
@@ -9,18 +11,10 @@ std::vector<double> harsanyi_dividends(const Game& game) {
   if (n > 24) {
     throw std::invalid_argument("harsanyi_dividends: n must be <= 24");
   }
-  const TabularGame tab = tabulate(game);
-  std::vector<double> d = tab.values();
-  // Fast Moebius transform: subtract the sub-lattice contribution one
-  // coordinate at a time.
-  const std::uint64_t count = d.size();
-  for (int bit = 0; bit < n; ++bit) {
-    const std::uint64_t step = std::uint64_t{1} << bit;
-    for (std::uint64_t mask = 0; mask < count; ++mask) {
-      if (mask & step) d[mask] -= d[mask ^ step];
-    }
-  }
-  return d;
+  // Fast Moebius transform via the cache-blocked lattice kernel; each
+  // slot is updated once per bit pass, so the result is bitwise
+  // identical to the old serial mask-conditional loop.
+  return dividends_lattice(tabulate(game));
 }
 
 TabularGame game_from_dividends(int num_players,
@@ -35,12 +29,7 @@ TabularGame game_from_dividends(int num_players,
   }
   std::vector<double> v = dividends;
   // Fast zeta transform (inverse of the Moebius transform).
-  for (int bit = 0; bit < num_players; ++bit) {
-    const std::uint64_t step = std::uint64_t{1} << bit;
-    for (std::uint64_t mask = 0; mask < count; ++mask) {
-      if (mask & step) v[mask] += v[mask ^ step];
-    }
-  }
+  zeta_transform(v, num_players);
   return TabularGame(num_players, std::move(v));
 }
 

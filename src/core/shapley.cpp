@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/lattice.hpp"
 #include "exec/pool.hpp"
 
 namespace fedshare::game {
@@ -41,22 +42,7 @@ std::optional<std::vector<double>> accumulate_subset_formula(
     const TabularGame& tab, const runtime::ComputeBudget* budget) {
   const int n = tab.num_players();
   const std::vector<double>& v = tab.values();
-
-  // weight[s] = s! (n-s-1)! / n! for |S| = s, computed in log space to
-  // stay finite for n up to 24.
-  std::vector<double> log_fact(static_cast<std::size_t>(n) + 1, 0.0);
-  for (int k = 2; k <= n; ++k) {
-    log_fact[static_cast<std::size_t>(k)] =
-        log_fact[static_cast<std::size_t>(k - 1)] + std::log(k);
-  }
-  std::vector<double> weight(static_cast<std::size_t>(n), 0.0);
-  for (int s = 0; s < n; ++s) {
-    weight[static_cast<std::size_t>(s)] = std::exp(
-        log_fact[static_cast<std::size_t>(s)] +
-        log_fact[static_cast<std::size_t>(n - s - 1)] -
-        log_fact[static_cast<std::size_t>(n)]);
-  }
-
+  const std::vector<double> weight = shapley_subset_weights(n);
   std::vector<double> phi(static_cast<std::size_t>(n), 0.0);
   const std::uint64_t count = std::uint64_t{1} << n;
   for (std::uint64_t mask = 0; mask < count; ++mask) {
@@ -83,7 +69,9 @@ std::vector<double> shapley_exact(const Game& game) {
     throw std::invalid_argument(
         "shapley_exact: n must be <= 24; use shapley_monte_carlo");
   }
-  return *accumulate_subset_formula(tabulate(game), nullptr);
+  // The lattice kernel accumulates each phi[i] in the same order as the
+  // scalar subset formula, so this rewire is bitwise-neutral.
+  return shapley_lattice(tabulate(game));
 }
 
 std::optional<std::vector<double>> shapley_exact_budgeted(

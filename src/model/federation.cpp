@@ -1,10 +1,43 @@
 #include "model/federation.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "model/value.hpp"
 
 namespace fedshare::model {
+
+namespace {
+
+// In-place monotone closure on the quotient lattice, level by level:
+// V'(c) = max(V(c), max_t V'(c - e_t)). For a symmetric game this
+// equals the full-lattice closure restricted to orbits — the subsets of
+// any S with counts c cover exactly the count vectors c' <= c — and max
+// is order-independent, so the closed quotient expands to exactly the
+// closed full table.
+void monotone_close_orbits(const game::OrbitIndex& index,
+                           std::vector<double>& values) {
+  const int n = index.num_players();
+  std::vector<std::vector<std::uint64_t>> by_level(
+      static_cast<std::size_t>(n) + 1);
+  for (std::uint64_t orbit = 1; orbit < index.orbit_count(); ++orbit) {
+    by_level[static_cast<std::size_t>(index.level(orbit))].push_back(orbit);
+  }
+  for (int lvl = 1; lvl <= n; ++lvl) {
+    for (const std::uint64_t orbit : by_level[static_cast<std::size_t>(lvl)]) {
+      double best = values[static_cast<std::size_t>(orbit)];
+      for (int t = 0; t < index.num_types(); ++t) {
+        if (const auto pred = index.predecessor(orbit, t)) {
+          best = std::max(best, values[static_cast<std::size_t>(*pred)]);
+        }
+      }
+      values[static_cast<std::size_t>(orbit)] = best;
+    }
+  }
+}
+
+}  // namespace
 
 Federation::Federation(LocationSpace space, DemandProfile demand)
     : space_(std::move(space)),
@@ -15,8 +48,20 @@ Federation::Federation(LocationSpace space, DemandProfile demand)
 
 double Federation::value(game::Coalition coalition) const {
   return cache_->value_or_compute(coalition.bits(), [&] {
-    return coalition_value(space_, demand_, coalition);
+    // Monotone closure: seed with the best strict-subset value so a
+    // greedy dip never makes a larger coalition look worth less. The
+    // recursion materialises the down-set through the same cache, so
+    // each coalition's allocation still runs exactly once.
+    double best = coalition_value(space_, demand_, coalition);
+    for (const int i : coalition.members()) {
+      best = std::max(best, value(coalition.without(i)));
+    }
+    return best;
   });
+}
+
+double Federation::raw_value(game::Coalition coalition) const {
+  return coalition_value(space_, demand_, coalition);
 }
 
 LpSweepResult Federation::relaxation_sweep(
@@ -29,6 +74,57 @@ game::TabularGame Federation::build_game() const {
       num_facilities(),
       [this](game::Coalition s) { return value(s); });
   return game::tabulate(fn);
+}
+
+game::PlayerPartition Federation::symmetry_partition(
+    game::SymmetryMode mode) const {
+  if (mode == game::SymmetryMode::kOff) {
+    return game::PlayerPartition::identity(num_facilities());
+  }
+  game::PlayerPartition candidate = config_symmetry_partition(space_);
+  if (mode == game::SymmetryMode::kAuto && !candidate.is_trivial()) {
+    // The oracle samples the raw greedy V: the closed value would cost
+    // 2^|S| allocations per probe, and closure preserves any symmetry
+    // of the raw function.
+    const game::FunctionGame raw(
+        num_facilities(),
+        [this](game::Coalition s) { return raw_value(s); });
+    candidate = game::verified_partition(raw, candidate);
+  }
+  return candidate;
+}
+
+game::TabularGame Federation::build_game(game::SymmetryMode mode) const {
+  const game::PlayerPartition partition = symmetry_partition(mode);
+  if (partition.is_trivial()) return build_game();
+  const game::FunctionGame raw(
+      num_facilities(),
+      [this](game::Coalition s) { return raw_value(s); });
+  const game::QuotientGame quotient(raw, partition);
+  std::vector<double> orbit_values = quotient.orbit_values();
+  monotone_close_orbits(quotient.orbits(), orbit_values);
+  return game::expand_orbit_table(quotient.orbits(), orbit_values);
+}
+
+std::optional<game::TabularGame> Federation::build_game_budgeted(
+    game::SymmetryMode mode, const runtime::ComputeBudget& budget) const {
+  const game::PlayerPartition partition = symmetry_partition(mode);
+  const game::FunctionGame raw(
+      num_facilities(),
+      [this](game::Coalition s) { return raw_value(s); });
+  if (partition.is_trivial()) {
+    // Plain budgeted tabulation of the closed game: charge through the
+    // federation cache (one unit per distinct coalition materialised).
+    const game::FunctionGame closed(
+        num_facilities(),
+        [this](game::Coalition s) { return value(s); });
+    return game::tabulate_budgeted(closed, budget);
+  }
+  const game::QuotientGame quotient(raw, partition);
+  auto orbit_values = quotient.orbit_values_budgeted(budget);
+  if (!orbit_values) return std::nullopt;
+  monotone_close_orbits(quotient.orbits(), *orbit_values);
+  return game::expand_orbit_table(quotient.orbits(), *orbit_values);
 }
 
 std::vector<double> Federation::availability_weights() const {

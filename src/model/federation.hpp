@@ -13,9 +13,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/game.hpp"
+#include "core/symmetry.hpp"
 #include "exec/value_cache.hpp"
+#include "runtime/budget.hpp"
 #include "model/demand.hpp"
 #include "model/location_space.hpp"
 #include "model/value.hpp"
@@ -35,12 +38,26 @@ class Federation {
     return demand_;
   }
 
-  /// V(S) computed by the allocation engine (see model/value.hpp).
-  /// Memoised per federation instance in a shared exec::ValueCache, so
-  /// each coalition's allocation LP is solved exactly once no matter how
-  /// many schemes, sweeps, or threads re-query it. Copies share the
-  /// cache until set_demand() gives the callee a fresh one.
+  /// V(S) computed by the allocation engine (see model/value.hpp),
+  /// closed under monotonicity: a coalition can always ignore a
+  /// member's resources, so V(S) = max(greedy(S), max_i V(S \ {i})).
+  /// The greedy water-filling heuristic occasionally dips when extra
+  /// pools mislead it (V({0,4}) > V({0,1,4}) on the PlanetLab-style
+  /// config); seeding every coalition with its best strict-subset
+  /// solution makes V monotone by construction. Memoised per federation
+  /// instance in a shared exec::ValueCache, so each coalition's
+  /// allocation is solved exactly once no matter how many schemes,
+  /// sweeps, or threads re-query it (the closure recursion materialises
+  /// the down-set of S through the same cache). Copies share the cache
+  /// until set_demand() gives the callee a fresh one.
   [[nodiscard]] double value(game::Coalition coalition) const;
+
+  /// The greedy allocation value without the monotone closure — the
+  /// direct output of the water-filling heuristic. This is the function
+  /// the symmetry oracle samples (closure recursion would cost 2^|S|
+  /// per probe) and the raw input to the quotient builds, which apply
+  /// the same closure on the orbit lattice instead.
+  [[nodiscard]] double raw_value(game::Coalition coalition) const;
 
   /// The instance's V(S) memo (hit/miss statistics for benches).
   [[nodiscard]] const exec::ValueCache& value_cache() const noexcept {
@@ -50,6 +67,26 @@ class Federation {
   /// The federation's TU game, tabulated (all 2^n coalition values).
   /// Requires num_facilities() <= 24.
   [[nodiscard]] game::TabularGame build_game() const;
+
+  /// The player partition the symmetry engine would quotient with:
+  /// identity for kOff; config_symmetry_partition() for kExact; the
+  /// oracle-verified refinement of it (sampled on raw_value) for kAuto.
+  [[nodiscard]] game::PlayerPartition symmetry_partition(
+      game::SymmetryMode mode) const;
+
+  /// Symmetry-aware tabulation: evaluates the greedy allocator once per
+  /// orbit of symmetry_partition(mode), applies the monotone closure on
+  /// the orbit lattice (equivalent to the full-lattice closure for a
+  /// symmetric game, and exact — max is order-independent), and expands
+  /// to all 2^n masks. Falls back to build_game() when the partition is
+  /// trivial; kOff reproduces build_game() exactly.
+  [[nodiscard]] game::TabularGame build_game(game::SymmetryMode mode) const;
+
+  /// Budgeted variant for the resilient pipeline: charges one unit per
+  /// orbit materialised (the charging rule's "distinct V(S)" collapses
+  /// to distinct orbits) and returns nullopt when the budget trips.
+  [[nodiscard]] std::optional<game::TabularGame> build_game_budgeted(
+      game::SymmetryMode mode, const runtime::ComputeBudget& budget) const;
 
   /// Tabulates the allocation-relaxation upper bound of every coalition
   /// via the warm-started subset-lattice sweep (model/value.hpp). The

@@ -45,7 +45,48 @@ int popcount32(std::uint32_t v) noexcept {
   return c;
 }
 
+bool same_facility_config(const FacilityConfig& a, const FacilityConfig& b) {
+  return a.num_locations == b.num_locations &&
+         a.units_per_location == b.units_per_location &&
+         a.availability == b.availability && a.custom_units == b.custom_units;
+}
+
 }  // namespace
+
+game::PlayerPartition config_symmetry_partition(const LocationSpace& space) {
+  const int n = space.num_facilities();
+  // Disjointness gate: grouping is only sound when no two facilities
+  // share a location (then swapping equal-config members permutes the
+  // pooled capacity vector without changing its multiset).
+  std::size_t own_locations = 0;
+  for (int i = 0; i < n; ++i) {
+    own_locations += space.locations_of(i).size();
+  }
+  if (n > 0 &&
+      static_cast<std::size_t>(
+          space.distinct_locations(game::Coalition::grand(n))) !=
+          own_locations) {
+    return game::PlayerPartition::identity(n);
+  }
+  std::vector<int> type_of(static_cast<std::size_t>(n), 0);
+  std::vector<int> anchors;  // first facility of each type
+  for (int i = 0; i < n; ++i) {
+    int label = -1;
+    for (std::size_t t = 0; t < anchors.size(); ++t) {
+      if (same_facility_config(space.facility(i).config(),
+                               space.facility(anchors[t]).config())) {
+        label = static_cast<int>(t);
+        break;
+      }
+    }
+    if (label < 0) {
+      label = static_cast<int>(anchors.size());
+      anchors.push_back(i);
+    }
+    type_of[static_cast<std::size_t>(i)] = label;
+  }
+  return game::PlayerPartition::from_type_of(type_of);
+}
 
 LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
                                   const DemandProfile& demand,
@@ -60,6 +101,21 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
   LpSweepResult result;
   result.values.assign(count, 0.0);
   if (n == 0) return result;
+
+  // Optional symmetry quotient: one LP per orbit instead of one per
+  // mask. Detection is static (config equality + disjointness); kAuto
+  // re-checks the candidate with the sampling oracle on the greedy V.
+  game::PlayerPartition partition = game::PlayerPartition::identity(n);
+  if (options.symmetry != game::SymmetryMode::kOff) {
+    partition = config_symmetry_partition(space);
+    if (options.symmetry == game::SymmetryMode::kAuto &&
+        !partition.is_trivial()) {
+      const game::FunctionGame raw(n, [&](game::Coalition s) {
+        return coalition_value(space, demand, s);
+      });
+      partition = game::verified_partition(raw, partition);
+    }
+  }
 
   const game::Coalition grand = game::Coalition::grand(n);
   const std::vector<int> ids = space.pooled_location_ids(grand);
@@ -100,6 +156,117 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
   // presolved computational form, so per-mask work is patch + solve.
   std::optional<lp::RevisedSimplex> proto;
   if (revised) proto.emplace(tmpl.problem(), chunk_options);
+
+  if (!partition.is_trivial()) {
+    // Quotient sweep: solve each orbit's canonical representative, warm
+    // chained along the quotient lattice, then expand orbit values back
+    // to all 2^n masks. Per-orbit result slots keep the exec determinism
+    // contract, exactly like the per-mask sweep below.
+    const game::OrbitIndex index(partition);
+    const std::uint64_t orbits = index.orbit_count();
+    std::vector<double> orbit_values(orbits, 0.0);
+    std::vector<std::uint64_t> orbit_pivots(orbits, 0);
+    std::vector<unsigned char> orbit_solved(orbits, 0);
+    orbit_solved[0] = 1;
+    std::vector<lp::Basis> orbit_bases(warm ? orbits : 0);
+
+    const auto process_orbit = [&](std::uint64_t orbit,
+                                   const runtime::ComputeBudget* budget) {
+      const std::uint64_t rep = index.representative(orbit);
+      std::vector<double> caps(num_loc, 0.0);
+      for (int i = 0; i < n; ++i) {
+        if (((rep >> i) & 1u) == 0) continue;
+        for (const Contribution& c : contrib[static_cast<std::size_t>(i)]) {
+          caps[c.pos] += c.units;
+        }
+      }
+      // Warm chain: drop one member of the lowest populated type — the
+      // quotient analogue of mask & (mask - 1). Representatives take
+      // the lowest-indexed members, so the predecessor's representative
+      // is a strict subset of this one.
+      std::uint64_t pred = 0;
+      for (int t = 0; t < index.num_types(); ++t) {
+        if (const auto p = index.predecessor(orbit, t)) {
+          pred = *p;
+          break;
+        }
+      }
+      lp::Solution sol;
+      if (revised) {
+        lp::RevisedSimplex engine = *proto;
+        engine.set_budget(budget);
+        engine.apply(tmpl.capacity_patch(caps));
+        if (warm && !orbit_bases[pred].empty()) {
+          sol = engine.solve_from_basis(orbit_bases[pred]);
+        } else {
+          sol = engine.solve();
+        }
+        if (warm && sol.optimal()) orbit_bases[orbit] = engine.basis();
+      } else {
+        lp::Problem prob = tmpl.problem();
+        tmpl.apply_capacities(prob, caps);
+        lp::SimplexOptions so = chunk_options;
+        so.budget = budget;
+        sol = lp::solve(prob, so);
+      }
+      orbit_pivots[orbit] = sol.pivots;
+      if (sol.optimal()) {
+        orbit_values[orbit] = sol.objective;
+        orbit_solved[orbit] = 1;
+      }
+      return sol.status != lp::SolveStatus::kBudgetExhausted;
+    };
+
+    std::vector<std::vector<std::uint64_t>> orbit_levels(
+        static_cast<std::size_t>(n) + 1);
+    for (std::uint64_t orbit = 1; orbit < orbits; ++orbit) {
+      orbit_levels[static_cast<std::size_t>(index.level(orbit))].push_back(
+          orbit);
+    }
+    constexpr std::uint64_t kOrbitChunk = 4;
+    bool cancelled = false;
+    for (int lvl = 1; lvl <= n && !cancelled; ++lvl) {
+      const auto& os = orbit_levels[static_cast<std::size_t>(lvl)];
+      if (options.simplex.budget != nullptr) {
+        cancelled = !exec::parallel_for_budgeted(
+            0, os.size(), kOrbitChunk, *options.simplex.budget,
+            [&](const exec::ChunkRange& r,
+                const runtime::ComputeBudget& child) {
+              for (std::uint64_t k = r.begin; k < r.end; ++k) {
+                if (!process_orbit(os[k], &child)) return false;
+              }
+              return true;
+            });
+      } else {
+        exec::parallel_for(0, os.size(), kOrbitChunk,
+                           [&](const exec::ChunkRange& r) {
+                             for (std::uint64_t k = r.begin; k < r.end;
+                                  ++k) {
+                               process_orbit(os[k], nullptr);
+                             }
+                             return true;
+                           });
+      }
+    }
+
+    for (std::uint64_t orbit = 0; orbit < orbits; ++orbit) {
+      result.total_pivots += orbit_pivots[orbit];
+      if (orbit_solved[orbit] == 0) {
+        result.complete = false;
+      } else if (orbit != 0) {
+        ++result.lps_solved;
+      }
+    }
+    exec::parallel_for(
+        0, static_cast<std::uint64_t>(count), 4096,
+        [&](const exec::ChunkRange& r) {
+          for (std::uint64_t mask = r.begin; mask < r.end; ++mask) {
+            result.values[mask] = orbit_values[index.orbit_of(mask)];
+          }
+          return true;
+        });
+    return result;
+  }
 
   // Per-mask result slots keep the level sweep free of shared mutable
   // state (the exec determinism contract): values, pivot counts, and
@@ -179,7 +346,11 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
 
   for (std::size_t mask = 0; mask < count; ++mask) {
     result.total_pivots += pivots[mask];
-    if (solved[mask] == 0) result.complete = false;
+    if (solved[mask] == 0) {
+      result.complete = false;
+    } else if (mask != 0) {
+      ++result.lps_solved;
+    }
   }
   return result;
 }

@@ -13,6 +13,7 @@
 
 #include "alloc/allocation.hpp"
 #include "core/coalition.hpp"
+#include "core/symmetry.hpp"
 #include "lp/simplex.hpp"
 #include "model/demand.hpp"
 #include "model/location_space.hpp"
@@ -35,6 +36,19 @@ namespace fedshare::model {
 [[nodiscard]] std::vector<double> consumption_weights(
     const LocationSpace& space, const DemandProfile& demand);
 
+/// Candidate player symmetry from the static configuration: facilities
+/// are grouped into one type when their configs match exactly
+/// (num_locations, units_per_location, availability, custom_units —
+/// names are ignored) *and* the whole space is disjoint (every facility
+/// on its own locations). Overlapping facilities are never grouped —
+/// even with equal configs their neighbourhoods can differ — so the
+/// identity partition is returned for overlapping spaces. The result is
+/// a sound symmetry of both the greedy V(S) and its LP relaxation:
+/// swapping two same-type facilities permutes pooled per-location
+/// capacities without changing their multiset.
+[[nodiscard]] game::PlayerPartition config_symmetry_partition(
+    const LocationSpace& space);
+
 /// Options for lp_relaxation_sweep.
 struct LpSweepOptions {
   /// Engine, tolerance, iteration cap, and (optional) budget for every
@@ -46,6 +60,13 @@ struct LpSweepOptions {
   /// with the lowest member removed). Only effective with
   /// SolverKind::kRevised; the dense engine always solves cold.
   bool warm_start = true;
+  /// Exploit player symmetry (core/symmetry.hpp): with kExact the sweep
+  /// solves one LP per orbit of config_symmetry_partition() — warm
+  /// chained along the quotient lattice — and expands orbit values to
+  /// all 2^n masks; kAuto additionally verifies the candidate partition
+  /// with the sampling oracle first. kOff (default) keeps the historical
+  /// full sweep, byte-identical output included.
+  game::SymmetryMode symmetry = game::SymmetryMode::kOff;
 };
 
 /// Result of lp_relaxation_sweep. `values[mask]` is the LP-relaxation
@@ -54,6 +75,7 @@ struct LpSweepOptions {
 struct LpSweepResult {
   std::vector<double> values;  ///< 2^n entries, indexed by coalition mask
   std::uint64_t total_pivots = 0;  ///< simplex iterations across all LPs
+  std::uint64_t lps_solved = 0;  ///< LPs actually run (orbits when quotiented)
   bool complete = true;  ///< false when the budget tripped mid-sweep
 };
 

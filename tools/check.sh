@@ -26,16 +26,20 @@ cmake -S "$root" -B "$root/build-asan" \
 cmake --build "$root/build-asan" -j "$jobs"
 ctest --test-dir "$root/build-asan" -j "$jobs" --output-on-failure "$@"
 
-echo "== exec + LP-sweep tests under ThreadSanitizer =="
+echo "== exec + LP-sweep + lattice/symmetry tests under ThreadSanitizer =="
 cmake -S "$root" -B "$root/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
 ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
-  -R 'ExecTest|LpSweep'
+  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty'
 
 echo "== perf smoke (dense vs revised simplex) =="
 cmake --build "$root/build" -j "$jobs" --target perf_simplex
 "$root/build/bench/perf_simplex" --smoke
+
+echo "== quotient smoke (symmetry quotient vs full sweep) =="
+cmake --build "$root/build" -j "$jobs" --target perf_quotient
+"$root/build/bench/perf_quotient" --smoke
 
 echo "== verification smoke (certified vs plain sweep) =="
 cmake --build "$root/build" -j "$jobs" --target perf_verify

@@ -20,6 +20,7 @@ constexpr const char* kUsage =
                     [--outage-seed <seed>] [--threads <n>]
                     [--lp-solver <dense|revised>]
                     [--verify <off|cheap|full>]
+                    [--symmetry <off|auto|exact>]
 
 Computes coalition values, game properties and sharing-scheme shares
 (Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
@@ -54,6 +55,16 @@ Resilience options:
                            every LP solve, with iterative refinement
                            and a cross-engine cascade repairing any
                            solve whose certificate fails)
+  --symmetry <mode>        symmetry quotient: 'off' (default, one
+                           allocation per coalition, unchanged output),
+                           'exact' (group facilities with identical
+                           configs into types and evaluate one
+                           allocation per orbit — prod (m_t + 1)
+                           instead of 2^n — trusting the configs) or
+                           'auto' (verify the grouping on sampled
+                           coalitions first; safe on any config). Adds
+                           a Symmetry section listing types and the
+                           orbit count
 
 Config example:
 
@@ -149,6 +160,27 @@ int main(int argc, char** argv) {
                   << value << "'\n";
         return 2;
       }
+      continue;
+    }
+    if (arg == "--symmetry" || arg.rfind("--symmetry=", 0) == 0) {
+      std::string value;
+      if (arg == "--symmetry") {
+        if (i + 1 >= argc) {
+          std::cerr << "fedshare_cli: --symmetry needs a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(std::string("--symmetry=").size());
+      }
+      const auto mode = fedshare::game::symmetry_mode_from_string(value);
+      if (!mode) {
+        std::cerr << "fedshare_cli: --symmetry must be 'off', 'auto' or "
+                     "'exact', got '"
+                  << value << "'\n";
+        return 2;
+      }
+      report_options.symmetry = *mode;
       continue;
     }
     if (arg == "--deadline-ms" || arg == "--outage-scenarios" ||
