@@ -1,0 +1,346 @@
+// Serve-layer macrobenchmark: churn-event throughput of the
+// epoch-versioned ServiceState and the payoff of its incremental
+// re-solve machinery.
+//
+// The headline workload is a 6-facility federation under single-facility
+// churn (outage flaps, leave/rejoin cycles) with a two-class demand
+// profile, so the LP bound table exercises the warm dual re-solve path.
+// The binary writes BENCH_serve.json (override with FEDSHARE_BENCH_OUT)
+// with events/sec, the incremental-vs-cold LP solve counts, and the p99
+// query staleness (in epochs) under a deliberately hostile per-event
+// deadline. `--smoke` is a fast gate — incremental must run strictly
+// fewer LPs than a cold re-tabulation on single-facility churn, and a
+// fresh log replay must reproduce the answer bit for bit — run by
+// tools/check.sh as a perf-smoke stage.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/budget.hpp"
+#include "serve/event.hpp"
+#include "serve/state.hpp"
+
+namespace {
+
+using namespace fedshare;
+
+constexpr int kRoster = 6;
+
+serve::Event join_event(int i) {
+  serve::FacilityJoin join;
+  join.config.name = "F" + std::to_string(i);
+  join.config.num_locations = 3 + i % 3;
+  join.config.units_per_location = 1.0 + 0.5 * (i % 2);
+  join.config.availability = 1.0 - 0.05 * i;
+  return join;
+}
+
+serve::Event demand_event() {
+  // Two request classes: multi-row capacity constraints give the
+  // revised simplex real bases to warm-start from.
+  serve::DemandUpdate update;
+  update.demand = model::DemandProfile::uniform(8.0, 6.0);
+  model::RequestClass second;
+  second.count = 3.0;
+  second.min_locations = 2.0;
+  second.units_per_location = 2.0;
+  update.demand.classes.push_back(second);
+  return update;
+}
+
+// A warmed-up service: demand + kRoster joins, lattice and bound table
+// fully materialised.
+void assemble(serve::ServiceState& state) {
+  (void)state.apply(demand_event());
+  for (int i = 0; i < kRoster; ++i) (void)state.apply(join_event(i));
+}
+
+// The steady-state churn script: outage flaps and leave/rejoin cycles,
+// every event touching exactly one facility (the single-facility churn
+// of the acceptance gate).
+std::vector<serve::Event> churn_script(int flaps) {
+  std::vector<serve::Event> script;
+  for (int i = 0; i < flaps; ++i) {
+    const int f = i % kRoster;
+    const std::string name = "F" + std::to_string(f);
+    if (i % 5 == 4) {
+      script.emplace_back(serve::FacilityLeave{name});
+      script.push_back(join_event(f));
+    } else {
+      script.emplace_back(
+          serve::OutageStart{name, static_cast<std::uint64_t>(i + 1),
+                             static_cast<std::uint64_t>(i % 4)});
+      script.emplace_back(serve::OutageEnd{name});
+    }
+  }
+  return script;
+}
+
+// --- google-benchmark timings --------------------------------------------
+
+void BM_OutageFlap(benchmark::State& state) {
+  serve::ServiceState service;
+  assemble(service);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    (void)service.apply(serve::Event{serve::OutageStart{"F2", seed++, 0}});
+    (void)service.apply(serve::Event{serve::OutageEnd{"F2"}});
+    benchmark::DoNotOptimize(service.query().grand_value);
+  }
+}
+BENCHMARK(BM_OutageFlap);
+
+void BM_LeaveRejoin(benchmark::State& state) {
+  serve::ServiceState service;
+  assemble(service);
+  for (auto _ : state) {
+    (void)service.apply(serve::Event{serve::FacilityLeave{"F3"}});
+    (void)service.apply(join_event(3));
+    benchmark::DoNotOptimize(service.query().grand_value);
+  }
+}
+BENCHMARK(BM_LeaveRejoin);
+
+void BM_ColdAssembly(benchmark::State& state) {
+  for (auto _ : state) {
+    serve::ServiceState service;
+    assemble(service);
+    benchmark::DoNotOptimize(service.query().grand_value);
+  }
+}
+BENCHMARK(BM_ColdAssembly);
+
+// --- BENCH_serve.json -----------------------------------------------------
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(xs.size()) - 1.0,
+                       std::ceil(p * static_cast<double>(xs.size())) - 1.0));
+  return xs[idx];
+}
+
+struct ChurnMeasurement {
+  double events_per_sec = 0.0;
+  std::uint64_t lp_solves = 0;
+  std::uint64_t lp_warm = 0;
+  std::uint64_t lp_cold = 0;
+  std::uint64_t lp_cold_equivalent = 0;  ///< what a cold re-tabulation runs
+  std::uint64_t values_recomputed = 0;
+  std::uint64_t values_cold_equivalent = 0;
+  double median_apply_ms = 0.0;
+};
+
+// Runs the churn script under an unlimited budget and totals the
+// incremental re-solve work against the cold-equivalent baseline (a
+// from-scratch tabulation of every churn epoch).
+ChurnMeasurement measure_churn(int flaps) {
+  serve::ServiceState service;
+  assemble(service);
+  const std::vector<serve::Event> script = churn_script(flaps);
+
+  ChurnMeasurement m;
+  std::vector<double> apply_ms;
+  apply_ms.reserve(script.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const serve::Event& event : script) {
+    const auto e0 = std::chrono::steady_clock::now();
+    const serve::ApplyResult r = service.apply(event);
+    const auto e1 = std::chrono::steady_clock::now();
+    apply_ms.push_back(
+        std::chrono::duration<double, std::milli>(e1 - e0).count());
+    m.lp_solves += r.lp_solves;
+    m.lp_warm += r.lp_incremental;
+    m.lp_cold += r.lp_cold;
+    m.lp_cold_equivalent += r.lp_cold_equivalent;
+    m.values_recomputed += r.values_recomputed;
+    m.values_cold_equivalent += (std::uint64_t{1} << kRoster) - 1;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double total_s = std::chrono::duration<double>(t1 - t0).count();
+  m.events_per_sec =
+      total_s > 0.0 ? static_cast<double>(script.size()) / total_s : 0.0;
+  m.median_apply_ms = percentile(apply_ms, 0.5);
+  return m;
+}
+
+struct StalenessMeasurement {
+  double p99_staleness_epochs = 0.0;
+  double max_staleness_epochs = 0.0;
+  double tripped_fraction = 0.0;
+  double deadline_ms = 0.0;
+  std::uint64_t repairs = 0;
+};
+
+// Re-runs the churn under a per-event deadline tuned to trip a fraction
+// of the applies. After every apply the published answer's staleness
+// (current epoch minus answered epoch) is sampled — that is what a
+// reader observes — and its p99 is the staleness bound the service
+// actually delivers. A tripped apply leaves a backlog the next apply
+// inherits, so like a real deployment the loop caps staleness with a
+// maintenance repair() once the answer lags kRepairThreshold epochs
+// (the "bounded" half of stale-but-bounded).
+constexpr std::uint64_t kRepairThreshold = 8;
+
+StalenessMeasurement measure_staleness(int flaps, double deadline_ms) {
+  serve::ServiceState service;
+  assemble(service);
+  const std::vector<serve::Event> script = churn_script(flaps);
+
+  StalenessMeasurement m;
+  m.deadline_ms = deadline_ms;
+  std::vector<double> staleness;
+  staleness.reserve(script.size());
+  std::size_t tripped = 0;
+  for (const serve::Event& event : script) {
+    const serve::ApplyResult r = service.apply(
+        event, runtime::ComputeBudget::with_deadline_ms(deadline_ms));
+    if (!r.complete) ++tripped;
+    const serve::EpochAnswer answer = service.query();
+    staleness.push_back(
+        static_cast<double>(answer.current_epoch - answer.epoch));
+    if (answer.current_epoch - answer.epoch >= kRepairThreshold) {
+      (void)service.repair();
+      ++m.repairs;
+    }
+  }
+  m.p99_staleness_epochs = percentile(staleness, 0.99);
+  m.max_staleness_epochs =
+      staleness.empty()
+          ? 0.0
+          : *std::max_element(staleness.begin(), staleness.end());
+  m.tripped_fraction = script.empty()
+                           ? 0.0
+                           : static_cast<double>(tripped) /
+                                 static_cast<double>(script.size());
+  return m;
+}
+
+void write_summary_json() {
+  const ChurnMeasurement churn = measure_churn(120);
+  // Only the exponential stages (tabulation, bound table) run under the
+  // budget — snapshot publication is the polynomial floor — so the
+  // deadline that actually trips applies is well below the full apply
+  // time. Walk it down until a visible fraction of events trips.
+  StalenessMeasurement stale;
+  double deadline = std::max(0.005, 0.5 * churn.median_apply_ms);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    stale = measure_staleness(120, deadline);
+    if (stale.tripped_fraction >= 0.05) break;
+    deadline /= 5.0;
+  }
+
+  const char* out_env = std::getenv("FEDSHARE_BENCH_OUT");
+  const std::string path =
+      out_env != nullptr && *out_env != '\0' ? out_env : "BENCH_serve.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "perf_serve: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"serve\",\n";
+  out << "  \"workload\": \"6-facility federation, two-class demand, "
+         "single-facility churn (outage flaps + leave/rejoin), "
+         "epoch-versioned incremental re-solve vs cold re-tabulation\",\n";
+  out << "  \"events_per_sec\": " << churn.events_per_sec << ",\n";
+  out << "  \"median_apply_ms\": " << churn.median_apply_ms << ",\n";
+  out << "  \"lp_solves_incremental_total\": " << churn.lp_solves << ",\n";
+  out << "  \"lp_warm\": " << churn.lp_warm << ",\n";
+  out << "  \"lp_cold\": " << churn.lp_cold << ",\n";
+  out << "  \"lp_solves_cold_retabulation_total\": "
+      << churn.lp_cold_equivalent << ",\n";
+  out << "  \"values_recomputed_total\": " << churn.values_recomputed
+      << ",\n";
+  out << "  \"values_cold_retabulation_total\": "
+      << churn.values_cold_equivalent << ",\n";
+  out << "  \"staleness_deadline_ms\": " << stale.deadline_ms << ",\n";
+  out << "  \"tripped_fraction\": " << stale.tripped_fraction << ",\n";
+  out << "  \"maintenance_repairs\": " << stale.repairs << ",\n";
+  out << "  \"p99_staleness_epochs\": " << stale.p99_staleness_epochs
+      << ",\n";
+  out << "  \"max_staleness_epochs\": " << stale.max_staleness_epochs
+      << "\n";
+  out << "}\n";
+  std::cout << "(summary written to " << path << ")\n";
+}
+
+// --- --smoke: incremental-beats-cold gate ---------------------------------
+
+int run_smoke() {
+  int failures = 0;
+
+  const ChurnMeasurement churn = measure_churn(30);
+  std::cout << "smoke churn: lp_incremental=" << churn.lp_solves
+            << " lp_cold_retabulation=" << churn.lp_cold_equivalent
+            << " values_recomputed=" << churn.values_recomputed
+            << " values_cold_retabulation=" << churn.values_cold_equivalent
+            << "\n";
+  if (churn.lp_solves >= churn.lp_cold_equivalent) {
+    std::cerr << "perf_serve --smoke: incremental re-solve ran no fewer "
+                 "LPs than a cold re-tabulation ("
+              << churn.lp_solves << " vs " << churn.lp_cold_equivalent
+              << ")\n";
+    ++failures;
+  }
+  if (churn.values_recomputed >= churn.values_cold_equivalent) {
+    std::cerr << "perf_serve --smoke: incremental tabulation recomputed "
+                 "no fewer V(S) than cold ("
+              << churn.values_recomputed << " vs "
+              << churn.values_cold_equivalent << ")\n";
+    ++failures;
+  }
+
+  // Replay determinism: a fresh state fed the same log must publish the
+  // same answer, bit for bit.
+  serve::ServiceState service;
+  assemble(service);
+  for (const serve::Event& event : churn_script(10)) {
+    (void)service.apply(event);
+  }
+  serve::ServiceState replica;
+  replica.replay_log(service.log());
+  const serve::EpochAnswer a = service.query();
+  const serve::EpochAnswer b = replica.query();
+  bool identical = a.epoch == b.epoch && a.grand_value == b.grand_value &&
+                   a.standalone == b.standalone &&
+                   a.incentives == b.incentives &&
+                   a.outcomes.size() == b.outcomes.size();
+  for (std::size_t s = 0; identical && s < a.outcomes.size(); ++s) {
+    identical = a.outcomes[s].shares == b.outcomes[s].shares &&
+                a.outcomes[s].in_core == b.outcomes[s].in_core;
+  }
+  std::cout << "smoke replay: epoch=" << a.epoch
+            << " identical=" << (identical ? "yes" : "no") << "\n";
+  if (!identical) {
+    std::cerr << "perf_serve --smoke: log replay did not reproduce the "
+                 "published answer\n";
+    ++failures;
+  }
+
+  std::cout << (failures == 0 ? "perf-smoke PASSED\n" : "perf-smoke FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_summary_json();
+  return 0;
+}

@@ -325,9 +325,11 @@ namespace {
 // by section, but every exponential computation runs under the budget
 // and degrades instead of overrunning; the no-options fast path never
 // reaches this function, which is what keeps default output
-// byte-identical across releases.
-std::string resilient_report(const io::Config& config,
-                             const ReportOptions& ropts) {
+// byte-identical across releases. Degraded sections are recorded in the
+// returned ReportResult so the CLI can exit nonzero.
+ReportResult resilient_report(const io::Config& config,
+                              const ReportOptions& ropts) {
+  ReportResult result;
   const model::Federation fed = federation_from_config(config);
   int precision = 4;
   const auto options = config.sections_named("options");
@@ -386,6 +388,7 @@ std::string resilient_report(const io::Config& config,
     values.print(out);
     out << "(full coalition table skipped: "
         << runtime::to_string(budget.stop_reason()) << ")\n";
+    result.degraded_sections.emplace_back("coalition table");
   }
 
   if (tab) {
@@ -425,6 +428,9 @@ std::string resilient_report(const io::Config& config,
                 tab ? &*tab : nullptr, fed.availability_weights(),
                 fed.consumption_weights(), verify_options, &audit, budget,
                 4096, 1, ropts.lp_solver);
+  if (rs.shapley_engine == runtime::ShapleyEngine::kMonteCarlo) {
+    result.degraded_sections.emplace_back("shapley (monte-carlo fallback)");
+  }
   for (const auto& o : rs.outcomes) {
     std::vector<std::string> row{game::to_string(o.scheme)};
     for (int i = 0; i < n; ++i) {
@@ -471,6 +477,7 @@ std::string resilient_report(const io::Config& config,
       rs.notes.emplace_back(
           "hierarchy: skipped (coalition table unavailable under "
           "deadline)");
+      result.degraded_sections.emplace_back("hierarchy");
     }
   }
 
@@ -507,6 +514,9 @@ std::string resilient_report(const io::Config& config,
         << report.scenarios_requested << " (seed " << report.seed << ")"
         << (report.complete() ? "" : " — truncated by the deadline")
         << "\n";
+    if (!report.complete()) {
+      result.degraded_sections.emplace_back("outage distribution");
+    }
     if (report.scenarios_evaluated > 0) {
       out << "V(N): mean " << io::format_double(report.grand_value.mean,
                                                 precision)
@@ -542,16 +552,28 @@ std::string resilient_report(const io::Config& config,
       core_table.print(out);
     }
   }
-  return out.str();
+  result.text = out.str();
+  if (result.degraded()) {
+    (void)budget.exhausted();
+    result.stop = budget.stop_reason();
+  }
+  return result;
 }
 
 }  // namespace
 
 std::string run_report(const io::Config& config,
                        const ReportOptions& options) {
+  return run_report_result(config, options).text;
+}
+
+ReportResult run_report_result(const io::Config& config,
+                               const ReportOptions& options) {
   if (!options.any()) {
-    return plain_report(config, options.lp_solver, options.verify,
-                        options.symmetry);
+    ReportResult result;
+    result.text = plain_report(config, options.lp_solver, options.verify,
+                               options.symmetry);
+    return result;
   }
   return resilient_report(config, options);
 }

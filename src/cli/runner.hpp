@@ -71,10 +71,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "io/config.hpp"
 #include "lp/simplex.hpp"
 #include "model/federation.hpp"
+#include "runtime/budget.hpp"
 #include "verify/certificates.hpp"
 
 namespace fedshare::cli {
@@ -128,6 +130,26 @@ struct ReportOptions {
 /// with outage scenarios an outage-distribution section is appended.
 [[nodiscard]] std::string run_report(const io::Config& config,
                                      const ReportOptions& options);
+
+/// A report plus degradation telemetry, so callers (the CLI) can turn
+/// "some section degraded under the budget" into a nonzero exit code
+/// and a stderr note instead of silently printing a reduced report.
+struct ReportResult {
+  std::string text;
+  /// Why the budget tripped (kNone when nothing degraded).
+  runtime::StopReason stop = runtime::StopReason::kNone;
+  /// Human-readable names of the degraded sections, report order
+  /// (e.g. "coalition table", "shapley (monte-carlo fallback)").
+  std::vector<std::string> degraded_sections;
+  [[nodiscard]] bool degraded() const noexcept {
+    return !degraded_sections.empty();
+  }
+};
+
+/// run_report with telemetry; `text` is byte-identical to
+/// run_report(config, options).
+[[nodiscard]] ReportResult run_report_result(const io::Config& config,
+                                             const ReportOptions& options);
 
 /// Convenience: parse `text` and report; rethrows io::ConfigError.
 [[nodiscard]] std::string run_report_from_string(const std::string& text);

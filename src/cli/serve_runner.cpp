@@ -1,0 +1,156 @@
+#include "cli/serve_runner.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/table.hpp"
+#include "serve/event.hpp"
+#include "serve/state.hpp"
+
+namespace fedshare::cli {
+
+namespace {
+
+runtime::ComputeBudget event_budget(const ServeRunOptions& options) {
+  return options.deadline_ms.has_value()
+             ? runtime::ComputeBudget::with_deadline_ms(*options.deadline_ms)
+             : runtime::ComputeBudget::unlimited();
+}
+
+// One log line per applied event: what it was, what it invalidated, and
+// how much re-solve work the incremental machinery actually did.
+void print_apply(std::ostream& out, const serve::ApplyResult& result) {
+  out << "epoch " << result.epoch << ": " << result.kind
+      << " — invalidated " << result.invalidated << ", V recomputed "
+      << result.values_recomputed;
+  if (result.lp_solves > 0 || result.lp_cold_equivalent > 0) {
+    out << ", LP " << result.lp_solves << " (" << result.lp_incremental
+        << " warm, " << result.lp_cold << " cold; cold re-tabulation = "
+        << result.lp_cold_equivalent << ")";
+  }
+  if (!result.complete) {
+    out << " — INCOMPLETE (" << runtime::to_string(result.stop) << ")";
+  }
+  out << "\n";
+}
+
+void print_answer(std::ostream& out, const serve::EpochAnswer& answer,
+                  int precision) {
+  std::ostringstream title;
+  title << "Service answer (epoch " << answer.epoch << ")";
+  io::print_heading(out, title.str());
+  if (answer.stale()) {
+    out << "STALE: answered at epoch " << answer.epoch
+        << ", service is at epoch " << answer.current_epoch << " ("
+        << runtime::to_string(answer.degraded) << ")\n";
+  }
+  if (answer.num_facilities == 0) {
+    out << "federation is empty\n";
+    return;
+  }
+  out << "facilities:";
+  for (const auto& name : answer.names) out << " " << name;
+  out << "\n";
+  out << "V(N): " << io::format_double(answer.grand_value, precision);
+  if (answer.grand_bound.has_value()) {
+    out << "  (LP relaxation bound: "
+        << io::format_double(*answer.grand_bound, precision) << ")";
+  }
+  out << "\n\n";
+
+  std::vector<std::string> headers{"scheme"};
+  for (const auto& name : answer.names) headers.push_back(name);
+  headers.emplace_back("in core");
+  io::Table table(std::move(headers));
+  table.set_align(0, io::Align::kLeft);
+  for (const auto& o : answer.outcomes) {
+    std::vector<std::string> row{game::to_string(o.scheme)};
+    for (int i = 0; i < answer.num_facilities; ++i) {
+      row.push_back(io::format_double(o.shares[static_cast<std::size_t>(i)],
+                                      precision));
+    }
+    row.emplace_back(o.in_core ? "yes" : "no");
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  if (!answer.incentives.empty()) {
+    out << "\n";
+    io::Table inc(std::vector<std::string>{"facility", "standalone",
+                                           "shapley payoff",
+                                           "join surplus"});
+    inc.set_align(0, io::Align::kLeft);
+    const game::SchemeOutcome* shapley = nullptr;
+    for (const auto& o : answer.outcomes) {
+      if (o.scheme == game::Scheme::kShapley) shapley = &o;
+    }
+    for (int i = 0; i < answer.num_facilities; ++i) {
+      const auto fi = static_cast<std::size_t>(i);
+      inc.add_row(
+          {answer.names[fi],
+           io::format_double(answer.standalone[fi], precision),
+           io::format_double(
+               shapley ? shapley->payoffs[fi] : 0.0, precision),
+           io::format_double(answer.incentives[fi], precision)});
+    }
+    inc.print(out);
+  }
+}
+
+void print_stats(std::ostream& out, const serve::ServiceStats& stats) {
+  io::print_heading(out, "Service stats");
+  out << "events applied: " << stats.events_applied << "\n";
+  out << "V(S) recomputed: " << stats.values_recomputed << "\n";
+  out << "LP solves: " << stats.lp_solves << " (" << stats.lp_incremental
+      << " warm, " << stats.lp_cold << " cold), " << stats.lp_pivots
+      << " pivots\n";
+  out << "value cache: " << stats.cache.entries << " entries, "
+      << stats.cache.hits << " hits, " << stats.cache.misses << " misses, "
+      << stats.cache.invalidations << " invalidated\n";
+}
+
+}  // namespace
+
+ServeRunResult run_serve(std::istream& events,
+                         const ServeRunOptions& options) {
+  const std::vector<serve::Event> log = serve::parse_event_log(events);
+
+  serve::ServeOptions serve_options;
+  serve_options.lp_solver = options.lp_solver;
+  serve_options.track_bounds = options.track_bounds;
+  serve::ServiceState state(serve_options);
+
+  ServeRunResult result;
+  std::ostringstream out;
+  io::print_heading(out, "Event log");
+  for (const serve::Event& event : log) {
+    try {
+      const serve::ApplyResult applied =
+          state.apply(event, event_budget(options));
+      print_apply(out, applied);
+    } catch (const serve::ServeError& e) {
+      out << "invalid event (" << serve::event_kind(event)
+          << "): " << e.what() << "\n";
+      result.error = e.what();
+      break;
+    }
+  }
+
+  const serve::EpochAnswer answer = state.query();
+  print_answer(out, answer, options.precision);
+  print_stats(out, state.stats());
+
+  result.degraded = answer.stale();
+  result.stop = answer.degraded;
+  result.text = out.str();
+  return result;
+}
+
+ServeRunResult run_serve_from_string(const std::string& events,
+                                     const ServeRunOptions& options) {
+  std::istringstream in(events);
+  return run_serve(in, options);
+}
+
+}  // namespace fedshare::cli

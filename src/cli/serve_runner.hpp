@@ -1,0 +1,61 @@
+// The fedshare CLI's daemon mode (--serve): feed a scripted event file
+// through serve::ServiceState and render each epoch's outcome plus the
+// final federation answer. Kept as a library so tests (and the golden
+// harness) can drive it without spawning processes.
+//
+// The event file format is serve/event.hpp's log format — one event per
+// line, '#' comments. Without a deadline the run is fully deterministic
+// (replaying the same file prints the same bytes), which is what the
+// golden snapshot of configs/serve_demo.events pins down.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "lp/simplex.hpp"
+#include "runtime/budget.hpp"
+
+namespace fedshare::cli {
+
+/// Knobs for run_serve (the --serve flag family).
+struct ServeRunOptions {
+  /// Per-event compute budget. When an event's re-solve trips, the
+  /// service keeps the previous epoch's answer published
+  /// (stale-but-bounded) and the run is reported degraded. Unset =
+  /// unlimited, fully deterministic output.
+  std::optional<double> deadline_ms;
+  /// Simplex engine for the nucleolus LPs in each epoch's answer.
+  lp::SolverKind lp_solver = lp::SolverKind::kRevised;
+  /// Maintain the LP-relaxation bound table (grand-coalition bound and
+  /// incremental dual-simplex re-solves).
+  bool track_bounds = true;
+  /// Digits in the rendered report.
+  int precision = 4;
+};
+
+/// Outcome of a serve run.
+struct ServeRunResult {
+  std::string text;  ///< the rendered report (always complete)
+  /// True when the final published answer is stale (a budget trip left
+  /// newer epochs unsolved); maps to CLI exit code 3.
+  bool degraded = false;
+  /// Why, when degraded.
+  runtime::StopReason stop = runtime::StopReason::kNone;
+  /// Set when an event was invalid against the roster (duplicate join,
+  /// unknown facility, ...): the run stops at that event. Maps to CLI
+  /// exit code 1.
+  std::optional<std::string> error;
+};
+
+/// Parses the event log on `events` and applies it event by event.
+/// Throws serve::ServeError only for *malformed* lines (parse errors);
+/// semantically invalid events are reported via ServeRunResult::error.
+[[nodiscard]] ServeRunResult run_serve(std::istream& events,
+                                       const ServeRunOptions& options = {});
+
+/// Convenience: run_serve on a string.
+[[nodiscard]] ServeRunResult run_serve_from_string(
+    const std::string& events, const ServeRunOptions& options = {});
+
+}  // namespace fedshare::cli

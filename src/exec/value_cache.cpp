@@ -63,6 +63,15 @@ double ValueCache::hit_rate() const noexcept {
   return static_cast<double>(h) / static_cast<double>(h + m);
 }
 
+CacheStats ValueCache::stats() const {
+  CacheStats s;
+  s.hits = hits();
+  s.misses = misses();
+  s.invalidations = invalidations();
+  s.entries = size();
+  return s;
+}
+
 void ValueCache::clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.m);
@@ -70,6 +79,7 @@ void ValueCache::clear() {
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace fedshare::exec

@@ -34,6 +34,22 @@
 
 namespace fedshare::exec {
 
+/// One consistent-enough view of a cache's counters (each counter is an
+/// atomic snapshot; the set is taken without a global lock, so the
+/// numbers are exact once the cache is quiescent).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;  ///< entries dropped by invalidate_if
+  std::size_t entries = 0;          ///< distinct masks currently cached
+  /// hits / (hits + misses); 0 when nothing was looked up yet.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 /// Thread-safe memo of double values keyed by 64-bit coalition mask.
 class ValueCache {
  public:
@@ -85,6 +101,34 @@ class ValueCache {
     return value;
   }
 
+  /// Drops every cached entry whose mask satisfies `pred` and returns
+  /// how many were dropped (also added to the invalidation counter).
+  /// This is the churn API: an event touching facility slot s calls
+  /// invalidate_if([&](auto mask) { return mask >> s & 1; }) so only the
+  /// affected slice of the lattice is recomputed. Shards are processed
+  /// one at a time under their own locks, so concurrent readers of
+  /// *other* shards never block and concurrent readers of the same
+  /// shard serialise briefly; a reader racing the invalidation sees
+  /// either the old value or a miss, never a torn entry. `pred` must
+  /// not touch the cache (the shard lock is held while it runs).
+  template <typename Pred>
+  std::size_t invalidate_if(Pred&& pred) {
+    std::size_t dropped = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lk(shard.m);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        if (pred(it->first)) {
+          it = shard.map.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
+  }
+
   /// Number of distinct masks materialised.
   [[nodiscard]] std::size_t size() const;
 
@@ -97,6 +141,13 @@ class ValueCache {
   }
   /// hits / (hits + misses); 0 when nothing was looked up yet.
   [[nodiscard]] double hit_rate() const noexcept;
+  /// Entries dropped by invalidate_if since construction (or clear()).
+  [[nodiscard]] std::uint64_t invalidations() const noexcept {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+  /// Counter snapshot (hits, misses, invalidations, live entries).
+  [[nodiscard]] CacheStats stats() const;
 
   /// Drops every entry and resets the statistics.
   void clear();
@@ -113,6 +164,7 @@ class ValueCache {
   std::uint64_t shard_mask_;  // shards_.size() - 1 (power of two)
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
 };
 
 }  // namespace fedshare::exec

@@ -1,0 +1,302 @@
+#include "serve/event.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <system_error>
+
+namespace fedshare::serve {
+
+namespace {
+
+// Shortest string that parses back to exactly `value` (std::to_chars
+// default formatting), so the log round-trips doubles bit-for-bit.
+std::string format_double(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+double parse_double(const std::string& key, const std::string& text) {
+  if (text.empty()) throw ServeError("empty value for '" + key + "'");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    throw ServeError("'" + key + "' needs a number, got '" + text + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& text) {
+  std::uint64_t value = 0;
+  const auto res =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (res.ec != std::errc() || res.ptr != text.data() + text.size()) {
+    throw ServeError("'" + key + "' needs a non-negative integer, got '" +
+                     text + "'");
+  }
+  return value;
+}
+
+// key=value fields of one whitespace-separated token list.
+struct Fields {
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const std::string* v = find(key);
+    if (!v) throw ServeError("missing '" + key + "'");
+    return *v;
+  }
+};
+
+Fields split_fields(const std::string& text, char separator) {
+  Fields fields;
+  std::string token;
+  std::istringstream in(text);
+  while (std::getline(in, token, separator)) {
+    if (token.empty()) continue;
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw ServeError("expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    for (const auto& [k, v] : fields.kv) {
+      if (k == key) throw ServeError("duplicate key '" + key + "'");
+    }
+    fields.kv.emplace_back(key, token.substr(eq + 1));
+  }
+  return fields;
+}
+
+void check_keys(const Fields& fields,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [k, v] : fields.kv) {
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (k == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) throw ServeError("unknown key '" + k + "'");
+  }
+}
+
+std::string require_name(const Fields& fields) {
+  const std::string name = fields.require("name");
+  if (name.empty()) throw ServeError("'name' must not be empty");
+  return name;
+}
+
+FacilityJoin parse_join(const Fields& fields) {
+  check_keys(fields,
+             {"name", "locations", "units", "availability", "units_at"});
+  FacilityJoin join;
+  join.config.name = require_name(fields);
+  const double locations =
+      parse_double("locations", fields.require("locations"));
+  if (locations < 0.0 || locations != static_cast<int>(locations)) {
+    throw ServeError("'locations' must be a non-negative integer");
+  }
+  join.config.num_locations = static_cast<int>(locations);
+  if (const std::string* v = fields.find("units")) {
+    join.config.units_per_location = parse_double("units", *v);
+  }
+  if (const std::string* v = fields.find("availability")) {
+    join.config.availability = parse_double("availability", *v);
+  }
+  if (const std::string* v = fields.find("units_at")) {
+    std::string item;
+    std::istringstream in(*v);
+    while (std::getline(in, item, ',')) {
+      join.config.custom_units.push_back(parse_double("units_at", item));
+    }
+  }
+  try {
+    join.config.validate();
+  } catch (const std::invalid_argument& e) {
+    throw ServeError(e.what());
+  }
+  return join;
+}
+
+model::DemandProfile parse_demand(const std::string& text) {
+  model::DemandProfile demand;
+  std::string clause;
+  std::istringstream in(text);
+  while (std::getline(in, clause, ';')) {
+    // Strip the whitespace ';'-splitting may leave around a clause.
+    const auto first = clause.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = clause.find_last_not_of(" \t");
+    const Fields fields =
+        split_fields(clause.substr(first, last - first + 1), ',');
+    check_keys(fields, {"count", "min_locations", "units", "exponent",
+                        "holding_time"});
+    model::RequestClass rc;
+    if (const std::string* v = fields.find("count")) {
+      rc.count = parse_double("count", *v);
+    }
+    if (const std::string* v = fields.find("min_locations")) {
+      rc.min_locations = parse_double("min_locations", *v);
+    }
+    if (const std::string* v = fields.find("units")) {
+      rc.units_per_location = parse_double("units", *v);
+    }
+    if (const std::string* v = fields.find("exponent")) {
+      rc.exponent = parse_double("exponent", *v);
+    }
+    if (const std::string* v = fields.find("holding_time")) {
+      rc.holding_time = parse_double("holding_time", *v);
+    }
+    demand.classes.push_back(rc);
+  }
+  if (demand.classes.empty()) {
+    throw ServeError("demand update needs at least one request class");
+  }
+  try {
+    demand.validate();
+  } catch (const std::invalid_argument& e) {
+    throw ServeError(e.what());
+  }
+  return demand;
+}
+
+}  // namespace
+
+const char* event_kind(const Event& event) noexcept {
+  struct Kind {
+    const char* operator()(const FacilityJoin&) const { return "join"; }
+    const char* operator()(const FacilityLeave&) const { return "leave"; }
+    const char* operator()(const OutageStart&) const {
+      return "outage-start";
+    }
+    const char* operator()(const OutageEnd&) const { return "outage-end"; }
+    const char* operator()(const DemandUpdate&) const { return "demand"; }
+  };
+  return std::visit(Kind{}, event);
+}
+
+std::string format_event(const Event& event) {
+  struct Format {
+    std::string operator()(const FacilityJoin& e) const {
+      std::string out = "join name=" + e.config.name +
+                        " locations=" + std::to_string(e.config.num_locations) +
+                        " units=" + format_double(e.config.units_per_location) +
+                        " availability=" + format_double(e.config.availability);
+      if (!e.config.custom_units.empty()) {
+        out += " units_at=";
+        for (std::size_t i = 0; i < e.config.custom_units.size(); ++i) {
+          if (i > 0) out += ',';
+          out += format_double(e.config.custom_units[i]);
+        }
+      }
+      return out;
+    }
+    std::string operator()(const FacilityLeave& e) const {
+      return "leave name=" + e.name;
+    }
+    std::string operator()(const OutageStart& e) const {
+      return "outage-start name=" + e.name +
+             " seed=" + std::to_string(e.seed) +
+             " scenario=" + std::to_string(e.scenario);
+    }
+    std::string operator()(const OutageEnd& e) const {
+      return "outage-end name=" + e.name;
+    }
+    std::string operator()(const DemandUpdate& e) const {
+      std::string out = "demand ";
+      for (std::size_t c = 0; c < e.demand.classes.size(); ++c) {
+        const auto& rc = e.demand.classes[c];
+        if (c > 0) out += ';';
+        out += "count=" + format_double(rc.count) +
+               ",min_locations=" + format_double(rc.min_locations) +
+               ",units=" + format_double(rc.units_per_location) +
+               ",exponent=" + format_double(rc.exponent) +
+               ",holding_time=" + format_double(rc.holding_time);
+      }
+      return out;
+    }
+  };
+  return std::visit(Format{}, event);
+}
+
+Event parse_event(const std::string& line) {
+  std::istringstream in(line);
+  std::string keyword;
+  if (!(in >> keyword)) throw ServeError("empty event");
+  std::string rest;
+  std::getline(in, rest);
+
+  if (keyword == "demand") return DemandUpdate{parse_demand(rest)};
+
+  // The remaining keywords all take whitespace-separated key=value
+  // fields.
+  Fields fields;
+  {
+    std::istringstream tokens(rest);
+    std::string token, joined;
+    while (tokens >> token) {
+      if (!joined.empty()) joined += ' ';
+      joined += token;
+    }
+    fields = split_fields(joined, ' ');
+  }
+  if (keyword == "join") return parse_join(fields);
+  if (keyword == "leave") {
+    check_keys(fields, {"name"});
+    return FacilityLeave{require_name(fields)};
+  }
+  if (keyword == "outage-start") {
+    check_keys(fields, {"name", "seed", "scenario"});
+    OutageStart e;
+    e.name = require_name(fields);
+    if (const std::string* v = fields.find("seed")) {
+      e.seed = parse_u64("seed", *v);
+    }
+    if (const std::string* v = fields.find("scenario")) {
+      e.scenario = parse_u64("scenario", *v);
+    }
+    return e;
+  }
+  if (keyword == "outage-end") {
+    check_keys(fields, {"name"});
+    return OutageEnd{require_name(fields)};
+  }
+  throw ServeError("unknown event '" + keyword + "'");
+}
+
+std::vector<Event> parse_event_log(std::istream& in) {
+  std::vector<Event> log;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      log.push_back(parse_event(line));
+    } catch (const ServeError& e) {
+      throw ServeError("line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return log;
+}
+
+void write_event_log(std::ostream& out, const std::vector<Event>& log) {
+  for (const Event& event : log) {
+    out << format_event(event) << '\n';
+  }
+}
+
+}  // namespace fedshare::serve

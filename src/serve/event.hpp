@@ -1,0 +1,106 @@
+// Churn events and the append-only event log (the serve layer's input).
+//
+// A federation under churn is described by a sequence of events:
+// facilities join and leave, outages start and end (realising the
+// availability T_i the paper treats as a static discount), and the
+// demand profile shifts. ServiceState (serve/state.hpp) consumes these
+// through an append-only log; the log is the *only* durable state, so
+// crash recovery is deterministic replay — parse_event/format_event
+// round-trip every event exactly (doubles are printed shortest
+// round-trip), which is what makes a replayed service bit-identical to
+// the one that crashed.
+//
+// Text format, one event per line ('#' starts a comment, blank lines
+// are skipped):
+//
+//   join name=PLC locations=300 units=4 availability=0.97
+//   join name=LAB locations=4 units=2 availability=1 units_at=2,1,1,2
+//   leave name=LAB
+//   outage-start name=PLC seed=7 scenario=3
+//   outage-end name=PLC
+//   demand count=10,min_locations=450,units=1,exponent=1,holding_time=1;count=2,min_locations=40
+//     (request classes separated by ';', fields by ',')
+//
+// An outage-start names the (seed, scenario) pair fed to
+// runtime::OutageModel; the sampled per-location up/down mask is a pure
+// function of the pair and the roster at apply time, so the log never
+// stores masks and replay still reproduces them exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "model/demand.hpp"
+#include "model/facility.hpp"
+
+namespace fedshare::serve {
+
+/// Malformed event text or an event that is invalid against the current
+/// roster (duplicate join, unknown facility, double outage, ...).
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A facility joins the federation with the given static config.
+struct FacilityJoin {
+  model::FacilityConfig config;
+};
+
+/// A facility leaves (graceful or crash — the model is the same).
+struct FacilityLeave {
+  std::string name;
+};
+
+/// An outage hits `name`: its availability is *realised* by the
+/// runtime::OutageModel mask for (seed, scenario) — each location
+/// survives independently with probability T_i; survivors run at full
+/// capacity until the matching OutageEnd.
+struct OutageStart {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::uint64_t scenario = 0;
+};
+
+/// The outage on `name` heals: the facility returns to its nominal
+/// (availability-discounted) contribution.
+struct OutageEnd {
+  std::string name;
+};
+
+/// The demand profile is replaced wholesale.
+struct DemandUpdate {
+  model::DemandProfile demand;
+};
+
+/// One log entry.
+using Event =
+    std::variant<FacilityJoin, FacilityLeave, OutageStart, OutageEnd,
+                 DemandUpdate>;
+
+/// The event's log keyword ("join", "leave", "outage-start",
+/// "outage-end", "demand").
+[[nodiscard]] const char* event_kind(const Event& event) noexcept;
+
+/// Serializes `event` as one log line (no trailing newline). Doubles are
+/// printed shortest-round-trip, so parse_event(format_event(e)) == e.
+[[nodiscard]] std::string format_event(const Event& event);
+
+/// Parses one log line. Throws ServeError on malformed input (unknown
+/// keyword, missing/duplicate keys, non-numeric values, out-of-domain
+/// values caught by FacilityConfig/DemandProfile validation).
+[[nodiscard]] Event parse_event(const std::string& line);
+
+/// Parses a whole log: one event per line, '#' comments and blank lines
+/// skipped. ServeError messages are prefixed with the 1-based line
+/// number.
+[[nodiscard]] std::vector<Event> parse_event_log(std::istream& in);
+
+/// Writes `log` in the format parse_event_log reads.
+void write_event_log(std::ostream& out, const std::vector<Event>& log);
+
+}  // namespace fedshare::serve

@@ -1,0 +1,624 @@
+#include "serve/state.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/pool.hpp"
+#include "model/value.hpp"
+#include "runtime/outage.hpp"
+#include "verify/certified.hpp"
+
+namespace fedshare::serve {
+
+namespace {
+
+// Ascending-(popcount, mask) order: the level-by-level sweep order that
+// guarantees every coalition's lattice predecessors are materialised
+// before it is processed.
+void sort_level_order(std::vector<std::uint64_t>& masks) {
+  std::sort(masks.begin(), masks.end(),
+            [](std::uint64_t a, std::uint64_t b) {
+              const int pa = std::popcount(a);
+              const int pb = std::popcount(b);
+              if (pa != pb) return pa < pb;
+              return a < b;
+            });
+}
+
+// Refreshes a budget's stop reason after a failed stage (the amortised
+// charge path may not have recorded a deadline yet).
+runtime::StopReason stop_reason_of(const runtime::ComputeBudget& budget) {
+  (void)budget.exhausted();
+  const runtime::StopReason reason = budget.stop_reason();
+  // A cancelled parallel job can leave the parent untripped; report the
+  // most conservative reason rather than "none" for an incomplete stage.
+  return reason == runtime::StopReason::kNone
+             ? runtime::StopReason::kCancelled
+             : reason;
+}
+
+}  // namespace
+
+ServiceState::ServiceState(ServeOptions options)
+    : options_(options), space_(model::LocationSpace::disjoint({})) {
+  options_.max_facilities = std::clamp(options_.max_facilities, 1, 12);
+  cache_ = std::make_shared<exec::ValueCache>();
+  bounds_.assign(std::size_t{1} << options_.max_facilities, BoundEntry{});
+  lp_offset_.assign(static_cast<std::size_t>(options_.max_facilities), -1);
+  publish_snapshot();  // epoch 0: the empty federation, always complete
+}
+
+std::uint64_t ServiceState::active_mask() const {
+  std::uint64_t mask = 0;
+  for (const Member& m : roster_) mask |= std::uint64_t{1} << m.slot;
+  return mask;
+}
+
+int ServiceState::member_index(const std::string& name) const {
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    if (roster_[i].config.name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+game::Coalition ServiceState::compact_coalition(
+    std::uint64_t slot_mask) const {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    if (slot_mask >> roster_[i].slot & 1) bits |= std::uint64_t{1} << i;
+  }
+  return game::Coalition::from_bits(bits);
+}
+
+int ServiceState::validate_and_stage(const Event& event) {
+  if (const auto* e = std::get_if<FacilityJoin>(&event)) {
+    try {
+      e->config.validate();
+    } catch (const std::invalid_argument& err) {
+      throw ServeError(err.what());
+    }
+    if (e->config.name.empty()) throw ServeError("join: empty name");
+    if (member_index(e->config.name) >= 0) {
+      throw ServeError("join: facility '" + e->config.name +
+                       "' is already federated");
+    }
+    if (static_cast<int>(roster_.size()) >= options_.max_facilities) {
+      throw ServeError("join: roster full (" +
+                       std::to_string(options_.max_facilities) + " slots)");
+    }
+    // Smallest free slot; leavers free their slot for later joiners, so
+    // the lattice never outgrows 2^max_facilities masks.
+    const std::uint64_t used = active_mask();
+    int slot = 0;
+    while (used >> slot & 1) ++slot;
+    Member m;
+    m.slot = slot;
+    m.config = e->config;
+    roster_.insert(
+        std::upper_bound(roster_.begin(), roster_.end(), m,
+                         [](const Member& a, const Member& b) {
+                           return a.slot < b.slot;
+                         }),
+        std::move(m));
+    return slot;
+  }
+  if (const auto* e = std::get_if<FacilityLeave>(&event)) {
+    const int idx = member_index(e->name);
+    if (idx < 0) {
+      throw ServeError("leave: unknown facility '" + e->name + "'");
+    }
+    const int slot = roster_[static_cast<std::size_t>(idx)].slot;
+    roster_.erase(roster_.begin() + idx);
+    return slot;
+  }
+  if (const auto* e = std::get_if<OutageStart>(&event)) {
+    const int idx = member_index(e->name);
+    if (idx < 0) {
+      throw ServeError("outage-start: unknown facility '" + e->name + "'");
+    }
+    Member& m = roster_[static_cast<std::size_t>(idx)];
+    if (m.outage) {
+      throw ServeError("outage-start: '" + e->name +
+                       "' is already under outage");
+    }
+    // Sample the mask against the *nominal* space of the roster — a
+    // pure function of (seed, scenario, roster configs in slot order),
+    // which is what replay determinism rests on. Each location of the
+    // facility survives independently with probability T_i.
+    std::vector<model::FacilityConfig> nominal;
+    nominal.reserve(roster_.size());
+    for (const Member& r : roster_) nominal.push_back(r.config);
+    const runtime::OutageScenario scenario =
+        runtime::OutageModel(e->seed).sample(
+            model::LocationSpace::disjoint(std::move(nominal)), e->scenario);
+    m.outage = true;
+    m.outage_seed = e->seed;
+    m.outage_scenario = e->scenario;
+    m.up = scenario.up[static_cast<std::size_t>(idx)];
+    return m.slot;
+  }
+  if (const auto* e = std::get_if<OutageEnd>(&event)) {
+    const int idx = member_index(e->name);
+    if (idx < 0) {
+      throw ServeError("outage-end: unknown facility '" + e->name + "'");
+    }
+    Member& m = roster_[static_cast<std::size_t>(idx)];
+    if (!m.outage) {
+      throw ServeError("outage-end: '" + e->name + "' has no outage");
+    }
+    m.outage = false;
+    m.up.clear();
+    return m.slot;
+  }
+  const auto& e = std::get<DemandUpdate>(event);
+  try {
+    e.demand.validate();
+  } catch (const std::invalid_argument& err) {
+    throw ServeError(err.what());
+  }
+  demand_ = e.demand;
+  return -1;
+}
+
+void ServiceState::rebuild_space() {
+  // The effective space realises only the members under outage: their
+  // surviving locations run at full capacity (availability 1 — the
+  // uncertainty has resolved), down locations disappear. Members *not*
+  // under outage keep their nominal availability discount, unlike
+  // LocationSpace::with_outages which realises every facility at once.
+  std::vector<model::FacilityConfig> configs;
+  configs.reserve(roster_.size());
+  for (const Member& m : roster_) {
+    if (!m.outage) {
+      configs.push_back(m.config);
+      continue;
+    }
+    model::FacilityConfig cfg;
+    cfg.name = m.config.name;
+    cfg.availability = 1.0;
+    cfg.units_per_location = m.config.units_per_location;
+    for (std::size_t k = 0; k < m.up.size(); ++k) {
+      if (!m.up[k]) continue;
+      cfg.custom_units.push_back(m.config.custom_units.empty()
+                                     ? m.config.units_per_location
+                                     : m.config.custom_units[k]);
+    }
+    cfg.num_locations = static_cast<int>(cfg.custom_units.size());
+    configs.push_back(std::move(cfg));
+  }
+  space_ = model::LocationSpace::disjoint(std::move(configs));
+}
+
+double ServiceState::closed_value(std::uint64_t slot_mask) const {
+  // Exactly model::Federation's monotone closure: greedy value first,
+  // then the best strict-subset value, members in ascending order — the
+  // identical max sequence keeps cached values bit-identical to a batch
+  // Federation build of the same space.
+  double best =
+      model::coalition_value(space_, demand_, compact_coalition(slot_mask));
+  for (int s = 0; s < options_.max_facilities; ++s) {
+    if (!(slot_mask >> s & 1)) continue;
+    const std::uint64_t sub = slot_mask & ~(std::uint64_t{1} << s);
+    double sub_value = 0.0;
+    if (sub != 0) {
+      const auto cached = cache_->lookup(sub);
+      if (!cached) {
+        throw std::logic_error(
+            "serve: lattice predecessor not materialised");
+      }
+      sub_value = *cached;
+    }
+    best = std::max(best, sub_value);
+  }
+  return best;
+}
+
+bool ServiceState::tabulate_values(const runtime::ComputeBudget& budget,
+                                   ApplyResult& result) {
+  const std::uint64_t active = active_mask();
+  if (active == 0) return true;
+  const int m = static_cast<int>(roster_.size());
+
+  // Subsets of the active mask, level by level. Misses are only the
+  // invalidated slice — a hit costs one lookup and is free under the
+  // charging rule.
+  std::vector<std::vector<std::uint64_t>> levels(
+      static_cast<std::size_t>(m) + 1);
+  std::uint64_t sub = 0;
+  while (true) {
+    if (sub != 0) {
+      levels[static_cast<std::size_t>(std::popcount(sub))].push_back(sub);
+    }
+    if (sub == active) break;
+    sub = (sub - active) & active;  // next subset, ascending mask order
+  }
+
+  const std::uint64_t misses_before = cache_->misses();
+  for (std::size_t level = 1; level < levels.size(); ++level) {
+    const auto& masks = levels[level];
+    const bool ok = exec::parallel_for_budgeted(
+        0, masks.size(), 4, budget,
+        [&](const exec::ChunkRange& r,
+            const runtime::ComputeBudget& child) {
+          for (std::uint64_t i = r.begin; i < r.end; ++i) {
+            const std::uint64_t mask = masks[i];
+            const auto value = cache_->value_or_compute_budgeted(
+                mask, child, [&] { return closed_value(mask); });
+            if (!value) return false;
+          }
+          return true;
+        });
+    if (!ok) {
+      result.values_recomputed +=
+          static_cast<std::size_t>(cache_->misses() - misses_before);
+      return false;
+    }
+  }
+  result.values_recomputed +=
+      static_cast<std::size_t>(cache_->misses() - misses_before);
+  return true;
+}
+
+void ServiceState::rebuild_template() {
+  lp_template_.reset();
+  lp_proto_.reset();
+  ++lp_gen_;  // stored bases belong to the old layout/objective
+  lp_offset_.assign(static_cast<std::size_t>(options_.max_facilities), -1);
+  lp_locations_ = 0;
+  for (const Member& m : roster_) {
+    lp_offset_[static_cast<std::size_t>(m.slot)] =
+        static_cast<int>(lp_locations_);
+    lp_locations_ += static_cast<std::size_t>(m.config.num_locations);
+  }
+  if (lp_locations_ == 0 || demand_.classes.empty()) return;
+  try {
+    lp_template_.emplace(lp_locations_, demand_.classes);
+  } catch (const std::invalid_argument&) {
+    // Demand outside the relaxation's domain (exponent > 1): the bound
+    // table is unavailable, answers carry no grand_bound.
+    return;
+  }
+  if (lp_template_->empty()) {
+    lp_template_.reset();
+    return;
+  }
+  lp_proto_.emplace(lp_template_->problem(), lp::SimplexOptions{});
+}
+
+std::vector<double> ServiceState::caps_for(std::uint64_t slot_mask) const {
+  std::vector<double> caps(lp_locations_, 0.0);
+  for (const Member& m : roster_) {
+    if (!(slot_mask >> m.slot & 1)) continue;
+    const int off = lp_offset_[static_cast<std::size_t>(m.slot)];
+    if (off < 0) continue;
+    for (int k = 0; k < m.config.num_locations; ++k) {
+      const double full = m.config.custom_units.empty()
+                              ? m.config.units_per_location
+                              : m.config.custom_units[static_cast<std::size_t>(
+                                    k)];
+      double cap = full * m.config.availability;
+      if (m.outage) {
+        cap = m.up[static_cast<std::size_t>(k)] ? full : 0.0;
+      }
+      caps[static_cast<std::size_t>(off + k)] = cap;
+    }
+  }
+  return caps;
+}
+
+bool ServiceState::resolve_bounds(const runtime::ComputeBudget& budget,
+                                  ApplyResult& result) {
+  if (!options_.track_bounds || !lp_template_) return true;
+  const std::uint64_t active = active_mask();
+  result.lp_cold_equivalent =
+      active == 0 ? 0
+                  : (std::size_t{1} << std::popcount(active)) - 1;
+
+  std::vector<std::uint64_t> pending;
+  std::uint64_t sub = 0;
+  while (true) {
+    if (sub != 0 && !bounds_[sub].valid) pending.push_back(sub);
+    if (sub == active) break;
+    sub = (sub - active) & active;
+  }
+  sort_level_order(pending);
+
+  for (const std::uint64_t mask : pending) {
+    if (budget.exhausted()) return false;
+    BoundEntry& entry = bounds_[mask];
+    lp::RevisedSimplex engine = *lp_proto_;
+    const std::vector<double> caps = caps_for(mask);
+    engine.apply(lp_template_->capacity_patch(caps));
+    engine.set_budget(&budget);
+
+    // Warm-start preference: the mask's own optimal basis (an outage is
+    // a pure rhs patch — a dual-simplex re-solve), then any one-smaller
+    // subset solved under the current template generation (the chain a
+    // join or demand sweep builds), then cold.
+    const lp::Basis* start = nullptr;
+    if (entry.basis_gen == lp_gen_ && !entry.basis.empty()) {
+      start = &entry.basis;
+    } else {
+      for (int s = 0; s < options_.max_facilities && !start; ++s) {
+        if (!(mask >> s & 1)) continue;
+        const std::uint64_t pred = mask & ~(std::uint64_t{1} << s);
+        if (pred == 0) continue;
+        const BoundEntry& p = bounds_[pred];
+        if (p.basis_gen == lp_gen_ && !p.basis.empty()) start = &p.basis;
+      }
+    }
+
+    lp::Solution sol =
+        start ? engine.solve_from_basis(*start) : engine.solve();
+    ++result.lp_solves;
+    result.lp_pivots += engine.pivots();
+    if (start) {
+      ++result.lp_incremental;
+    } else {
+      ++result.lp_cold;
+    }
+    if (sol.status == lp::SolveStatus::kBudgetExhausted) return false;
+    if (sol.status != lp::SolveStatus::kOptimal) {
+      // Failed incremental patch: fall back cold through the certified
+      // cascade (check / refine / revised-cold / dense-cold).
+      lp::Problem patched = lp_template_->problem();
+      lp_template_->apply_capacities(patched, caps);
+      lp::SimplexOptions lp_options;
+      lp_options.solver = lp::SolverKind::kRevised;
+      lp_options.budget = &budget;
+      verify::VerifyOptions verify_options;
+      verify_options.level = verify::VerifyLevel::kFull;
+      const verify::CertifiedSolve certified = verify::certify_or_escalate(
+          patched, std::move(sol), lp_options, verify_options);
+      sol = certified.solution;
+      ++result.lp_cold;
+      if (sol.status == lp::SolveStatus::kBudgetExhausted) return false;
+      if (sol.status != lp::SolveStatus::kOptimal) {
+        // Genuinely unsolvable (should not happen for capacity LPs):
+        // leave the entry invalid, the answer simply carries no bound.
+        entry.valid = false;
+        entry.basis_gen = 0;
+        continue;
+      }
+      entry.value = sol.objective;
+      entry.valid = true;
+      entry.basis_gen = 0;  // the cascade's basis is not recoverable
+      entry.basis = lp::Basis{};
+      continue;
+    }
+    entry.value = sol.objective;
+    entry.valid = true;
+    entry.basis = engine.basis();
+    entry.basis_gen = lp_gen_;
+  }
+  return true;
+}
+
+void ServiceState::publish_snapshot() {
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = epoch_;
+  const int m = static_cast<int>(roster_.size());
+  snap->names.reserve(roster_.size());
+  snap->slots.reserve(roster_.size());
+  for (const Member& member : roster_) {
+    snap->names.push_back(member.config.name);
+    snap->slots.push_back(member.slot);
+  }
+  snap->space = space_;
+  snap->demand = demand_;
+
+  EpochAnswer answer;
+  answer.epoch = epoch_;
+  answer.current_epoch = epoch_;
+  answer.num_facilities = m;
+  answer.names = snap->names;
+  if (m > 0) {
+    const std::size_t size = std::size_t{1} << m;
+    std::vector<double> values(size, 0.0);
+    for (std::size_t cm = 1; cm < size; ++cm) {
+      std::uint64_t slot_mask = 0;
+      for (int i = 0; i < m; ++i) {
+        if (cm >> i & 1) {
+          slot_mask |= std::uint64_t{1}
+                       << roster_[static_cast<std::size_t>(i)].slot;
+        }
+      }
+      const auto cached = cache_->lookup(slot_mask);
+      if (!cached) {
+        throw std::logic_error("serve: publishing an incomplete lattice");
+      }
+      values[cm] = *cached;
+    }
+    snap->game.emplace(m, std::move(values));
+
+    answer.grand_value = snap->game->grand_value();
+    answer.standalone.reserve(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      answer.standalone.push_back(
+          snap->game->value(game::Coalition::single(i)));
+    }
+    std::vector<double> availability;
+    availability.reserve(static_cast<std::size_t>(m));
+    for (const auto& f : space_.facilities()) {
+      availability.push_back(f.availability_weight());
+    }
+    const std::vector<double> consumption =
+        model::consumption_weights(space_, demand_);
+    lp::SimplexOptions lp_options;
+    lp_options.solver = options_.lp_solver;
+    answer.outcomes = game::compare_schemes(*snap->game, availability,
+                                            consumption, lp_options);
+    for (const auto& outcome : answer.outcomes) {
+      if (outcome.scheme != game::Scheme::kShapley) continue;
+      answer.incentives.resize(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        const auto fi = static_cast<std::size_t>(i);
+        answer.incentives[fi] = outcome.payoffs[fi] - answer.standalone[fi];
+      }
+      break;
+    }
+    const std::uint64_t active = active_mask();
+    if (options_.track_bounds && lp_template_ && bounds_[active].valid) {
+      answer.grand_bound = bounds_[active].value;
+    }
+  }
+  snap->answer = std::move(answer);
+  snapshot_ = std::move(snap);
+  dirty_ = false;
+  last_stop_ = runtime::StopReason::kNone;
+}
+
+ApplyResult ServiceState::finish(ApplyResult result,
+                                 const runtime::ComputeBudget& budget) {
+  if (!tabulate_values(budget, result) || !resolve_bounds(budget, result)) {
+    result.complete = false;
+    result.stop = stop_reason_of(budget);
+    dirty_ = true;
+    last_stop_ = result.stop;
+  } else {
+    publish_snapshot();
+    result.complete = true;
+    result.stop = runtime::StopReason::kNone;
+  }
+  values_recomputed_ += result.values_recomputed;
+  lp_solves_ += result.lp_solves;
+  lp_incremental_ += result.lp_incremental;
+  lp_cold_ += result.lp_cold;
+  lp_pivots_ += result.lp_pivots;
+  return result;
+}
+
+ApplyResult ServiceState::apply(const Event& event,
+                                const runtime::ComputeBudget& budget) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int slot = validate_and_stage(event);  // throws; state unchanged
+  log_.push_back(event);
+  ++epoch_;
+  ++events_applied_;
+  rebuild_space();
+
+  ApplyResult result;
+  result.epoch = epoch_;
+  result.kind = event_kind(event);
+
+  // Invalidate only the affected slice of the lattice: masks containing
+  // the touched slot, or everything for a demand change.
+  if (slot < 0) {
+    result.invalidated =
+        cache_->invalidate_if([](std::uint64_t) { return true; });
+  } else {
+    const std::uint64_t bit = std::uint64_t{1} << slot;
+    result.invalidated = cache_->invalidate_if(
+        [bit](std::uint64_t mask) { return (mask & bit) != 0; });
+  }
+
+  // Stage the LP bound work. Join and demand change the template (block
+  // layout / objective): stored values for untouched masks survive —
+  // zero-capacity columns are value-equivalent to dropped ones — but
+  // bases are invalidated by the generation bump. An outage keeps the
+  // template and the bases: it is a pure capacity patch.
+  if (options_.track_bounds) {
+    if (const auto* join = std::get_if<FacilityJoin>(&event)) {
+      (void)join;
+      rebuild_template();
+    }
+    if (std::holds_alternative<DemandUpdate>(event)) {
+      rebuild_template();
+      for (BoundEntry& entry : bounds_) entry.valid = false;
+    } else if (slot >= 0) {
+      const std::uint64_t bit = std::uint64_t{1} << slot;
+      const bool left = std::holds_alternative<FacilityLeave>(event);
+      for (std::uint64_t mask = 0; mask < bounds_.size(); ++mask) {
+        if (!(mask & bit)) continue;
+        bounds_[mask].valid = false;
+        if (left) {
+          // The slot is free for a different facility; its old bases
+          // must never warm-start the newcomer's LPs.
+          bounds_[mask].basis_gen = 0;
+          bounds_[mask].basis = lp::Basis{};
+        }
+      }
+    }
+  }
+
+  return finish(std::move(result), budget);
+}
+
+ApplyResult ServiceState::repair(const runtime::ComputeBudget& budget) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ApplyResult result;
+  result.epoch = epoch_;
+  result.kind = "repair";
+  if (!dirty_) return result;  // nothing pending
+  return finish(std::move(result), budget);
+}
+
+EpochAnswer ServiceState::query() const {
+  std::shared_ptr<const Snapshot> snap;
+  std::uint64_t current = 0;
+  runtime::StopReason stop = runtime::StopReason::kNone;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snap = snapshot_;
+    current = epoch_;
+    stop = last_stop_;
+  }
+  EpochAnswer answer = snap->answer;
+  answer.current_epoch = current;
+  answer.degraded =
+      answer.epoch == current ? runtime::StopReason::kNone : stop;
+  return answer;
+}
+
+std::shared_ptr<const ServiceState::Snapshot> ServiceState::snapshot()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snapshot_;
+}
+
+std::uint64_t ServiceState::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+bool ServiceState::dirty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dirty_;
+}
+
+std::vector<Event> ServiceState::log() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_;
+}
+
+ServiceStats ServiceState::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s;
+  s.epoch = epoch_;
+  s.events_applied = events_applied_;
+  s.values_recomputed = values_recomputed_;
+  s.lp_solves = lp_solves_;
+  s.lp_incremental = lp_incremental_;
+  s.lp_cold = lp_cold_;
+  s.lp_pivots = lp_pivots_;
+  s.cache = cache_->stats();
+  return s;
+}
+
+void ServiceState::replay_log(const std::vector<Event>& log,
+                              std::size_t prefix) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (epoch_ != 0 || !log_.empty()) {
+      throw ServeError("replay_log: state is not fresh");
+    }
+  }
+  const std::size_t count = std::min(prefix, log.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    (void)apply(log[i]);
+  }
+}
+
+}  // namespace fedshare::serve

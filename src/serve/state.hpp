@@ -1,0 +1,275 @@
+// Epoch-versioned federation state machine (the serve layer's core).
+//
+// A ServiceState is the long-lived form of model::Federation: it ingests
+// churn events (serve/event.hpp) through an append-only log, keeps the
+// coalition-value lattice and the LP-relaxation bound table warm across
+// events, and answers share/core/incentive queries against a consistent
+// epoch snapshot while further events are applied.
+//
+// The contracts that make it churn-tolerant:
+//
+//  * Epochs and snapshots. Every applied event bumps the epoch. When the
+//    re-solve completes, an immutable Snapshot (effective space, demand,
+//    tabulated game, scheme outcomes) is published; queries read the
+//    latest published snapshot without blocking appliers. A query's
+//    answer is always internally consistent — it never mixes values from
+//    two epochs.
+//  * Stale-but-bounded answers. apply() runs under a ComputeBudget. When
+//    the budget trips mid-resolve the epoch still advances (the event
+//    *happened*), but the previous snapshot stays published and every
+//    answer is tagged with the epoch it was solved at plus the
+//    StopReason — never a hang, never a silently wrong number. repair()
+//    finishes the pending work; because all intermediate results live in
+//    the value cache, repair is idempotent and resumes where the trip
+//    left off.
+//  * Incremental re-solve. The coalition lattice is keyed by *slot*
+//    masks (a facility keeps its slot for its whole tenure; leavers free
+//    their slot for later joiners). An event touching slot s invalidates
+//    only the masks containing s (exec::ValueCache::invalidate_if); the
+//    surviving half of the lattice is reused bit-for-bit, which is sound
+//    because a coalition's pooled capacity vector depends only on its
+//    own members' configs in slot order. The LP bound table re-solves
+//    touched masks via lp::RevisedSimplex::solve_from_basis — an outage
+//    is a pure capacity patch, so the mask's own optimal basis re-solves
+//    it in a few dual pivots; a failed warm solve falls back cold
+//    through the verify::certify_or_escalate cascade.
+//  * Replay determinism. The event log is the only durable state.
+//    Outage masks are sampled from (seed, scenario, roster) at apply
+//    time via runtime::OutageModel — a pure function — so replaying the
+//    log (or any prefix) reproduces epochs, spaces, games, and answers
+//    bit-for-bit. This is the crash-recovery story, exercised by
+//    tests/test_serve_chaos.cpp.
+//
+// Budget scope: the budget bounds the exponential work (one unit per
+// distinct V(S) materialisation, one per simplex pivot — the global
+// charging rule). Once the tables are complete, publishing a snapshot
+// (scheme evaluation over the tabulated game) runs to completion, the
+// same polynomial-floor philosophy as runtime/resilient.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/lp_relax.hpp"
+#include "core/game.hpp"
+#include "core/sharing.hpp"
+#include "exec/value_cache.hpp"
+#include "lp/revised_simplex.hpp"
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+#include "runtime/budget.hpp"
+#include "serve/event.hpp"
+
+namespace fedshare::serve {
+
+/// Knobs for a ServiceState.
+struct ServeOptions {
+  /// Simplex engine for the nucleolus LPs inside scheme evaluation.
+  lp::SolverKind lp_solver = lp::SolverKind::kRevised;
+  /// Maintain the LP-relaxation bound table (grand-coalition upper
+  /// bound, incremental dual-simplex re-solves). Off = greedy V only.
+  bool track_bounds = true;
+  /// Roster capacity (slots). At most 12 — the 2^n tables.
+  int max_facilities = 12;
+};
+
+/// What one apply()/repair() call did.
+struct ApplyResult {
+  std::uint64_t epoch = 0;      ///< epoch after the event
+  std::string kind;             ///< event keyword, or "repair"
+  bool complete = true;         ///< false: snapshot is stale (see stop)
+  runtime::StopReason stop = runtime::StopReason::kNone;
+  std::size_t invalidated = 0;         ///< cache entries dropped
+  std::size_t values_recomputed = 0;   ///< greedy V(S) materialisations
+  std::size_t lp_solves = 0;           ///< bound-table LPs run
+  std::size_t lp_incremental = 0;      ///< warm (own/predecessor basis)
+  std::size_t lp_cold = 0;             ///< cold (no usable basis)
+  std::size_t lp_cold_equivalent = 0;  ///< LPs a cold re-tabulation runs
+  std::uint64_t lp_pivots = 0;         ///< simplex iterations spent
+};
+
+/// A consistent share/core/incentive answer for one epoch.
+struct EpochAnswer {
+  std::uint64_t epoch = 0;          ///< epoch the answer was solved at
+  std::uint64_t current_epoch = 0;  ///< service epoch at query time
+  /// Stale answers carry the reason the newer epochs are unsolved.
+  runtime::StopReason degraded = runtime::StopReason::kNone;
+  [[nodiscard]] bool stale() const noexcept {
+    return epoch != current_epoch;
+  }
+
+  int num_facilities = 0;
+  std::vector<std::string> names;       ///< active facilities, slot order
+  double grand_value = 0.0;             ///< V(N) of the epoch
+  std::optional<double> grand_bound;    ///< LP-relaxation bound on V(N)
+  std::vector<double> standalone;       ///< V({i}) per facility
+  /// Every sharing scheme (game::compare_schemes): shares, payoffs,
+  /// core membership. Empty when the roster is empty.
+  std::vector<game::SchemeOutcome> outcomes;
+  /// Join surplus per facility: Shapley payoff minus standalone value
+  /// (the incentive to federate; >= 0 for superadditive epochs).
+  std::vector<double> incentives;
+};
+
+/// Aggregate counters since construction.
+struct ServiceStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t events_applied = 0;
+  std::uint64_t values_recomputed = 0;
+  std::uint64_t lp_solves = 0;
+  std::uint64_t lp_incremental = 0;
+  std::uint64_t lp_cold = 0;
+  std::uint64_t lp_pivots = 0;
+  exec::CacheStats cache;
+};
+
+/// The epoch-versioned state machine. Thread-safe: apply/repair
+/// serialise on an internal mutex; query() and snapshot() only hold it
+/// long enough to copy a shared_ptr, so readers never wait on a
+/// re-solve.
+class ServiceState {
+ public:
+  /// What a published epoch looks like to readers (immutable).
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::vector<std::string> names;  ///< active facilities, slot order
+    std::vector<int> slots;          ///< slot per facility (ascending)
+    /// Effective space (outages realised); empty roster = empty space.
+    model::LocationSpace space = model::LocationSpace::disjoint({});
+    model::DemandProfile demand;
+    /// Tabulated game over compact facility indices (nullopt when the
+    /// roster is empty).
+    std::optional<game::TabularGame> game;
+    EpochAnswer answer;  ///< solved at this epoch (epoch tag set)
+  };
+
+  explicit ServiceState(ServeOptions options = {});
+
+  ServiceState(const ServiceState&) = delete;
+  ServiceState& operator=(const ServiceState&) = delete;
+
+  /// Validates `event` against the roster (throws ServeError on e.g. a
+  /// duplicate join or an unknown facility — the epoch does NOT advance
+  /// for invalid events), appends it to the log, bumps the epoch,
+  /// invalidates the affected lattice slice, and re-solves under
+  /// `budget`. On a budget trip the result reports complete=false and
+  /// the previous snapshot stays published (stale-but-bounded).
+  ApplyResult apply(const Event& event,
+                    const runtime::ComputeBudget& budget = {});
+
+  /// Finishes the re-solve of the current epoch after a tripped apply
+  /// (idempotent; a no-op returning complete=true when nothing is
+  /// pending). All partial work is reused through the value cache.
+  ApplyResult repair(const runtime::ComputeBudget& budget = {});
+
+  /// The latest published answer, tagged with the current epoch and —
+  /// when stale — the StopReason that interrupted the re-solve. Never
+  /// blocks on an in-flight apply beyond the pointer copy.
+  [[nodiscard]] EpochAnswer query() const;
+
+  /// The latest published snapshot (never null; epoch 0 is the empty
+  /// federation).
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
+
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// True when the published snapshot is older than the current epoch.
+  [[nodiscard]] bool dirty() const;
+  /// The append-only event log (every successfully applied event).
+  [[nodiscard]] std::vector<Event> log() const;
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Replays `prefix` events of `log` (everything when prefix is out of
+  /// range) with an unlimited budget. Only valid on a fresh state
+  /// (epoch 0, empty log); throws ServeError otherwise or when a log
+  /// event is invalid. Deterministic: two states replaying the same
+  /// prefix publish bit-identical snapshots.
+  void replay_log(const std::vector<Event>& log,
+                  std::size_t prefix = static_cast<std::size_t>(-1));
+
+ private:
+  struct Member {
+    int slot = 0;
+    model::FacilityConfig config;   ///< nominal (as joined)
+    bool outage = false;
+    std::uint64_t outage_seed = 0;
+    std::uint64_t outage_scenario = 0;
+    std::vector<bool> up;  ///< per nominal location; valid when outage
+  };
+
+  /// One slot-mask entry of the LP bound table.
+  struct BoundEntry {
+    double value = 0.0;
+    bool valid = false;
+    /// Template generation basis_ was taken in; usable as a warm start
+    /// only when it matches the current generation.
+    std::uint64_t basis_gen = 0;
+    lp::Basis basis;
+  };
+
+  // --- event application (mu_ held) ---------------------------------
+  int validate_and_stage(const Event& event);  ///< returns touched slot
+  void rebuild_space();
+  bool tabulate_values(const runtime::ComputeBudget& budget,
+                       ApplyResult& result);
+  bool resolve_bounds(const runtime::ComputeBudget& budget,
+                      ApplyResult& result);
+  void publish_snapshot();
+  ApplyResult finish(ApplyResult result,
+                     const runtime::ComputeBudget& budget);
+
+  // --- helpers (mu_ held) -------------------------------------------
+  [[nodiscard]] std::uint64_t active_mask() const;
+  [[nodiscard]] int member_index(const std::string& name) const;
+  [[nodiscard]] game::Coalition compact_coalition(std::uint64_t slot_mask)
+      const;
+  [[nodiscard]] double closed_value(std::uint64_t slot_mask) const;
+  [[nodiscard]] std::vector<double> caps_for(std::uint64_t slot_mask) const;
+  void rebuild_template();
+
+  ServeOptions options_;
+  mutable std::mutex mu_;
+
+  std::vector<Event> log_;
+  std::uint64_t epoch_ = 0;
+  std::vector<Member> roster_;  ///< sorted by slot
+  model::DemandProfile demand_;
+  model::LocationSpace space_;  ///< effective space of the roster
+
+  /// Greedy V(S) memo keyed by slot mask (monotone-closed values).
+  std::shared_ptr<exec::ValueCache> cache_;
+
+  /// LP bound table state. The relaxation template spans every active
+  /// slot's *nominal* location block in slot order; outage-down (or
+  /// departed) locations are zero-capacity columns, which the template
+  /// documents as exactly equivalent to dropping them — that is what
+  /// keeps an outage a pure rhs patch. lp_gen_ bumps whenever the block
+  /// layout or the demand changes (join, demand update), invalidating
+  /// stored bases but not stored values.
+  std::optional<alloc::RelaxationTemplate> lp_template_;
+  std::optional<lp::RevisedSimplex> lp_proto_;
+  std::vector<int> lp_offset_;  ///< per slot, block start (-1 = no block)
+  std::size_t lp_locations_ = 0;
+  std::uint64_t lp_gen_ = 0;
+  std::vector<BoundEntry> bounds_;  ///< indexed by slot mask
+
+  std::shared_ptr<const Snapshot> snapshot_;
+  bool dirty_ = false;
+  runtime::StopReason last_stop_ = runtime::StopReason::kNone;
+
+  // Aggregate counters (mu_ held; see stats()).
+  std::uint64_t events_applied_ = 0;
+  std::uint64_t values_recomputed_ = 0;
+  std::uint64_t lp_solves_ = 0;
+  std::uint64_t lp_incremental_ = 0;
+  std::uint64_t lp_cold_ = 0;
+  std::uint64_t lp_pivots_ = 0;
+};
+
+}  // namespace fedshare::serve

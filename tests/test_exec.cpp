@@ -399,4 +399,95 @@ TEST_F(ExecTest, FederationValueCacheSolvesEachCoalitionOnce) {
   EXPECT_GT(fed.value_cache().hits(), 0u);
 }
 
+// --- invalidate_if (the churn API) ---------------------------------------
+
+TEST_F(ExecTest, ValueCacheInvalidateIfDropsExactlyTheMatchingSlice) {
+  ValueCache cache;
+  for (std::uint64_t mask = 1; mask < 16; ++mask) {
+    cache.store(mask, static_cast<double>(mask));
+  }
+  // Drop the masks containing bit 1 — half the lattice.
+  const std::size_t dropped =
+      cache.invalidate_if([](std::uint64_t mask) { return mask >> 1 & 1; });
+  EXPECT_EQ(dropped, 8u);
+  EXPECT_EQ(cache.size(), 7u);
+  EXPECT_EQ(cache.invalidations(), 8u);
+  for (std::uint64_t mask = 1; mask < 16; ++mask) {
+    if (mask >> 1 & 1) {
+      EXPECT_FALSE(cache.lookup(mask).has_value()) << mask;
+    } else {
+      ASSERT_TRUE(cache.lookup(mask).has_value()) << mask;
+      EXPECT_EQ(*cache.lookup(mask), static_cast<double>(mask));
+    }
+  }
+}
+
+TEST_F(ExecTest, ValueCacheStatsSnapshotsAllCounters) {
+  ValueCache cache;
+  (void)cache.value_or_compute(3, [] { return 1.0; });  // miss
+  (void)cache.value_or_compute(3, [] { return 1.0; });  // hit
+  (void)cache.lookup(5);  // lookup() alone does not count
+  (void)cache.invalidate_if([](std::uint64_t) { return true; });
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hit_rate(), 0.5);
+  cache.clear();
+  const auto cleared = cache.stats();
+  EXPECT_EQ(cleared.hits, 0u);
+  EXPECT_EQ(cleared.misses, 0u);
+  EXPECT_EQ(cleared.invalidations, 0u);
+}
+
+// The churn race: one thread repeatedly invalidates a slice while
+// readers look up and writers re-materialise the same key space. Run
+// under TSan (tools/check.sh) this is the data-race certificate for the
+// serve layer's invalidate-while-queried pattern; the assertions
+// additionally pin the invariant that a racing reader sees either a
+// miss or a *current* value, never a torn or stale-after-clear one.
+TEST_F(ExecTest, ValueCacheConcurrentInvalidateVsReadIsSafe) {
+  ValueCache cache(8);
+  constexpr std::uint64_t kMasks = 64;
+  for (std::uint64_t mask = 1; mask < kMasks; ++mask) {
+    cache.store(mask, static_cast<double>(mask));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::thread invalidator([&] {
+    for (int round = 0; round < 200; ++round) {
+      const std::uint64_t bit = static_cast<std::uint64_t>(round % 6);
+      (void)cache.invalidate_if(
+          [bit](std::uint64_t mask) { return mask >> bit & 1; });
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t mask = static_cast<std::uint64_t>(t) + 1;
+      while (!stop.load(std::memory_order_acquire)) {
+        mask = mask * 2862933555777941757ULL + 3037000493ULL;
+        const std::uint64_t key = mask % kMasks;
+        if (key == 0) continue;
+        if (const auto value = cache.lookup(key)) {
+          if (*value != static_cast<double>(key)) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          // Raced with the invalidator: re-materialise, first store
+          // wins either way.
+          cache.store(key, static_cast<double>(key));
+        }
+      }
+    });
+  }
+  invalidator.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, cache.invalidations());
+}
+
 }  // namespace

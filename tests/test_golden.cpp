@@ -1,0 +1,76 @@
+// Golden-output regression harness: the CLI's rendered reports for the
+// checked-in configs must match the snapshots under tests/golden/ byte
+// for byte. Catches accidental drift in values, formatting, or section
+// order anywhere in the model → schemes → io pipeline. Intentional
+// output changes are blessed with tools/update_golden.sh (review the
+// diff, commit the new snapshots with the change).
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cli/runner.hpp"
+#include "cli/serve_runner.hpp"
+#include "exec/pool.hpp"
+#include "io/config.hpp"
+
+namespace {
+
+#ifndef FEDSHARE_SOURCE_DIR
+#error "tests/CMakeLists.txt must define FEDSHARE_SOURCE_DIR"
+#endif
+
+std::string repo_path(const std::string& relative) {
+  return std::string(FEDSHARE_SOURCE_DIR) + "/" + relative;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing golden fixture " << path
+                  << " — run tools/update_golden.sh";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Goldens are recorded at 1 thread (the CLI default); pin it so a
+// FEDSHARE_THREADS environment leak cannot fail the comparison.
+void expect_report_matches(const std::string& config_name) {
+  fedshare::exec::set_threads(1);
+  std::ifstream in(repo_path("configs/" + config_name + ".ini"));
+  ASSERT_TRUE(in) << "missing configs/" << config_name << ".ini";
+  const auto config = fedshare::io::Config::parse(in);
+  const auto result =
+      fedshare::cli::run_report_result(config, fedshare::cli::ReportOptions{});
+  EXPECT_FALSE(result.degraded());
+  EXPECT_EQ(result.text, read_file(repo_path("tests/golden/" + config_name +
+                                             ".txt")))
+      << "CLI output for configs/" << config_name
+      << ".ini drifted from its golden snapshot. If the change is "
+         "intentional, regenerate with tools/update_golden.sh and commit "
+         "the diff.";
+}
+
+TEST(GoldenTest, Sec41ReportMatchesSnapshot) {
+  expect_report_matches("sec41");
+}
+
+TEST(GoldenTest, PlanetlabReportMatchesSnapshot) {
+  expect_report_matches("planetlab");
+}
+
+TEST(GoldenTest, ServeDemoEventFileMatchesSnapshot) {
+  fedshare::exec::set_threads(1);
+  std::ifstream in(repo_path("configs/serve_demo.events"));
+  ASSERT_TRUE(in) << "missing configs/serve_demo.events";
+  const auto result = fedshare::cli::run_serve(in);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_FALSE(result.error.has_value());
+  EXPECT_EQ(result.text, read_file(repo_path("tests/golden/serve_demo.txt")))
+      << "serve output for configs/serve_demo.events drifted from its "
+         "golden snapshot. If the change is intentional, regenerate with "
+         "tools/update_golden.sh and commit the diff.";
+}
+
+}  // namespace

@@ -1,11 +1,14 @@
 #!/bin/sh
 # Run the full test suite twice — once in the plain RelWithDebInfo build
-# and once under AddressSanitizer + UndefinedBehaviorSanitizer — then the
-# concurrency-sensitive tests a third time under ThreadSanitizer (the
-# work-stealing pool, the sharded value cache, and the parallel LP
-# sweep), then the perf-smoke gate: a fast coalition-sweep run that
-# fails when the dense and revised simplex engines disagree or the warm
-# start stops saving pivots, and finally a 10-second differential LP
+# and once under AddressSanitizer + UndefinedBehaviorSanitizer (both runs
+# include the serve chaos harness: randomized churn vs batch-solve
+# equality) — then the concurrency-sensitive tests a third time under
+# ThreadSanitizer (the work-stealing pool, the sharded value cache with
+# concurrent invalidation, the parallel LP sweep, and the serve-layer
+# apply/query races), then the perf-smoke gates: fast runs that fail
+# when the dense and revised simplex engines disagree, the warm start
+# stops saving pivots, or the serve layer's incremental re-solve stops
+# beating a cold re-tabulation, and finally a 10-second differential LP
 # fuzz run (tools/fuzz_lp) that cross-checks the engines and their
 # optimality/Farkas certificates on random instances.
 #
@@ -26,12 +29,12 @@ cmake -S "$root" -B "$root/build-asan" \
 cmake --build "$root/build-asan" -j "$jobs"
 ctest --test-dir "$root/build-asan" -j "$jobs" --output-on-failure "$@"
 
-echo "== exec + LP-sweep + lattice/symmetry tests under ThreadSanitizer =="
+echo "== exec + LP-sweep + lattice/symmetry + serve tests under ThreadSanitizer =="
 cmake -S "$root" -B "$root/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
 ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
-  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty'
+  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|ServeStateTest|ServeChaosTest'
 
 echo "== perf smoke (dense vs revised simplex) =="
 cmake --build "$root/build" -j "$jobs" --target perf_simplex
@@ -44,6 +47,10 @@ cmake --build "$root/build" -j "$jobs" --target perf_quotient
 echo "== verification smoke (certified vs plain sweep) =="
 cmake --build "$root/build" -j "$jobs" --target perf_verify
 "$root/build/bench/perf_verify" --smoke
+
+echo "== serve smoke (incremental re-solve vs cold re-tabulation, replay) =="
+cmake --build "$root/build" -j "$jobs" --target perf_serve
+"$root/build/bench/perf_serve" --smoke
 
 echo "== differential LP fuzz (dense vs revised vs warm, certified) =="
 cmake --build "$root/build" -j "$jobs" --target fuzz_lp

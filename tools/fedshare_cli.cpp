@@ -1,6 +1,8 @@
-// fedshare_cli — compute federation sharing reports from an INI config.
+// fedshare_cli — compute federation sharing reports from an INI config,
+// or run a scripted churn-event file through the serve layer.
 //
 // Usage: fedshare_cli <federation.ini>
+//        fedshare_cli --serve <events-file>
 //        fedshare_cli --help
 #include <cstdlib>
 #include <fstream>
@@ -8,8 +10,10 @@
 #include <string>
 
 #include "cli/runner.hpp"
+#include "cli/serve_runner.hpp"
 #include "exec/pool.hpp"
 #include "lp/simplex.hpp"
+#include "serve/event.hpp"
 #include "verify/certificates.hpp"
 
 namespace {
@@ -21,11 +25,26 @@ constexpr const char* kUsage =
                     [--lp-solver <dense|revised>]
                     [--verify <off|cheap|full>]
                     [--symmetry <off|auto|exact>]
+       fedshare_cli --serve <events-file> [--deadline-ms <ms>]
+                    [--threads <n>] [--lp-solver <dense|revised>]
+                    [--no-bounds]
 
 Computes coalition values, game properties and sharing-scheme shares
 (Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
 federation described by the config file. With --dump-game, additionally
 writes the characteristic function in the fedshare-game v1 format.
+
+Exit codes: 0 success, 1 input/config error, 2 usage error, 3 report or
+serve run degraded under the compute budget (partial but bounded output
+— a one-line note on stderr says which sections degraded and why).
+
+Daemon mode (--serve): applies a scripted churn-event file (join /
+leave / outage-start / outage-end / demand, one per line; see docs) to
+the epoch-versioned federation service, printing each epoch's
+incremental re-solve stats and the final share/core/incentive answer.
+With --deadline-ms each event gets that budget; a tripped event leaves
+the previous epoch's answer published (stale-but-bounded) and the run
+exits 3. --no-bounds disables the LP-relaxation bound table.
 
 Resilience options:
   --deadline-ms <ms>       bound the exponential solvers; past the
@@ -99,12 +118,27 @@ bool parse_value(const char* flag, const std::string& text, double& out) {
 int main(int argc, char** argv) {
   std::string config_path;
   std::string dump_path;
+  std::string serve_path;
+  bool serve_bounds = true;
+  bool lp_solver_set = false;
   fedshare::cli::ReportOptions report_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
       return 0;
+    }
+    if (arg == "--serve") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: --serve needs an events file\n";
+        return 2;
+      }
+      serve_path = argv[++i];
+      continue;
+    }
+    if (arg == "--no-bounds") {
+      serve_bounds = false;
+      continue;
     }
     if (arg == "--dump-game") {
       if (i + 1 >= argc) {
@@ -133,6 +167,7 @@ int main(int argc, char** argv) {
         std::cerr << "fedshare_cli: --lp-solver needs a value\n";
         return 2;
       }
+      lp_solver_set = true;
       if (!fedshare::lp::solver_kind_from_string(
               argv[++i], report_options.lp_solver)) {
         std::cerr << "fedshare_cli: --lp-solver must be 'dense' or "
@@ -221,6 +256,45 @@ int main(int argc, char** argv) {
     }
     config_path = arg;
   }
+  if (!serve_path.empty()) {
+    if (!config_path.empty()) {
+      std::cerr << "fedshare_cli: --serve takes an events file, not a "
+                   "config\n";
+      return 2;
+    }
+    std::ifstream in(serve_path);
+    if (!in) {
+      std::cerr << "fedshare_cli: cannot open '" << serve_path << "'\n";
+      return 1;
+    }
+    fedshare::cli::ServeRunOptions serve_options;
+    serve_options.deadline_ms = report_options.deadline_ms;
+    if (lp_solver_set) serve_options.lp_solver = report_options.lp_solver;
+    serve_options.track_bounds = serve_bounds;
+    try {
+      const auto result = fedshare::cli::run_serve(in, serve_options);
+      std::cout << result.text;
+      if (result.error.has_value()) {
+        std::cerr << "fedshare_cli: " << serve_path << ": "
+                  << *result.error << "\n";
+        return 1;
+      }
+      if (result.degraded) {
+        std::cerr << "fedshare_cli: serve run degraded: final answer is "
+                     "stale ("
+                  << fedshare::runtime::to_string(result.stop) << ")\n";
+        return 3;
+      }
+    } catch (const fedshare::serve::ServeError& e) {
+      std::cerr << "fedshare_cli: " << serve_path << ": " << e.what()
+                << "\n";
+      return 1;
+    } catch (const std::exception& e) {
+      std::cerr << "fedshare_cli: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
   if (config_path.empty()) {
     std::cerr << kUsage;
     return 2;
@@ -230,9 +304,20 @@ int main(int argc, char** argv) {
     std::cerr << "fedshare_cli: cannot open '" << config_path << "'\n";
     return 1;
   }
+  bool degraded = false;
+  fedshare::runtime::StopReason stop = fedshare::runtime::StopReason::kNone;
+  std::string degraded_sections;
   try {
     const auto config = fedshare::io::Config::parse(in);
-    std::cout << fedshare::cli::run_report(config, report_options);
+    const auto result =
+        fedshare::cli::run_report_result(config, report_options);
+    std::cout << result.text;
+    degraded = result.degraded();
+    stop = result.stop;
+    for (const auto& section : result.degraded_sections) {
+      if (!degraded_sections.empty()) degraded_sections += ", ";
+      degraded_sections += section;
+    }
     if (!dump_path.empty()) {
       std::ofstream dump(dump_path);
       if (!dump) {
@@ -248,6 +333,12 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "fedshare_cli: " << e.what() << "\n";
     return 1;
+  }
+  if (degraded) {
+    std::cerr << "fedshare_cli: report degraded under the budget ("
+              << fedshare::runtime::to_string(stop)
+              << "): " << degraded_sections << "\n";
+    return 3;
   }
   return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates the golden CLI snapshots in tests/golden/.
+#
+# The golden harness (tests/test_golden.cpp) fails tier-1 when the CLI's
+# rendered output drifts from these files. When an intentional change
+# alters the output, run this script, review the diff, and commit the
+# new snapshots alongside the change.
+#
+# Usage: tools/update_golden.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+cli="$build/tools/fedshare_cli"
+
+if [[ ! -x "$cli" ]]; then
+  echo "building fedshare_cli in $build ..."
+  cmake -B "$build" -S "$root" >/dev/null
+  cmake --build "$build" --target fedshare_cli -j >/dev/null
+fi
+
+mkdir -p "$root/tests/golden"
+"$cli" "$root/configs/sec41.ini" > "$root/tests/golden/sec41.txt"
+"$cli" "$root/configs/planetlab.ini" > "$root/tests/golden/planetlab.txt"
+"$cli" --serve "$root/configs/serve_demo.events" \
+  > "$root/tests/golden/serve_demo.txt"
+
+for f in sec41 planetlab serve_demo; do
+  echo "updated tests/golden/$f.txt"
+done
