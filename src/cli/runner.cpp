@@ -12,6 +12,9 @@
 #include "runtime/budget.hpp"
 #include "runtime/outage.hpp"
 #include "runtime/resilient.hpp"
+#include "structure/csg.hpp"
+#include "structure/hedonic.hpp"
+#include "structure/stability.hpp"
 #include "verify/audit.hpp"
 
 namespace fedshare::cli {
@@ -97,6 +100,69 @@ void print_verification(std::ostream& out, verify::VerifyLevel level,
   for (const auto& note : report.notes) {
     out << "note: " << note.check << ": " << note.detail << "\n";
   }
+}
+
+// The --structure section: the partition found by the selected engine,
+// per-block values and payoffs, welfare vs the grand coalition, and
+// stability verdicts. Deterministic text (both engines are).
+void print_structure(std::ostream& out, structure::StructureMode mode,
+                     const game::Game& g,
+                     const std::vector<std::string>& names, int precision) {
+  io::print_heading(out, "Coalition structure");
+  game::CoalitionStructure partition;
+  if (mode == structure::StructureMode::kOptimal) {
+    const auto r = structure::optimal_structure(g);
+    partition = r.structure;
+    out << "mode: optimal (exact subset-lattice DP, " << r.splits_considered
+        << " first-block candidates)\n";
+  } else {
+    const auto r = structure::hedonic_merge_split(g);
+    partition = r.partition;
+    out << "mode: hedonic (merge/split dynamics, " << r.iterations
+        << " operations, "
+        << (r.converged ? "converged" : "operation cap reached") << ")\n";
+  }
+  const double welfare = structure::structure_welfare(g, partition);
+  const double grand = g.value(game::Coalition::grand(g.num_players()));
+  const auto payoffs = structure::partition_payoffs(g, partition);
+
+  io::Table table({"block", "V(S)"});
+  table.set_align(0, io::Align::kLeft);
+  for (const auto& block : partition.unions) {
+    std::string label;
+    for (const int m : block.members()) {
+      if (!label.empty()) label += "+";
+      label += names[static_cast<std::size_t>(m)];
+    }
+    table.add_row({label, io::format_double(g.value(block), precision)});
+  }
+  table.print(out);
+  out << "structure welfare: " << io::format_double(welfare, precision)
+      << " (grand coalition " << io::format_double(grand, precision) << ", "
+      << (welfare > grand + 1e-12
+              ? "partitioning gains " +
+                    io::format_double(welfare - grand, precision)
+              : "grand coalition is optimal")
+      << ")\n";
+
+  io::Table ptable({"facility", "payoff"});
+  ptable.set_align(0, io::Align::kLeft);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ptable.add_row({names[i], io::format_double(payoffs[i], precision)});
+  }
+  out << '\n';
+  ptable.print(out);
+
+  const auto stability = structure::analyze_stability(g, partition);
+  out << "merge/split stable: " << (stability.merge_split_stable ? "yes" : "no")
+      << "\n";
+  out << "defection-proof: " << (stability.defection_proof ? "yes" : "no")
+      << " (max within-block excess "
+      << io::format_double(stability.max_excess, precision);
+  if (!stability.defection_proof) {
+    out << " by " << stability.worst_deviation.to_string();
+  }
+  out << ")\n";
 }
 
 }  // namespace
@@ -207,7 +273,8 @@ void print_symmetry(std::ostringstream& out, const model::Federation& fed,
 // this function byte-identical to the historical report).
 std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
                          verify::VerifyLevel verify_level,
-                         game::SymmetryMode symmetry) {
+                         game::SymmetryMode symmetry,
+                         structure::StructureMode structure_mode) {
   const model::Federation fed = federation_from_config(config);
   int precision = 4;
   const auto options = config.sections_named("options");
@@ -306,6 +373,10 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
     rtable.print(out);
   }
 
+  if (structure_mode != structure::StructureMode::kOff) {
+    print_structure(out, structure_mode, g, names, precision);
+  }
+
   if (verify_level != verify::VerifyLevel::kOff) {
     print_verification(out, verify_level, audited.report);
   }
@@ -316,7 +387,8 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
 
 std::string run_report(const io::Config& config) {
   return plain_report(config, lp::SolverKind::kDense,
-                      verify::VerifyLevel::kOff, game::SymmetryMode::kOff);
+                      verify::VerifyLevel::kOff, game::SymmetryMode::kOff,
+                      structure::StructureMode::kOff);
 }
 
 namespace {
@@ -481,6 +553,21 @@ ReportResult resilient_report(const io::Config& config,
     }
   }
 
+  // Optional coalition-structure section. The engines read only the
+  // tabulated values (free under the charging rule), so once the table
+  // exists the section always completes; without it the section is
+  // skipped and recorded as degraded rather than re-charging the budget.
+  if (ropts.structure != structure::StructureMode::kOff) {
+    if (tab) {
+      print_structure(out, ropts.structure, *tab, names, precision);
+    } else {
+      rs.notes.emplace_back(
+          "coalition structure: skipped (coalition table unavailable "
+          "under deadline)");
+      result.degraded_sections.emplace_back("coalition structure");
+    }
+  }
+
   io::print_heading(out, "Resilience");
   if (ropts.deadline_ms.has_value()) {
     out << "deadline: " << *ropts.deadline_ms << " ms\n";
@@ -572,7 +659,7 @@ ReportResult run_report_result(const io::Config& config,
   if (!options.any()) {
     ReportResult result;
     result.text = plain_report(config, options.lp_solver, options.verify,
-                               options.symmetry);
+                               options.symmetry, options.structure);
     return result;
   }
   return resilient_report(config, options);

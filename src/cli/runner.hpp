@@ -64,6 +64,16 @@
 //                            `auto` verifies the grouping on sampled
 //                            coalitions first; `off` (the default)
 //                            keeps the per-coalition path.
+//   --structure <off|optimal|hedonic>
+//                            coalition-structure analysis (see
+//                            src/structure). `optimal` appends a
+//                            section with the welfare-maximising
+//                            partition from the exact subset-lattice
+//                            DP; `hedonic` reports the merge/split
+//                            fixed point instead. Both include
+//                            stability verdicts (D_hp and within-block
+//                            defection-proofness). `off` (the default)
+//                            leaves the output untouched.
 //
 // Without any flag the output is byte-identical to previous releases.
 #pragma once
@@ -77,6 +87,7 @@
 #include "lp/simplex.hpp"
 #include "model/federation.hpp"
 #include "runtime/budget.hpp"
+#include "structure/csg.hpp"
 #include "verify/certificates.hpp"
 
 namespace fedshare::cli {
@@ -109,6 +120,11 @@ struct ReportOptions {
   /// with the sampling oracle. Non-kOff modes append a Symmetry section
   /// but produce the same values (symmetric games only).
   game::SymmetryMode symmetry = game::SymmetryMode::kOff;
+  /// Coalition-structure analysis (--structure, see structure/csg.hpp).
+  /// kOff (the default) leaves the report untouched; kOptimal appends a
+  /// section with the exact-DP welfare-optimal partition; kHedonic with
+  /// the merge/split fixed point. Both report stability verdicts.
+  structure::StructureMode structure = structure::StructureMode::kOff;
 
   [[nodiscard]] bool any() const noexcept {
     return deadline_ms.has_value() || outage_scenarios > 0;

@@ -2,28 +2,49 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace fedshare::game {
 
 void CoalitionStructure::validate(int num_players) const {
-  if (unions.empty()) {
-    throw std::invalid_argument("CoalitionStructure: no unions");
+  if (num_players < 1 || num_players > Coalition::kMaxPlayers) {
+    throw std::invalid_argument(
+        "CoalitionStructure: num_players " + std::to_string(num_players) +
+        " outside [1, " + std::to_string(Coalition::kMaxPlayers) + "]");
   }
+  if (unions.empty()) {
+    throw std::invalid_argument(
+        "CoalitionStructure: no unions (a partition of " +
+        std::to_string(num_players) + " players needs at least one block)");
+  }
+  const Coalition grand = Coalition::grand(num_players);
   Coalition seen;
-  int total = 0;
-  for (const auto& u : unions) {
+  for (std::size_t k = 0; k < unions.size(); ++k) {
+    const Coalition u = unions[k];
     if (u.empty()) {
-      throw std::invalid_argument("CoalitionStructure: empty union");
+      throw std::invalid_argument("CoalitionStructure: union #" +
+                                  std::to_string(k) + " is empty");
     }
-    if (!u.intersected(seen).empty()) {
-      throw std::invalid_argument("CoalitionStructure: unions overlap");
+    if (!u.is_subset_of(grand)) {
+      throw std::invalid_argument(
+          "CoalitionStructure: union #" + std::to_string(k) + " = " +
+          u.to_string() + " contains player " +
+          std::to_string(u.minus(grand).members().front()) +
+          " >= num_players (" + std::to_string(num_players) + ")");
+    }
+    const Coalition overlap = u.intersected(seen);
+    if (!overlap.empty()) {
+      throw std::invalid_argument(
+          "CoalitionStructure: union #" + std::to_string(k) + " = " +
+          u.to_string() + " overlaps an earlier union on " +
+          overlap.to_string());
     }
     seen = seen.united(u);
-    total += u.size();
   }
-  if (total != num_players || seen != Coalition::grand(num_players)) {
+  if (seen != grand) {
     throw std::invalid_argument(
-        "CoalitionStructure: unions must partition all players");
+        "CoalitionStructure: players " + grand.minus(seen).to_string() +
+        " are covered by no union");
   }
 }
 

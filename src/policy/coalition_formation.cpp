@@ -1,69 +1,24 @@
+// Legacy merge-split API, now a thin forwarding shim over the
+// structure subsystem's hedonic engine (structure/hedonic.hpp). The
+// engine reproduces this module's candidate order exactly — merge
+// collections by size then lexicographic, splits anchored on each
+// block's lowest member — while routing every V(S) through a shared
+// exec::ValueCache and lifting the block-count ceiling. The historical
+// n <= 10 guard is kept here as this API's documented envelope (its
+// callers sized their games to it, and its error contract is tested);
+// larger games should call structure::hedonic_merge_split directly.
 #include "policy/coalition_formation.hpp"
 
-#include <algorithm>
-#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
-#include "core/shapley.hpp"
+#include "structure/hedonic.hpp"
 
 namespace fedshare::policy {
 
-namespace {
-
-// Shapley payoffs of the subgame restricted to `block`, written into
-// `payoffs` at the members' global indices.
-void block_shapley(const game::Game& g, game::Coalition block,
-                   std::vector<double>& payoffs) {
-  const std::vector<int> members = block.members();
-  const auto k = static_cast<int>(members.size());
-  const game::FunctionGame sub(k, [&](game::Coalition s) {
-    game::Coalition mapped;
-    for (int b = 0; b < k; ++b) {
-      if (s.contains(b)) {
-        mapped = mapped.with(members[static_cast<std::size_t>(b)]);
-      }
-    }
-    return g.value(mapped);
-  });
-  const std::vector<double> phi = game::shapley_exact(sub);
-  for (int b = 0; b < k; ++b) {
-    payoffs[static_cast<std::size_t>(members[static_cast<std::size_t>(b)])] =
-        phi[static_cast<std::size_t>(b)];
-  }
-}
-
-// Pareto comparison over the players in `scope`: true iff nobody loses
-// and someone strictly gains.
-bool pareto_improves(const std::vector<double>& before,
-                     const std::vector<double>& after,
-                     game::Coalition scope) {
-  bool strict = false;
-  for (const int p : scope.members()) {
-    const auto up = static_cast<std::size_t>(p);
-    if (after[up] < before[up] - 1e-9) return false;
-    if (after[up] > before[up] + 1e-9) strict = true;
-  }
-  return strict;
-}
-
-void sort_partition(std::vector<game::Coalition>& blocks) {
-  std::sort(blocks.begin(), blocks.end(),
-            [](game::Coalition a, game::Coalition b) {
-              return a.bits() < b.bits();
-            });
-}
-
-}  // namespace
-
 std::vector<double> partition_payoffs(
     const game::Game& g, const game::CoalitionStructure& partition) {
-  partition.validate(g.num_players());
-  std::vector<double> payoffs(static_cast<std::size_t>(g.num_players()),
-                              0.0);
-  for (const auto& block : partition.unions) {
-    block_shapley(g, block, payoffs);
-  }
-  return payoffs;
+  return structure::partition_payoffs(g, partition);
 }
 
 FormationResult merge_split(const game::Game& g, int max_operations) {
@@ -81,103 +36,21 @@ FormationResult merge_split(const game::Game& g,
   if (n < 1 || n > 10) {
     throw std::invalid_argument("merge_split: n must be in [1, 10]");
   }
-  start.validate(n);
-
+  structure::HedonicOptions options;
+  options.max_operations = max_operations;
+  structure::HedonicResult r =
+      structure::hedonic_merge_split(g, std::move(start), options);
   FormationResult result;
-  std::vector<game::Coalition> blocks = start.unions;
-  sort_partition(blocks);
-  std::vector<double> payoffs;
-  {
-    game::CoalitionStructure cs;
-    cs.unions = blocks;
-    payoffs = partition_payoffs(g, cs);
-  }
-
-  while (result.iterations < max_operations) {
-    bool changed = false;
-
-    // Merge phase: try every collection of >= 2 blocks (the merge rule
-    // of Saad et al. is not restricted to pairs — pairwise merging is
-    // too myopic when only larger unions create value, e.g. the paper's
-    // grand-coalition-only thresholds). Smaller collections first.
-    const std::size_t num_blocks = blocks.size();
-    if (num_blocks >= 2 && num_blocks <= 16) {
-      std::vector<std::uint32_t> collections;
-      for (std::uint32_t mask = 1;
-           mask < (std::uint32_t{1} << num_blocks); ++mask) {
-        if (__builtin_popcount(mask) >= 2) collections.push_back(mask);
-      }
-      std::stable_sort(collections.begin(), collections.end(),
-                       [](std::uint32_t a, std::uint32_t b) {
-                         return __builtin_popcount(a) <
-                                __builtin_popcount(b);
-                       });
-      for (const std::uint32_t mask : collections) {
-        game::Coalition merged;
-        for (std::size_t j = 0; j < num_blocks; ++j) {
-          if ((mask >> j) & 1u) merged = merged.united(blocks[j]);
-        }
-        std::vector<double> trial = payoffs;
-        block_shapley(g, merged, trial);
-        if (pareto_improves(payoffs, trial, merged)) {
-          std::vector<game::Coalition> next;
-          for (std::size_t j = 0; j < num_blocks; ++j) {
-            if (!((mask >> j) & 1u)) next.push_back(blocks[j]);
-          }
-          next.push_back(merged);
-          blocks = std::move(next);
-          sort_partition(blocks);
-          payoffs = std::move(trial);
-          changed = true;
-          ++result.iterations;
-          break;
-        }
-      }
-    }
-    if (changed) continue;
-
-    // Split phase: try every 2-partition of every block.
-    for (std::size_t a = 0; a < blocks.size() && !changed; ++a) {
-      const game::Coalition block = blocks[a];
-      if (block.size() < 2) continue;
-      // Enumerate proper non-empty submasks containing the lowest member
-      // (avoids visiting each 2-partition twice).
-      const int anchor = block.members().front();
-      game::for_each_subset(block.without(anchor), [&](game::Coalition sub) {
-        if (changed) return;
-        const game::Coalition part1 = sub.with(anchor);
-        const game::Coalition part2 = block.minus(part1);
-        if (part2.empty()) return;
-        std::vector<double> trial = payoffs;
-        block_shapley(g, part1, trial);
-        block_shapley(g, part2, trial);
-        if (pareto_improves(payoffs, trial, block)) {
-          blocks[a] = part1;
-          blocks.push_back(part2);
-          sort_partition(blocks);
-          payoffs = std::move(trial);
-          changed = true;
-          ++result.iterations;
-        }
-      });
-    }
-    if (!changed) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.partition.unions = std::move(blocks);
-  result.payoffs = std::move(payoffs);
+  result.partition = std::move(r.partition);
+  result.payoffs = std::move(r.payoffs);
+  result.iterations = r.iterations;
+  result.converged = r.converged;
   return result;
 }
 
 bool is_merge_split_stable(const game::Game& g,
                            const game::CoalitionStructure& partition) {
-  game::CoalitionStructure copy = partition;
-  const FormationResult r = merge_split(g, std::move(copy),
-                                        /*max_operations=*/1);
-  return r.converged && r.iterations == 0;
+  return structure::is_merge_split_stable(g, partition);
 }
 
 }  // namespace fedshare::policy

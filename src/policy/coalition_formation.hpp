@@ -11,6 +11,12 @@
 //   * split — a coalition breaks in two under the same Pareto rule.
 // A partition with no admissible merge or split is merge-split stable
 // (D_hp-stability in the Saad et al. terminology).
+//
+// This API is now a thin shim over structure/hedonic.hpp (same
+// dynamics, shared value cache, no block-count ceiling); it keeps its
+// historical n <= 10 envelope for compatibility. New code — and any
+// game larger than 10 players — should use
+// structure::hedonic_merge_split directly.
 #pragma once
 
 #include <vector>

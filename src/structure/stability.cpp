@@ -1,0 +1,42 @@
+#include "structure/stability.hpp"
+
+#include "core/coalition.hpp"
+#include "structure/hedonic.hpp"
+
+namespace fedshare::structure {
+
+StabilityReport analyze_stability(const game::Game& g,
+                                  const game::CoalitionStructure& partition,
+                                  double tolerance) {
+  partition.validate(g.num_players());
+
+  StabilityReport report;
+  report.payoffs = partition_payoffs(g, partition);
+  report.merge_split_stable = is_merge_split_stable(g, partition);
+
+  // Within-block defection scan: for each block B, every non-empty
+  // proper T subset of B is compared against its standalone value
+  // (ascending submask order; strictly-greater updates keep the
+  // recorded worst deviation deterministic).
+  bool first = true;
+  for (const auto& block : partition.unions) {
+    game::for_each_subset(block, [&](game::Coalition t) {
+      if (t.empty() || t == block) return;
+      double paid = 0.0;
+      for (const int p : t.members()) {
+        paid += report.payoffs[static_cast<std::size_t>(p)];
+      }
+      const double excess = g.value(t) - paid;
+      if (first || excess > report.max_excess) {
+        first = false;
+        report.max_excess = excess;
+        report.worst_deviation = t;
+      }
+    });
+  }
+  if (first) report.max_excess = 0.0;  // all blocks singletons
+  report.defection_proof = report.max_excess <= tolerance;
+  return report;
+}
+
+}  // namespace fedshare::structure

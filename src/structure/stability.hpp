@@ -1,0 +1,53 @@
+// Stability analysis of a coalition structure.
+//
+// Two notions, both relative to the structure's internal payoff vector
+// x (each block S earns V(S), split by the Shapley value of the
+// subgame on S — hedonic.hpp's partition_payoffs):
+//
+//   * merge/split (D_hp) stability — no Pareto-improving merge of
+//     blocks and no Pareto-improving 2-split of a block exists; the
+//     fixed-point condition of the hedonic dynamics.
+//   * defection-proofness — no non-empty proper subset T of any block B
+//     could earn more on its own than it is paid: the within-block
+//     excess e(T) = V(T) - x(T) is <= tolerance for every such T. This
+//     is the structure-local analogue of the core's coalitional-
+//     rationality rows (core_solution.hpp's max_core_violation,
+//     restricted to deviations that respect block boundaries).
+//
+// The two are incomparable: a merge/split-stable partition can still
+// harbour a profitable sub-block defection (splits only test
+// 2-partitions under the Pareto rule, defection tests every subset
+// against its own standalone value), and a defection-proof one can
+// admit a profitable merge.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/owen.hpp"
+
+namespace fedshare::structure {
+
+/// Stability verdict for one structure.
+struct StabilityReport {
+  /// No admissible merge or split (D_hp stability).
+  bool merge_split_stable = false;
+  /// max within-block excess <= tolerance.
+  bool defection_proof = false;
+  /// max over blocks B and non-empty proper T subset B of V(T) - x(T).
+  /// -inf-free: 0 when no block has a proper subset (all singletons).
+  double max_excess = 0.0;
+  /// A coalition attaining max_excess (empty when all singletons).
+  game::Coalition worst_deviation;
+  /// The payoff vector x the verdicts are relative to.
+  std::vector<double> payoffs;
+};
+
+/// Analyses `partition` (validated first). `tolerance` bounds the
+/// excess allowed before a deviation counts as profitable. Block sizes
+/// beyond ~20 make the within-block subset scan expensive (2^|B|).
+[[nodiscard]] StabilityReport analyze_stability(
+    const game::Game& game, const game::CoalitionStructure& partition,
+    double tolerance = 1e-9);
+
+}  // namespace fedshare::structure

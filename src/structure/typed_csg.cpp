@@ -1,0 +1,225 @@
+#include "structure/typed_csg.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/pool.hpp"
+
+namespace fedshare::structure {
+
+namespace {
+
+// Orbits per parallel chunk of one DP level (the per-orbit body is a
+// sub-vector odometer scan, comparable to the mask DP's submask scan).
+constexpr std::uint64_t kTypedChunk = 16;
+
+std::vector<int> singleton_counts(const game::OrbitIndex& index, int player) {
+  std::vector<int> c(static_cast<std::size_t>(index.num_types()), 0);
+  c[static_cast<std::size_t>(index.partition().type_of(player))] = 1;
+  return c;
+}
+
+TypedStructureResult degraded(game::CoalitionStructure structure,
+                              std::vector<std::vector<int>> block_counts,
+                              double welfare,
+                              const runtime::ComputeBudget& budget) {
+  TypedStructureResult r;
+  r.structure = std::move(structure);
+  r.block_counts = std::move(block_counts);
+  r.welfare = welfare;
+  r.complete = false;
+  (void)budget.exhausted();
+  r.stop = budget.stop_reason();
+  return r;
+}
+
+}  // namespace
+
+TypedStructureResult optimal_structure_typed(
+    const game::QuotientGame& g, const runtime::ComputeBudget& budget) {
+  const game::OrbitIndex& index = g.orbits();
+  const int n = g.num_players();
+  const int num_types = index.num_types();
+  const std::uint64_t orbit_count = index.orbit_count();
+  if (n < 1) {
+    throw std::invalid_argument("optimal_structure_typed: empty game");
+  }
+
+  // Incumbent phase, mirroring optimal_structure: all-singletons then
+  // grand, serially, so any trip degrades identically at every thread
+  // count. Singleton reads charge one orbit per *type*, not per player.
+  std::vector<double> single_values;
+  single_values.reserve(static_cast<std::size_t>(n));
+  game::CoalitionStructure singles;
+  std::vector<std::vector<int>> singles_counts;
+  for (int i = 0; i < n; ++i) {
+    singles.unions.push_back(game::Coalition::single(i));
+    singles_counts.push_back(singleton_counts(index, i));
+    const auto v = g.value_budgeted(game::Coalition::single(i), budget);
+    if (!v) {
+      double partial = 0.0;
+      for (auto it = single_values.rbegin(); it != single_values.rend();
+           ++it) {
+        partial = *it + partial;
+      }
+      return degraded(std::move(singles), std::move(singles_counts), partial,
+                      budget);
+    }
+    single_values.push_back(*v);
+  }
+  double singles_welfare = 0.0;
+  for (auto it = single_values.rbegin(); it != single_values.rend(); ++it) {
+    singles_welfare = *it + singles_welfare;
+  }
+  const auto grand_value = g.value_budgeted(game::Coalition::grand(n), budget);
+  if (!grand_value) {
+    return degraded(std::move(singles), std::move(singles_counts),
+                    singles_welfare, budget);
+  }
+  game::CoalitionStructure incumbent;
+  std::vector<std::vector<int>> incumbent_counts;
+  double incumbent_welfare;
+  if (*grand_value >= singles_welfare) {
+    incumbent.unions.push_back(game::Coalition::grand(n));
+    std::vector<int> full(static_cast<std::size_t>(num_types));
+    for (int t = 0; t < num_types; ++t) {
+      full[static_cast<std::size_t>(t)] = index.partition().multiplicity(t);
+    }
+    incumbent_counts.push_back(std::move(full));
+    incumbent_welfare = *grand_value;
+  } else {
+    incumbent = singles;
+    incumbent_counts = singles_counts;
+    incumbent_welfare = singles_welfare;
+  }
+
+  // Value phase: the whole orbit table under the budget (one unit per
+  // orbit not already cached; all-or-nothing on a trip).
+  const auto orbit_values = g.orbit_values_budgeted(budget);
+  if (!orbit_values) {
+    return degraded(std::move(incumbent), std::move(incumbent_counts),
+                    incumbent_welfare, budget);
+  }
+  const std::vector<double>& v = *orbit_values;
+
+  // DP phase over count vectors, streamed by level |c|. The first part
+  // d is anchored on the lowest type present in c (d_t0 >= 1), so each
+  // multiset partition of c is generated once per distinct first part
+  // — duplicates across equal parts are harmless for the max and the
+  // per-orbit enumeration order is fixed, so results are bit-identical
+  // at any thread count.
+  std::vector<double> best(static_cast<std::size_t>(orbit_count), 0.0);
+  std::vector<std::uint64_t> choice(static_cast<std::size_t>(orbit_count), 0);
+  std::vector<std::vector<std::uint64_t>> levels(
+      static_cast<std::size_t>(n) + 1);
+  for (std::uint64_t orbit = 1; orbit < orbit_count; ++orbit) {
+    levels[static_cast<std::size_t>(index.level(orbit))].push_back(orbit);
+  }
+  // Mixed-radix strides: ids are linear in counts, so stride_t is just
+  // the orbit id of the single-member coalition {first member of t}.
+  std::vector<std::uint64_t> stride(static_cast<std::size_t>(num_types));
+  for (int t = 0; t < num_types; ++t) {
+    stride[static_cast<std::size_t>(t)] = index.orbit_of(
+        std::uint64_t{1} << index.partition().members(t).front());
+  }
+  for (int level = 1; level <= n; ++level) {
+    const auto& orbits = levels[static_cast<std::size_t>(level)];
+    exec::parallel_for(0, orbits.size(), kTypedChunk,
+                       [&](const exec::ChunkRange& r) {
+      std::vector<int> c;
+      std::vector<int> d;
+      for (std::uint64_t idx = r.begin; idx < r.end; ++idx) {
+        const std::uint64_t orbit = orbits[idx];
+        c = index.counts(orbit);
+        int t0 = 0;
+        while (c[static_cast<std::size_t>(t0)] == 0) ++t0;
+        // d = c (the whole-of-c part) first, then every anchored
+        // sub-vector in ascending id order with strictly-greater
+        // updates — same tie-break as the mask DP.
+        double best_here = v[static_cast<std::size_t>(orbit)];
+        std::uint64_t choice_here = orbit;
+        d.assign(c.size(), 0);
+        d[static_cast<std::size_t>(t0)] = 1;
+        std::uint64_t d_id = stride[static_cast<std::size_t>(t0)];
+        while (true) {
+          const double candidate =
+              v[static_cast<std::size_t>(d_id)] +
+              best[static_cast<std::size_t>(orbit - d_id)];
+          if (candidate > best_here) {
+            best_here = candidate;
+            choice_here = d_id;
+          }
+          // Odometer: next d within the box [d_t0 >= 1, d <= c],
+          // least-significant type first (ascending id order).
+          int t = 0;
+          while (t < num_types) {
+            const auto ut = static_cast<std::size_t>(t);
+            if (d[ut] < c[ut]) {
+              ++d[ut];
+              d_id += stride[ut];
+              break;
+            }
+            const int floor_t = (t == t0) ? 1 : 0;
+            d_id -= static_cast<std::uint64_t>(d[ut] - floor_t) * stride[ut];
+            d[ut] = floor_t;
+            ++t;
+          }
+          if (t == num_types) break;  // odometer wrapped: box exhausted
+        }
+        best[static_cast<std::size_t>(orbit)] = best_here;
+        choice[static_cast<std::size_t>(orbit)] = choice_here;
+      }
+      return true;
+    });
+  }
+
+  TypedStructureResult result;
+  result.orbits = orbit_count;
+  // Anchored first parts per state: c_t0 * prod_{t != t0} (c_t + 1).
+  for (std::uint64_t orbit = 1; orbit < orbit_count; ++orbit) {
+    const std::vector<int> c = index.counts(orbit);
+    int t0 = 0;
+    while (c[static_cast<std::size_t>(t0)] == 0) ++t0;
+    std::uint64_t count = 1;
+    for (int t = 0; t < num_types; ++t) {
+      const int ct = c[static_cast<std::size_t>(t)];
+      count *= static_cast<std::uint64_t>(t == t0 ? ct : ct + 1);
+    }
+    result.splits_considered += count;
+  }
+
+  // Reconstruct the count-vector solution, then expand to a concrete
+  // structure: each block takes the lowest-indexed unused members of
+  // each of its types (any assignment has equal welfare — symmetry).
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(num_types), 0);
+  std::uint64_t remaining = orbit_count - 1;
+  std::vector<std::pair<game::Coalition, std::vector<int>>> blocks;
+  while (remaining != 0) {
+    const std::uint64_t part = choice[static_cast<std::size_t>(remaining)];
+    const std::vector<int> counts = index.counts(part);
+    game::Coalition block;
+    for (int t = 0; t < num_types; ++t) {
+      const auto& members = index.partition().members(t);
+      for (int k = 0; k < counts[static_cast<std::size_t>(t)]; ++k) {
+        block = block.with(members[cursor[static_cast<std::size_t>(t)]++]);
+      }
+    }
+    blocks.emplace_back(block, counts);
+    remaining -= part;
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) {
+              return (a.first.bits() & -a.first.bits()) <
+                     (b.first.bits() & -b.first.bits());
+            });
+  for (auto& [block, counts] : blocks) {
+    result.structure.unions.push_back(block);
+    result.block_counts.push_back(std::move(counts));
+  }
+  result.welfare = best[static_cast<std::size_t>(orbit_count - 1)];
+  return result;
+}
+
+}  // namespace fedshare::structure

@@ -36,20 +36,26 @@ std::string read_file(const std::string& path) {
 
 // Goldens are recorded at 1 thread (the CLI default); pin it so a
 // FEDSHARE_THREADS environment leak cannot fail the comparison.
-void expect_report_matches(const std::string& config_name) {
+void expect_report_matches(const std::string& config_name,
+                           const std::string& golden_name,
+                           const fedshare::cli::ReportOptions& options) {
   fedshare::exec::set_threads(1);
   std::ifstream in(repo_path("configs/" + config_name + ".ini"));
   ASSERT_TRUE(in) << "missing configs/" << config_name << ".ini";
   const auto config = fedshare::io::Config::parse(in);
-  const auto result =
-      fedshare::cli::run_report_result(config, fedshare::cli::ReportOptions{});
+  const auto result = fedshare::cli::run_report_result(config, options);
   EXPECT_FALSE(result.degraded());
-  EXPECT_EQ(result.text, read_file(repo_path("tests/golden/" + config_name +
+  EXPECT_EQ(result.text, read_file(repo_path("tests/golden/" + golden_name +
                                              ".txt")))
       << "CLI output for configs/" << config_name
       << ".ini drifted from its golden snapshot. If the change is "
          "intentional, regenerate with tools/update_golden.sh and commit "
          "the diff.";
+}
+
+void expect_report_matches(const std::string& config_name) {
+  expect_report_matches(config_name, config_name,
+                        fedshare::cli::ReportOptions{});
 }
 
 TEST(GoldenTest, Sec41ReportMatchesSnapshot) {
@@ -58,6 +64,15 @@ TEST(GoldenTest, Sec41ReportMatchesSnapshot) {
 
 TEST(GoldenTest, PlanetlabReportMatchesSnapshot) {
   expect_report_matches("planetlab");
+}
+
+// The coalition-structure section (--structure optimal) on top of the
+// planetlab report; also pins that the base report is unchanged by the
+// flag machinery (the plain snapshot above stays byte-identical).
+TEST(GoldenTest, PlanetlabStructureReportMatchesSnapshot) {
+  fedshare::cli::ReportOptions options;
+  options.structure = fedshare::structure::StructureMode::kOptimal;
+  expect_report_matches("planetlab", "planetlab_structure", options);
 }
 
 TEST(GoldenTest, ServeDemoEventFileMatchesSnapshot) {

@@ -29,12 +29,12 @@ cmake -S "$root" -B "$root/build-asan" \
 cmake --build "$root/build-asan" -j "$jobs"
 ctest --test-dir "$root/build-asan" -j "$jobs" --output-on-failure "$@"
 
-echo "== exec + LP-sweep + lattice/symmetry + serve tests under ThreadSanitizer =="
+echo "== exec + LP-sweep + lattice/symmetry + serve + structure tests under ThreadSanitizer =="
 cmake -S "$root" -B "$root/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
 ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
-  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|ServeStateTest|ServeChaosTest'
+  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|ServeStateTest|ServeChaosTest|StructureParallelTest'
 
 echo "== perf smoke (dense vs revised simplex) =="
 cmake --build "$root/build" -j "$jobs" --target perf_simplex
@@ -51,6 +51,10 @@ cmake --build "$root/build" -j "$jobs" --target perf_verify
 echo "== serve smoke (incremental re-solve vs cold re-tabulation, replay) =="
 cmake --build "$root/build" -j "$jobs" --target perf_serve
 "$root/build/bench/perf_serve" --smoke
+
+echo "== structure smoke (subset-lattice DP vs brute-force CSG, bitwise) =="
+cmake --build "$root/build" -j "$jobs" --target ablate_structure
+"$root/build/bench/ablate_structure" --smoke
 
 echo "== differential LP fuzz (dense vs revised vs warm, certified) =="
 cmake --build "$root/build" -j "$jobs" --target fuzz_lp

@@ -25,6 +25,7 @@ constexpr const char* kUsage =
                     [--lp-solver <dense|revised>]
                     [--verify <off|cheap|full>]
                     [--symmetry <off|auto|exact>]
+                    [--structure <off|optimal|hedonic>]
        fedshare_cli --serve <events-file> [--deadline-ms <ms>]
                     [--threads <n>] [--lp-solver <dense|revised>]
                     [--no-bounds]
@@ -84,6 +85,15 @@ Resilience options:
                            coalitions first; safe on any config). Adds
                            a Symmetry section listing types and the
                            orbit count
+  --structure <mode>       coalition-structure analysis: 'off'
+                           (default, unchanged output), 'optimal'
+                           (exact welfare-maximising partition via the
+                           subset-lattice DP) or 'hedonic' (merge/
+                           split dynamics fixed point). Appends a
+                           Coalition structure section with per-block
+                           values, Shapley payoffs within blocks,
+                           welfare vs the grand coalition, and
+                           stability verdicts
 
 Config example:
 
@@ -216,6 +226,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       report_options.symmetry = *mode;
+      continue;
+    }
+    if (arg == "--structure" || arg.rfind("--structure=", 0) == 0) {
+      std::string value;
+      if (arg == "--structure") {
+        if (i + 1 >= argc) {
+          std::cerr << "fedshare_cli: --structure needs a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(std::string("--structure=").size());
+      }
+      const auto mode = fedshare::structure::structure_mode_from_string(value);
+      if (!mode) {
+        std::cerr << "fedshare_cli: --structure must be 'off', 'optimal' or "
+                     "'hedonic', got '"
+                  << value << "'\n";
+        return 2;
+      }
+      report_options.structure = *mode;
       continue;
     }
     if (arg == "--deadline-ms" || arg == "--outage-scenarios" ||

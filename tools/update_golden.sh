@@ -22,9 +22,11 @@ fi
 mkdir -p "$root/tests/golden"
 "$cli" "$root/configs/sec41.ini" > "$root/tests/golden/sec41.txt"
 "$cli" "$root/configs/planetlab.ini" > "$root/tests/golden/planetlab.txt"
+"$cli" --structure optimal "$root/configs/planetlab.ini" \
+  > "$root/tests/golden/planetlab_structure.txt"
 "$cli" --serve "$root/configs/serve_demo.events" \
   > "$root/tests/golden/serve_demo.txt"
 
-for f in sec41 planetlab serve_demo; do
+for f in sec41 planetlab planetlab_structure serve_demo; do
   echo "updated tests/golden/$f.txt"
 done
