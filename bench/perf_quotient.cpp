@@ -8,9 +8,9 @@
 // path with FEDSHARE_BENCH_OUT) with wall times, LP counts, pivot
 // counts, speedups, and max-abs-diff agreement columns, and supports
 // `--smoke`: a fast agreement gate (small n, quotient sweep and
-// quotient tabulation vs. their brute-force counterparts) that exits
-// non-zero on disagreement — tools/check.sh runs it as a perf-smoke
-// stage.
+// quotient tabulation vs. their brute-force counterparts, plus a
+// bitwise batched-vs-sequential panel gate) that exits non-zero on
+// disagreement — tools/check.sh runs it as a perf-smoke stage.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -61,11 +61,13 @@ model::DemandProfile typed_demand() {
 
 model::LpSweepResult run_sweep(const model::LocationSpace& space,
                                const model::DemandProfile& demand,
-                               game::SymmetryMode symmetry) {
+                               game::SymmetryMode symmetry,
+                               bool batch = true) {
   model::LpSweepOptions options;
   options.simplex.solver = lp::SolverKind::kRevised;
   options.warm_start = true;
   options.symmetry = symmetry;
+  options.batch = batch;
   return model::lp_relaxation_sweep(space, demand, options);
 }
 
@@ -139,6 +141,8 @@ struct QuotientRow {
   std::uint64_t full_pivots = 0;
   std::uint64_t quotient_pivots = 0;
   double sweep_diff = 0.0;  ///< max |quotient sweep - full sweep|
+  std::uint64_t full_batch_fast = 0;     ///< panel re-solves on the full sweep
+  std::uint64_t full_batch_spilled = 0;  ///< panel members that fell back
 };
 
 QuotientRow measure_quotient(int types, int copies, int reps) {
@@ -155,6 +159,8 @@ QuotientRow measure_quotient(int types, int copies, int reps) {
   row.full_pivots = full.total_pivots;
   row.quotient_pivots = quotient.total_pivots;
   row.sweep_diff = max_abs_diff(full.values, quotient.values);
+  row.full_batch_fast = full.batch_fast;
+  row.full_batch_spilled = full.batch_spilled;
   row.full_ms = time_ms(
       [&] { run_sweep(space, demand, game::SymmetryMode::kOff); }, reps);
   row.quotient_ms = time_ms(
@@ -204,6 +210,8 @@ void write_summary_json() {
         << ", \"quotient_lps\": " << r.quotient_lps
         << ", \"full_pivots\": " << r.full_pivots
         << ", \"quotient_pivots\": " << r.quotient_pivots
+        << ", \"full_batch_fast\": " << r.full_batch_fast
+        << ", \"full_batch_spilled\": " << r.full_batch_spilled
         << ", \"max_abs_diff\": " << r.sweep_diff << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -241,6 +249,42 @@ int run_smoke() {
                  "brute force (diff "
               << tab_diff << ", tol " << kAgreeTol << ")\n";
     ++failures;
+  }
+
+  // Batched-panel gate: both sweep flavours with batching forced off
+  // must be BITWISE identical (diff exactly 0, equal pivots) to the
+  // batched default, and the full sweep must actually use the panel.
+  {
+    const auto space = typed_space(4, 2);  // n = 8
+    const auto demand = typed_demand();
+    for (const auto symmetry :
+         {game::SymmetryMode::kOff, game::SymmetryMode::kExact}) {
+      const char* label =
+          symmetry == game::SymmetryMode::kOff ? "full" : "quotient";
+      const auto seq = run_sweep(space, demand, symmetry, false);
+      const auto bat = run_sweep(space, demand, symmetry, true);
+      const double diff = max_abs_diff(seq.values, bat.values);
+      std::cout << "smoke batched " << label << ": max_abs_diff=" << diff
+                << " batch_fast=" << bat.batch_fast
+                << " batch_spilled=" << bat.batch_spilled << "\n";
+      if (diff != 0.0) {
+        std::cerr << "perf_quotient --smoke: batched " << label
+                  << " sweep is not bitwise identical (diff " << diff
+                  << ", want exactly 0)\n";
+        ++failures;
+      }
+      if (bat.total_pivots != seq.total_pivots) {
+        std::cerr << "perf_quotient --smoke: batched " << label
+                  << " sweep pivot count drifted (" << bat.total_pivots
+                  << " vs " << seq.total_pivots << ")\n";
+        ++failures;
+      }
+      if (symmetry == game::SymmetryMode::kOff && bat.batch_fast == 0) {
+        std::cerr << "perf_quotient --smoke: batched full sweep never took "
+                     "the panel fast path\n";
+        ++failures;
+      }
+    }
   }
 
   std::cout << (failures == 0 ? "perf-smoke PASSED\n"

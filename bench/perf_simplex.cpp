@@ -1,7 +1,8 @@
 // A5 microbenchmarks: the simplex substrate on the LP shapes this
 // library actually solves — least-core programs, allocation relaxations,
 // and the 2^n coalition-relaxation sweep that compares the dense tableau
-// engine against the revised engine (cold and warm-started).
+// engine against the revised engine (cold, warm-started, and warm with
+// the batched multi-RHS panel — one factorization per sibling group).
 //
 // Besides the google-benchmark timings, the binary writes a
 // machine-readable BENCH_simplex.json summary (override the path with
@@ -19,6 +20,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "alloc/lp_relax.hpp"
@@ -131,16 +134,19 @@ model::DemandProfile sweep_demand() {
 
 model::LpSweepResult run_sweep(const model::LocationSpace& space,
                                const model::DemandProfile& demand,
-                               lp::SolverKind solver, bool warm) {
+                               lp::SolverKind solver, bool warm,
+                               bool batch = false) {
   model::LpSweepOptions options;
   options.simplex.solver = solver;
   options.warm_start = warm;
+  options.batch = batch;
   return model::lp_relaxation_sweep(space, demand, options);
 }
 
 void BM_CoalitionSweep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  // 0 = dense cold, 1 = revised cold, 2 = revised warm.
+  // 0 = dense cold, 1 = revised cold, 2 = revised warm (sequential),
+  // 3 = revised warm batched (multi-RHS panel off one factorization).
   const int mode = static_cast<int>(state.range(1));
   const auto space = sweep_space(n);
   const auto demand = sweep_demand();
@@ -148,14 +154,15 @@ void BM_CoalitionSweep(benchmark::State& state) {
       mode == 0 ? lp::SolverKind::kDense : lp::SolverKind::kRevised;
   std::uint64_t pivots = 0;
   for (auto _ : state) {
-    const auto result = run_sweep(space, demand, solver, mode == 2);
+    const auto result =
+        run_sweep(space, demand, solver, mode >= 2, mode == 3);
     pivots = result.total_pivots;
     benchmark::DoNotOptimize(result.values.data());
   }
   state.counters["pivots"] = static_cast<double>(pivots);
 }
 BENCHMARK(BM_CoalitionSweep)
-    ->ArgsProduct({{4, 6, 8, 10}, {0, 1, 2}})
+    ->ArgsProduct({{4, 6, 8, 10}, {0, 1, 2, 3}})
     ->ArgNames({"n", "mode"});
 
 // --- BENCH_simplex.json ---------------------------------------------------
@@ -166,17 +173,36 @@ double median_ms(std::vector<double> xs) {
 }
 
 template <typename Fn>
+double time_once_ms(const Fn& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+template <typename Fn>
 double time_ms(const Fn& fn, int reps) {
   std::vector<double> runs;
   runs.reserve(static_cast<std::size_t>(reps));
-  for (int i = 0; i < reps; ++i) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    runs.push_back(
-        std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
+  for (int i = 0; i < reps; ++i) runs.push_back(time_once_ms(fn));
   return median_ms(std::move(runs));
+}
+
+// Interleaved A/B timing: alternating the two runs rep by rep exposes
+// both to the same background-load profile, so their *ratio* is robust
+// even when a contention burst outlasts one side's whole rep window.
+template <typename FnA, typename FnB>
+std::pair<double, double> time_ms_pair(const FnA& a, const FnB& b,
+                                       int reps) {
+  std::vector<double> ra;
+  std::vector<double> rb;
+  ra.reserve(static_cast<std::size_t>(reps));
+  rb.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    ra.push_back(time_once_ms(a));
+    rb.push_back(time_once_ms(b));
+  }
+  return {median_ms(std::move(ra)), median_ms(std::move(rb))};
 }
 
 double max_abs_diff(const std::vector<double>& a,
@@ -193,11 +219,18 @@ struct SweepRow {
   double dense_ms = 0.0;
   double revised_cold_ms = 0.0;
   double revised_warm_ms = 0.0;
+  double batched_warm_ms = 0.0;
   std::uint64_t dense_pivots = 0;
   std::uint64_t revised_cold_pivots = 0;
   std::uint64_t revised_warm_pivots = 0;
+  std::uint64_t batched_warm_pivots = 0;
+  std::uint64_t batch_fast = 0;     ///< zero-pivot solves off the shared LU
+  std::uint64_t batch_spilled = 0;  ///< batched members that fell back
   double cold_diff = 0.0;  ///< max |revised cold - dense|
   double warm_diff = 0.0;  ///< max |revised warm - dense|
+  /// max |batched - sequential warm| — the determinism contract says
+  /// this is EXACTLY 0.0, not merely small.
+  double batch_diff = 0.0;
 };
 
 SweepRow measure_sweep(int n, int reps) {
@@ -209,27 +242,42 @@ SweepRow measure_sweep(int n, int reps) {
   const auto cold =
       run_sweep(space, demand, lp::SolverKind::kRevised, false);
   const auto warm = run_sweep(space, demand, lp::SolverKind::kRevised, true);
+  const auto batched =
+      run_sweep(space, demand, lp::SolverKind::kRevised, true, true);
   row.dense_pivots = dense.total_pivots;
   row.revised_cold_pivots = cold.total_pivots;
   row.revised_warm_pivots = warm.total_pivots;
+  row.batched_warm_pivots = batched.total_pivots;
+  row.batch_fast = batched.batch_fast;
+  row.batch_spilled = batched.batch_spilled;
   row.cold_diff = max_abs_diff(dense.values, cold.values);
   row.warm_diff = max_abs_diff(dense.values, warm.values);
+  row.batch_diff = max_abs_diff(warm.values, batched.values);
   row.dense_ms = time_ms(
       [&] { run_sweep(space, demand, lp::SolverKind::kDense, false); },
       reps);
   row.revised_cold_ms = time_ms(
       [&] { run_sweep(space, demand, lp::SolverKind::kRevised, false); },
       reps);
-  row.revised_warm_ms = time_ms(
+  // The warm-vs-batched ratio is the headline number, and both runs are
+  // fast; take extra reps, interleaved, so the medians (and hence the
+  // quoted speedup) are robust to scheduler noise on a busy host.
+  const int fast_reps = 4 * reps + 1;
+  std::tie(row.revised_warm_ms, row.batched_warm_ms) = time_ms_pair(
       [&] { run_sweep(space, demand, lp::SolverKind::kRevised, true); },
-      reps);
+      [&] {
+        run_sweep(space, demand, lp::SolverKind::kRevised, true, true);
+      },
+      fast_reps);
   return row;
 }
 
 void write_summary_json() {
   std::vector<SweepRow> rows;
   for (const int n : {4, 6, 8, 10, 12}) {
-    rows.push_back(measure_sweep(n, n >= 10 ? 1 : 3));
+    // 3 reps everywhere: the large-n rows are exactly the ones quoted
+    // for speedups, and a single rep is too noisy on a busy host.
+    rows.push_back(measure_sweep(n, 3));
   }
 
   const char* out_env = std::getenv("FEDSHARE_BENCH_OUT");
@@ -252,16 +300,25 @@ void write_summary_json() {
             ? static_cast<double>(r.dense_pivots) /
                   static_cast<double>(r.revised_warm_pivots)
             : 0.0;
+    const double batch_speedup =
+        r.batched_warm_ms > 0.0 ? r.revised_warm_ms / r.batched_warm_ms
+                                : 0.0;
     out << "    {\"n\": " << r.n << ", \"lps\": " << (1u << r.n)
         << ", \"dense_ms\": " << r.dense_ms
         << ", \"revised_cold_ms\": " << r.revised_cold_ms
         << ", \"revised_warm_ms\": " << r.revised_warm_ms
+        << ", \"batched_warm_ms\": " << r.batched_warm_ms
         << ", \"dense_pivots\": " << r.dense_pivots
         << ", \"revised_cold_pivots\": " << r.revised_cold_pivots
         << ", \"revised_warm_pivots\": " << r.revised_warm_pivots
+        << ", \"batched_warm_pivots\": " << r.batched_warm_pivots
+        << ", \"batch_fast\": " << r.batch_fast
+        << ", \"batch_spilled\": " << r.batch_spilled
         << ", \"pivot_ratio_dense_over_warm\": " << ratio
+        << ", \"speedup_batched_over_warm\": " << batch_speedup
         << ", \"max_abs_diff_cold\": " << r.cold_diff
-        << ", \"max_abs_diff_warm\": " << r.warm_diff << "}"
+        << ", \"max_abs_diff_warm\": " << r.warm_diff
+        << ", \"max_abs_diff_batched\": " << r.batch_diff << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
@@ -279,8 +336,12 @@ int run_smoke() {
     std::cout << "smoke n=" << n << ": dense_pivots=" << row.dense_pivots
               << " revised_cold_pivots=" << row.revised_cold_pivots
               << " revised_warm_pivots=" << row.revised_warm_pivots
+              << " batched_warm_pivots=" << row.batched_warm_pivots
+              << " batch_fast=" << row.batch_fast
+              << " batch_spilled=" << row.batch_spilled
               << " max_diff_cold=" << row.cold_diff
-              << " max_diff_warm=" << row.warm_diff << "\n";
+              << " max_diff_warm=" << row.warm_diff
+              << " max_diff_batched=" << row.batch_diff << "\n";
     if (row.cold_diff > kAgreeTol || row.warm_diff > kAgreeTol) {
       std::cerr << "perf_simplex --smoke: engines disagree at n=" << n
                 << " (cold " << row.cold_diff << ", warm " << row.warm_diff
@@ -291,6 +352,26 @@ int run_smoke() {
       std::cerr << "perf_simplex --smoke: warm start saved no pivots at n="
                 << n << " (" << row.revised_warm_pivots << " vs "
                 << row.dense_pivots << " dense)\n";
+      ++failures;
+    }
+    // The batched panel is a determinism contract, not an approximation:
+    // bit-identical values and identical pivot accounting, exactly.
+    if (row.batch_diff != 0.0) {
+      std::cerr << "perf_simplex --smoke: batched sweep diverged from the "
+                   "sequential warm sweep at n="
+                << n << " (max diff " << row.batch_diff << ", want 0)\n";
+      ++failures;
+    }
+    if (row.batched_warm_pivots != row.revised_warm_pivots) {
+      std::cerr << "perf_simplex --smoke: batched pivot count "
+                << row.batched_warm_pivots << " != sequential "
+                << row.revised_warm_pivots << " at n=" << n << "\n";
+      ++failures;
+    }
+    if (row.batch_fast == 0) {
+      std::cerr << "perf_simplex --smoke: batched sweep never used the "
+                   "shared factorization at n="
+                << n << "\n";
       ++failures;
     }
   }

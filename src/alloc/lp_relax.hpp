@@ -57,6 +57,11 @@ class RelaxationTemplate {
   [[nodiscard]] lp::ProblemPatch capacity_patch(
       const std::vector<double>& capacities) const;
 
+  /// Allocation-free capacity_patch for hot sweep loops: overwrites
+  /// `patch` in place (identical contents), reusing its vectors.
+  void capacity_patch_into(const std::vector<double>& capacities,
+                           lp::ProblemPatch& patch) const;
+
   /// In-place equivalent for the dense path: rewrites the capacity rows
   /// of `prob`, which must be a copy of problem().
   void apply_capacities(lp::Problem& prob,

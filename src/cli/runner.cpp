@@ -267,6 +267,18 @@ void print_symmetry(std::ostringstream& out, const model::Federation& fed,
       << " coalitions evaluated\n";
 }
 
+// --cache-stats footer: the federation memo's counters after the report
+// body ran. The hit/miss split shows how much the schemes shared; the
+// batched-store line is the write-combining telemetry (batch entries vs
+// shard locks actually taken).
+void print_cache_stats(std::ostream& out, const exec::CacheStats& s) {
+  io::print_heading(out, "Value cache");
+  out << "entries: " << s.entries << ", hits: " << s.hits << ", misses: "
+      << s.misses << ", invalidated: " << s.invalidations << "\n";
+  out << "batched stores: " << s.batched_stores << " in " << s.batch_flushes
+      << " flushes taking " << s.batch_shard_locks << " shard locks\n";
+}
+
 // Shared body of the non-resilient report; `lp_solver` picks the
 // simplex engine behind the nucleolus scheme, `verify_level` the
 // --verify behaviour, and `symmetry` the quotient engine (kOff keeps
@@ -274,7 +286,8 @@ void print_symmetry(std::ostringstream& out, const model::Federation& fed,
 std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
                          verify::VerifyLevel verify_level,
                          game::SymmetryMode symmetry,
-                         structure::StructureMode structure_mode) {
+                         structure::StructureMode structure_mode,
+                         bool cache_stats) {
   const model::Federation fed = federation_from_config(config);
   int precision = 4;
   const auto options = config.sections_named("options");
@@ -380,6 +393,9 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
   if (verify_level != verify::VerifyLevel::kOff) {
     print_verification(out, verify_level, audited.report);
   }
+  if (cache_stats) {
+    print_cache_stats(out, fed.value_cache().stats());
+  }
   return out.str();
 }
 
@@ -388,7 +404,7 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
 std::string run_report(const io::Config& config) {
   return plain_report(config, lp::SolverKind::kDense,
                       verify::VerifyLevel::kOff, game::SymmetryMode::kOff,
-                      structure::StructureMode::kOff);
+                      structure::StructureMode::kOff, false);
 }
 
 namespace {
@@ -639,6 +655,9 @@ ReportResult resilient_report(const io::Config& config,
       core_table.print(out);
     }
   }
+  if (ropts.cache_stats) {
+    print_cache_stats(out, fed.value_cache().stats());
+  }
   result.text = out.str();
   if (result.degraded()) {
     (void)budget.exhausted();
@@ -659,7 +678,8 @@ ReportResult run_report_result(const io::Config& config,
   if (!options.any()) {
     ReportResult result;
     result.text = plain_report(config, options.lp_solver, options.verify,
-                               options.symmetry, options.structure);
+                               options.symmetry, options.structure,
+                               options.cache_stats);
     return result;
   }
   return resilient_report(config, options);

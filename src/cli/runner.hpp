@@ -125,6 +125,12 @@ struct ReportOptions {
   /// section with the exact-DP welfare-optimal partition; kHedonic with
   /// the merge/split fixed point. Both report stability verdicts.
   structure::StructureMode structure = structure::StructureMode::kOff;
+  /// --cache-stats: append a Value cache section with the federation
+  /// memo's counters (entries, hits/misses, invalidations, and the
+  /// write-combining telemetry). Off by default, so the report stays
+  /// byte-identical; deliberately NOT part of any() — the flag only
+  /// appends a footer and must not reroute onto the resilient path.
+  bool cache_stats = false;
 
   [[nodiscard]] bool any() const noexcept {
     return deadline_ms.has_value() || outage_scenarios > 0;

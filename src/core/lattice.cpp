@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/lattice_simd.hpp"
 #include "exec/pool.hpp"
 
 namespace fedshare::game {
@@ -31,24 +32,11 @@ inline std::uint64_t lo_of_pair(std::uint64_t p, int bit) noexcept {
   return ((p >> bit) << (bit + 1)) | low;
 }
 
-// One transform bit pass over `values`; Op applies the update to the
-// (lo, hi) pair. Every slot is touched by exactly one pair, so the
-// parallel schedule cannot change the arithmetic.
-template <typename Op>
-void transform_pass(std::vector<double>& values, int num_players, int bit,
-                    const Op& op) {
-  const std::uint64_t half = std::uint64_t{1} << (num_players - 1);
-  const std::uint64_t step = std::uint64_t{1} << bit;
-  exec::parallel_for(0, half, kTransformChunk,
-                     [&](const exec::ChunkRange& r) {
-                       for (std::uint64_t p = r.begin; p < r.end; ++p) {
-                         const std::uint64_t lo = lo_of_pair(p, bit);
-                         op(values[lo | step], values[lo]);
-                       }
-                       return true;
-                     });
-}
-
+// The unbudgeted transform passes route through simd::add_pass /
+// simd::sub_pass (runtime AVX2 dispatch, scalar fallback); the budgeted
+// variant below keeps the scalar body — its per-chunk charge accounting
+// already dominates, and scalar-vs-SIMD bit-equality is guaranteed by
+// construction (see lattice_simd.hpp), so one reference body stays here.
 template <typename Op>
 bool transform_budgeted(std::vector<double>& values, int num_players,
                         const runtime::ComputeBudget& budget, const Op& op) {
@@ -76,17 +64,27 @@ bool transform_budgeted(std::vector<double>& values, int num_players,
 
 void zeta_transform(std::vector<double>& values, int num_players) {
   check_table(values, num_players);
+  const std::uint64_t half =
+      num_players > 0 ? std::uint64_t{1} << (num_players - 1) : 0;
   for (int bit = 0; bit < num_players; ++bit) {
-    transform_pass(values, num_players, bit,
-                   [](double& hi, const double& lo) { hi += lo; });
+    exec::parallel_for(0, half, kTransformChunk,
+                       [&](const exec::ChunkRange& r) {
+                         simd::add_pass(values.data(), r.begin, r.end, bit);
+                         return true;
+                       });
   }
 }
 
 void moebius_transform(std::vector<double>& values, int num_players) {
   check_table(values, num_players);
+  const std::uint64_t half =
+      num_players > 0 ? std::uint64_t{1} << (num_players - 1) : 0;
   for (int bit = 0; bit < num_players; ++bit) {
-    transform_pass(values, num_players, bit,
-                   [](double& hi, const double& lo) { hi -= lo; });
+    exec::parallel_for(0, half, kTransformChunk,
+                       [&](const exec::ChunkRange& r) {
+                         simd::sub_pass(values.data(), r.begin, r.end, bit);
+                         return true;
+                       });
   }
 }
 
@@ -128,7 +126,8 @@ namespace {
 // Per-player marginal pass: accumulates player i's sum over the masks
 // without i in ascending mask order — the scalar subset formula's exact
 // accumulation sequence for phi[i]. `weight` is null for Banzhaf
-// (uniform scale applied by the caller).
+// (uniform scale applied by the caller). Scalar reference; the
+// unbudgeted entry points below go through simd::marginal_sum instead.
 double marginal_pass(const std::vector<double>& v, int num_players, int i,
                      const std::vector<double>* weight, double scale) {
   const std::uint64_t half = std::uint64_t{1} << (num_players - 1);
@@ -145,6 +144,23 @@ double marginal_pass(const std::vector<double>& v, int num_players, int i,
   return acc;
 }
 
+// Pair-indexed weight table shared by every player's marginal pass:
+// wvec[u] = weight[popcount(u)]. Inserting the player's zero bit into u
+// never changes the popcount, so the one table serves all n passes.
+std::vector<double> pair_weights(const std::vector<double>& weight, int n) {
+  const std::uint64_t half = std::uint64_t{1} << (n - 1);
+  std::vector<double> wvec(half);
+  exec::parallel_for(0, half, kTransformChunk,
+                     [&](const exec::ChunkRange& r) {
+                       for (std::uint64_t u = r.begin; u < r.end; ++u) {
+                         wvec[u] = weight[static_cast<std::size_t>(
+                             __builtin_popcountll(u))];
+                       }
+                       return true;
+                     });
+  return wvec;
+}
+
 }  // namespace
 
 std::vector<double> shapley_lattice(const TabularGame& tab) {
@@ -152,12 +168,14 @@ std::vector<double> shapley_lattice(const TabularGame& tab) {
   if (n == 0) return {};
   const std::vector<double>& v = tab.values();
   const std::vector<double> weight = shapley_subset_weights(n);
+  const std::vector<double> wvec = pair_weights(weight, n);
   std::vector<double> phi(static_cast<std::size_t>(n), 0.0);
   exec::parallel_for(0, static_cast<std::uint64_t>(n), 1,
                      [&](const exec::ChunkRange& r) {
                        for (std::uint64_t i = r.begin; i < r.end; ++i) {
-                         phi[i] = marginal_pass(v, n, static_cast<int>(i),
-                                                &weight, 0.0);
+                         phi[i] = simd::marginal_sum(
+                             v.data(), n, static_cast<int>(i), wvec.data(),
+                             0.0);
                        }
                        return true;
                      });
@@ -196,8 +214,9 @@ std::vector<double> banzhaf_lattice(const TabularGame& tab) {
   exec::parallel_for(0, static_cast<std::uint64_t>(n), 1,
                      [&](const exec::ChunkRange& r) {
                        for (std::uint64_t i = r.begin; i < r.end; ++i) {
-                         beta[i] = marginal_pass(v, n, static_cast<int>(i),
-                                                 nullptr, scale);
+                         beta[i] = simd::marginal_sum(
+                             v.data(), n, static_cast<int>(i), nullptr,
+                             scale);
                        }
                        return true;
                      });

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "lp/batch_solver.hpp"
 #include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
 
@@ -22,21 +23,22 @@ constexpr double kTol = 1e-7;
 class ObjectiveChain {
  public:
   ObjectiveChain(const lp::Problem& prob, const lp::SimplexOptions& options)
-      : engine_(prob, options) {}
+      : solver_(lp::RevisedSimplex(prob, options)) {}
 
-  // Replaces the whole objective vector and re-solves warm.
+  // Replaces the whole objective vector and re-solves warm. Routed
+  // through lp::BatchSolver::solve_objective, so consecutive zero-pivot
+  // probes reuse the previous factorization and FTRAN'd basic values
+  // instead of rebuilding both per probe — the Solutions are bitwise
+  // what per-probe solve_from_basis calls would return.
   [[nodiscard]] lp::Solution solve(const std::vector<double>& objective) {
-    for (std::size_t v = 0; v < objective.size(); ++v) {
-      engine_.set_objective_coefficient(v, objective[v]);
-    }
-    lp::Solution sol = basis_.empty() ? engine_.solve()
-                                      : engine_.solve_from_basis(basis_);
-    if (sol.optimal()) basis_ = engine_.basis();
+    lp::Basis next;
+    lp::Solution sol = solver_.solve_objective(objective, basis_, &next);
+    if (sol.optimal()) basis_ = std::move(next);
     return sol;
   }
 
  private:
-  lp::RevisedSimplex engine_;
+  lp::BatchSolver solver_;
   lp::Basis basis_;
 };
 

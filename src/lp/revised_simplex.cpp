@@ -277,8 +277,13 @@ void RevisedSimplex::reset_to_slack_basis() {
     status_[n_ + r] = VarStatus::kBasic;
     basic_[r] = n_ + r;
   }
-  etas_.clear();
+  recycle_etas();
   has_basis_ = true;
+}
+
+void RevisedSimplex::recycle_etas() {
+  for (Eta& e : etas_) eta_pool_.push_back(std::move(e));
+  etas_.clear();
 }
 
 void RevisedSimplex::adopt_statuses(const Basis& basis) {
@@ -331,18 +336,24 @@ void RevisedSimplex::adopt_statuses(const Basis& basis) {
   for (std::size_t j = 0; j < num_cols_; ++j) {
     if (status_[j] == VarStatus::kBasic) basic_.push_back(j);
   }
-  etas_.clear();
+  recycle_etas();
   has_basis_ = true;
 }
 
 std::vector<double> RevisedSimplex::column(std::size_t j) const {
-  std::vector<double> col(num_rows_, 0.0);
+  std::vector<double> col;
+  column_into(j, col);
+  return col;
+}
+
+void RevisedSimplex::column_into(std::size_t j,
+                                 std::vector<double>& col) const {
+  col.assign(num_rows_, 0.0);
   if (j < n_) {
     for (const ColEntry& e : cols_[j]) col[e.row] = e.value;
   } else {
     col[j - n_] = 1.0;
   }
-  return col;
 }
 
 double RevisedSimplex::column_dot(std::size_t j,
@@ -357,7 +368,7 @@ double RevisedSimplex::column_dot(std::size_t j,
 
 bool RevisedSimplex::factorize() {
   const std::size_t m = num_rows_;
-  lu_ = Matrix(m, m, 0.0);
+  lu_.assign(m, m, 0.0);
   for (std::size_t p = 0; p < m; ++p) {
     const std::size_t j = basic_[p];
     if (j < n_) {
@@ -378,7 +389,10 @@ bool RevisedSimplex::factorize() {
         piv = i;
       }
     }
-    if (best < kSingularTol) return false;
+    if (best < kSingularTol) {
+      recycle_etas();
+      return false;
+    }
     if (piv != k) {
       lu_.swap_rows(piv, k);
       std::swap(perm_[piv], perm_[k]);
@@ -392,14 +406,15 @@ bool RevisedSimplex::factorize() {
       }
     }
   }
-  etas_.clear();
+  recycle_etas();
   return true;
 }
 
 void RevisedSimplex::ftran(std::vector<double>& v) const {
   const std::size_t m = num_rows_;
   // Solve B0 x = v via PA = LU, then roll the eta updates forward.
-  std::vector<double> t(m);
+  std::vector<double>& t = ftran_work_;
+  t.resize(m);
   for (std::size_t i = 0; i < m; ++i) t[i] = v[perm_[i]];
   for (std::size_t i = 0; i < m; ++i) {
     double acc = t[i];
@@ -413,7 +428,7 @@ void RevisedSimplex::ftran(std::vector<double>& v) const {
     for (std::size_t c = ii + 1; c < m; ++c) acc -= row[c] * t[c];
     t[ii] = acc / row[ii];
   }
-  v = std::move(t);
+  v.swap(t);
   for (const Eta& e : etas_) {
     const double pivot_val = v[e.row];
     if (pivot_val == 0.0) continue;
@@ -434,7 +449,8 @@ void RevisedSimplex::btran(std::vector<double>& v) const {
   }
   // B0 = P^T L U  =>  B0^T = U^T L^T P. Forward solve U^T, backward
   // solve L^T (unit diagonal), undo the permutation.
-  std::vector<double> t(m);
+  std::vector<double>& t = btran_work_;
+  t.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     double acc = v[i];
     for (std::size_t k = 0; k < i; ++k) acc -= lu_(k, i) * t[k];
@@ -462,7 +478,8 @@ bool RevisedSimplex::is_fixed(std::size_t j) const {
 }
 
 void RevisedSimplex::compute_basic_values() {
-  std::vector<double> rhs = row_rhs_;
+  x_basic_ = row_rhs_;  // copy-assign reuses the existing allocation
+  std::vector<double>& rhs = x_basic_;
   for (std::size_t j = 0; j < num_cols_; ++j) {
     if (status_[j] == VarStatus::kBasic) continue;
     const double val = nonbasic_value(j);
@@ -474,13 +491,16 @@ void RevisedSimplex::compute_basic_values() {
     }
   }
   ftran(rhs);
-  x_basic_ = std::move(rhs);
 }
 
 void RevisedSimplex::push_eta(std::size_t row_pos,
                               const std::vector<double>& w) {
   const std::size_t m = num_rows_;
   Eta e;
+  if (!eta_pool_.empty()) {
+    e = std::move(eta_pool_.back());
+    eta_pool_.pop_back();
+  }
   e.row = row_pos;
   e.coef.resize(m);
   const double pivot = w[row_pos];
@@ -558,10 +578,12 @@ bool RevisedSimplex::run_dual(Solution& out) {
     }
     if (leave == m) return true;  // primal feasible; hand back
 
-    std::vector<double> y(m);
+    std::vector<double>& y = price_work_;
+    y.resize(m);
     for (std::size_t p = 0; p < m; ++p) y[p] = internal_cost(basic_[p]);
     btran(y);
-    std::vector<double> rho(m, 0.0);
+    std::vector<double>& rho = rho_work_;
+    rho.assign(m, 0.0);
     rho[leave] = 1.0;
     btran(rho);
 
@@ -618,7 +640,8 @@ bool RevisedSimplex::run_dual(Solution& out) {
       return true;
     }
 
-    std::vector<double> w = column(enter);
+    std::vector<double>& w = col_work_;
+    column_into(enter, w);
     ftran(w);
     for (std::size_t p = 0; p < m; ++p) {
       if (p != leave) x_basic_[p] -= dxj * w[p];
@@ -648,7 +671,8 @@ bool RevisedSimplex::run_primal(Solution& out) {
   int stall = 0;
   int iters_phase1 = 0;
   int iters_phase2 = 0;
-  std::vector<double> y(m);
+  std::vector<double>& y = price_work_;
+  y.resize(m);
 
   for (;;) {
     if (options_.budget && !options_.budget->charge()) {
@@ -733,7 +757,8 @@ bool RevisedSimplex::run_primal(Solution& out) {
       return true;
     }
 
-    std::vector<double> w = column(enter);
+    std::vector<double>& w = col_work_;
+    column_into(enter, w);
     ftran(w);
 
     // Bounded ratio test. The entering variable's own range is the
@@ -858,6 +883,18 @@ bool RevisedSimplex::run_primal(Solution& out) {
 }
 
 void RevisedSimplex::extract(Solution& out) const {
+  std::vector<double> y(num_rows_);
+  for (std::size_t p = 0; p < num_rows_; ++p) y[p] = internal_cost(basic_[p]);
+  btran(y);
+  extract_core(y, out);
+}
+
+void RevisedSimplex::extract_core(const std::vector<double>& y, Solution& out,
+                                  const std::vector<double>* d_cache) const {
+  // Full overwrite of every Solution field (callers may pass a reused
+  // object — BatchSolver recycles its output slots' allocations).
+  out.farkas.clear();
+  out.ray.clear();
   out.x.assign(n_, 0.0);
   for (std::size_t v = 0; v < n_; ++v) {
     if (status_[v] != VarStatus::kBasic) out.x[v] = nonbasic_value(v);
@@ -876,9 +913,6 @@ void RevisedSimplex::extract(Solution& out) const {
   // the conventions on lp::Solution over the *original* constraint set.
   // A variable pinned at a declared non-natural bound with a nonzero
   // reduced cost has no constraint-space witness: leave duals empty.
-  std::vector<double> y(num_rows_);
-  for (std::size_t p = 0; p < num_rows_; ++p) y[p] = internal_cost(basic_[p]);
-  btran(y);
   out.duals.assign(constraint_map_.size(), 0.0);
   for (std::size_t i = 0; i < constraint_map_.size(); ++i) {
     if (!constraint_map_[i].is_bound) {
@@ -888,7 +922,8 @@ void RevisedSimplex::extract(Solution& out) const {
   bool have_duals = true;
   for (std::size_t v = 0; v < n_ && have_duals; ++v) {
     if (status_[v] == VarStatus::kBasic) continue;
-    const double d = internal_cost(v) - column_dot(v, y);
+    const double d = d_cache != nullptr ? (*d_cache)[v]
+                                        : internal_cost(v) - column_dot(v, y);
     if (std::abs(d) <= kDualTol) continue;
     if (status_[v] == VarStatus::kFreeNonbasic) {
       have_duals = false;  // free nonbasic with nonzero reduced cost
@@ -1049,7 +1084,9 @@ Solution RevisedSimplex::solve() {
   return out;
 }
 
-Solution RevisedSimplex::solve_from_basis(const Basis& basis) {
+Solution RevisedSimplex::solve_from_basis_impl(
+    const Basis& basis, const std::vector<std::size_t>* seed_basic,
+    const Matrix* seed_lu, const std::vector<std::size_t>* seed_perm) {
   if (basis.empty()) return solve();
   Solution out;
   const std::uint64_t start = pivots_;
@@ -1067,7 +1104,17 @@ Solution RevisedSimplex::solve_from_basis(const Basis& basis) {
 
   if (basis.status.size() == num_cols_) {
     adopt_statuses(basis);
-    if (!factorize()) return solve();
+    if (seed_basic != nullptr && basic_ == *seed_basic) {
+      // Bitwise-identical shortcut: the seed is factorize()'s output
+      // for exactly this basic set (see the header comment), and the
+      // seed's factorization succeeded, so the failure fallback is
+      // unreachable here.
+      lu_ = *seed_lu;
+      perm_ = *seed_perm;
+      recycle_etas();
+    } else if (!factorize()) {
+      return solve();
+    }
     compute_basic_values();
     if (dual_feasible()) {
       if (!run_dual(out)) {
@@ -1124,7 +1171,8 @@ bool RevisedSimplex::crash_from(const Basis& basis, Solution& out) {
       out.status = SolveStatus::kBudgetExhausted;
       return false;
     }
-    std::vector<double> w = column(v);
+    std::vector<double>& w = col_work_;
+    column_into(v, w);
     ftran(w);
     // Replace the slack with the largest exposure to this column.
     std::size_t leave = num_rows_;

@@ -98,6 +98,10 @@ struct ProblemPatch {
 /// shared template.
 class RevisedSimplex {
  public:
+  /// BatchSolver drives the private solve machinery (prepare / adopt /
+  /// factorize / panel FTRAN / extract_core) to re-solve whole families
+  /// of rhs-patched siblings against one shared factorization.
+  friend class BatchSolver;
   /// Builds the computational form of `problem`: singleton rows become
   /// variable bounds, remaining rows get one slack each. The instance
   /// remembers `options` (tolerance, budget, max_iterations) for every
@@ -134,7 +138,9 @@ class RevisedSimplex {
   /// Warm solve from `basis` (falls back to a cold solve when `basis`
   /// is empty or unusable). Prefers a dual-simplex sweep when the basis
   /// is still dual feasible — the cheap path after rhs/bound patches.
-  [[nodiscard]] Solution solve_from_basis(const Basis& basis);
+  [[nodiscard]] Solution solve_from_basis(const Basis& basis) {
+    return solve_from_basis_impl(basis, nullptr, nullptr, nullptr);
+  }
 
   /// Basis snapshot of the most recent solve (empty before any solve).
   [[nodiscard]] Basis basis() const;
@@ -178,11 +184,23 @@ class RevisedSimplex {
   void adopt_statuses(const Basis& basis);
   bool crash_from(const Basis& basis, Solution& out);
 
+  // solve_from_basis with an optional factorization seed. When the
+  // adopted basic set equals `seed_basic`, installs `seed_lu`/`seed_perm`
+  // instead of refactorizing — legal because factorize() is a pure
+  // function of (basic set, immutable columns), so a seed taken from an
+  // engine that factorized the same basic set over the same problem is
+  // bitwise the LU this engine would compute. BatchSolver uses this to
+  // share the group frame's factorization with spilled members.
+  [[nodiscard]] Solution solve_from_basis_impl(
+      const Basis& basis, const std::vector<std::size_t>* seed_basic,
+      const Matrix* seed_lu, const std::vector<std::size_t>* seed_perm);
+
   // Basis linear algebra.
   bool factorize();
   void ftran(std::vector<double>& v) const;
   void btran(std::vector<double>& v) const;
   [[nodiscard]] std::vector<double> column(std::size_t j) const;
+  void column_into(std::size_t j, std::vector<double>& col) const;
   [[nodiscard]] double column_dot(std::size_t j,
                                   const std::vector<double>& y) const;
   void compute_basic_values();
@@ -202,6 +220,16 @@ class RevisedSimplex {
   bool run_dual(Solution& out);
   bool run_primal(Solution& out);
   void extract(Solution& out) const;
+  // The body of extract() given the btran'd basic-cost vector `y` —
+  // BatchSolver computes y once per shared factorization and calls this
+  // per sibling, which is bitwise identical to extract() because y is a
+  // pure function of (lu_, etas_, basic_, objective_). `d_cache`, when
+  // non-null, supplies the per-column reduced costs against the same y
+  // (computed with the identical `internal_cost(v) - column_dot(v, y)`
+  // expression), saving the per-call recomputation without changing a
+  // single FP operation.
+  void extract_core(const std::vector<double>& y, Solution& out,
+                    const std::vector<double>* d_cache = nullptr) const;
 
   // Certificate construction (see lp::Solution). bound_farkas witnesses
   // a presolve-detected infeasibility (empty bound interval / violated
@@ -257,6 +285,17 @@ class RevisedSimplex {
   bool basis_reset_ = false;  ///< set by push_eta on singular refactorize
 
   std::uint64_t pivots_ = 0;
+
+  // Reusable scratch: ftran/btran triangular-solve temporaries, pricing
+  // and ratio-test work vectors, and retired Eta records recycled by
+  // push_eta. Cold solves used to reallocate all of these per pivot —
+  // BENCH_simplex showed revised_cold_ms at ~2x dense_ms from allocator
+  // traffic alone. Instances are driven by one thread at a time (clones
+  // per worker), so mutable scratch inside const solves is safe.
+  void recycle_etas();
+  mutable std::vector<double> ftran_work_, btran_work_;
+  std::vector<double> price_work_, rho_work_, col_work_;
+  std::vector<Eta> eta_pool_;
 };
 
 /// One-shot revised solve mirroring lp::solve's contract.

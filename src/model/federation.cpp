@@ -1,14 +1,21 @@
 #include "model/federation.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "exec/pool.hpp"
 #include "model/value.hpp"
 
 namespace fedshare::model {
 
 namespace {
+
+// Masks per tabulation chunk — mirrors core/game.cpp's kTabulateChunk
+// so the buffered tabulation below schedules exactly like
+// game::tabulate.
+constexpr std::uint64_t kTabulateChunk = 16;
 
 // In-place monotone closure on the quotient lattice, level by level:
 // V'(c) = max(V(c), max_t V'(c - e_t)). For a symmetric game this
@@ -64,16 +71,48 @@ double Federation::raw_value(game::Coalition coalition) const {
   return coalition_value(space_, demand_, coalition);
 }
 
+double Federation::value_buffered(game::Coalition coalition,
+                                  exec::CacheWriteBuffer& buffer) const {
+  return buffer.value_or_compute(coalition.bits(), [&] {
+    // Same monotone closure as value(); the down-set recursion flows
+    // through the buffer, so subset values computed for this chunk are
+    // reused from the local map without touching a shard lock.
+    double best = coalition_value(space_, demand_, coalition);
+    for (const int i : coalition.members()) {
+      best = std::max(best, value_buffered(coalition.without(i), buffer));
+    }
+    return best;
+  });
+}
+
 LpSweepResult Federation::relaxation_sweep(
     const LpSweepOptions& options) const {
   return lp_relaxation_sweep(space_, demand_, options);
 }
 
 game::TabularGame Federation::build_game() const {
-  const game::FunctionGame fn(
-      num_facilities(),
-      [this](game::Coalition s) { return value(s); });
-  return game::tabulate(fn);
+  const int n = num_facilities();
+  if (n > 24) {
+    throw std::invalid_argument("tabulate: n must be <= 24");
+  }
+  const std::uint64_t count = std::uint64_t{1} << n;
+  std::vector<double> values(count);
+  // Buffered tabulation: scheduled exactly like game::tabulate (each
+  // mask writes its own slot, so the result is bit-identical to the
+  // serial loop at any thread count), but each chunk stages its computed
+  // V(S) in a CacheWriteBuffer and batch-stores per shard instead of
+  // taking one shard lock per coalition.
+  exec::parallel_for(0, count, kTabulateChunk,
+                     [&](const exec::ChunkRange& r) {
+                       exec::CacheWriteBuffer buffer(*cache_);
+                       for (std::uint64_t mask = r.begin; mask < r.end;
+                            ++mask) {
+                         values[mask] = value_buffered(
+                             game::Coalition::from_bits(mask), buffer);
+                       }
+                       return true;  // buffer flushes on scope exit
+                     });
+  return game::TabularGame(n, std::move(values));
 }
 
 game::PlayerPartition Federation::symmetry_partition(

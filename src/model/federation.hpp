@@ -109,6 +109,15 @@ class Federation {
   void set_demand(DemandProfile demand);
 
  private:
+  /// value() with a per-worker exec::CacheWriteBuffer in front of the
+  /// shared memo: same closure recursion and the same hit/miss
+  /// accounting, but computed values are staged locally and pushed to
+  /// the shared cache in shard-grouped batches. Used by build_game()'s
+  /// tabulation so workers stop serialising on shard locks for every
+  /// stored coalition.
+  double value_buffered(game::Coalition coalition,
+                        exec::CacheWriteBuffer& buffer) const;
+
   LocationSpace space_;
   DemandProfile demand_;
   std::shared_ptr<exec::ValueCache> cache_;

@@ -7,6 +7,7 @@
 #include "alloc/greedy.hpp"
 #include "alloc/lp_relax.hpp"
 #include "exec/pool.hpp"
+#include "lp/batch_solver.hpp"
 #include "lp/revised_simplex.hpp"
 
 namespace fedshare::model {
@@ -50,6 +51,11 @@ bool same_facility_config(const FacilityConfig& a, const FacilityConfig& b) {
          a.units_per_location == b.units_per_location &&
          a.availability == b.availability && a.custom_units == b.custom_units;
 }
+
+// Batched sweeps hand this many sibling groups to one BatchSolver per
+// worker chunk — large enough to amortize the solver's engine clones
+// and frame cache, small enough to keep levels load-balanced.
+constexpr std::uint64_t kGroupChunk = 8;
 
 }  // namespace
 
@@ -150,6 +156,12 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
 
   const bool revised = options.simplex.solver == lp::SolverKind::kRevised;
   const bool warm = revised && options.warm_start;
+  // Batched level solving applies to the unbudgeted, unobserved warm
+  // sweep (budgets need per-chunk charging order, observers need a
+  // per-LP mirror — both spill to the legacy path).
+  const bool batch = warm && options.batch &&
+                     options.simplex.budget == nullptr &&
+                     options.simplex.observer == nullptr;
   lp::SimplexOptions chunk_options = options.simplex;
   chunk_options.budget = nullptr;  // budgets are forked per chunk below
   // Template engine cloned per coalition: the clone carries the
@@ -170,27 +182,37 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
     orbit_solved[0] = 1;
     std::vector<lp::Basis> orbit_bases(warm ? orbits : 0);
 
-    const auto process_orbit = [&](std::uint64_t orbit,
-                                   const runtime::ComputeBudget* budget) {
+    const auto orbit_caps_into = [&](std::uint64_t orbit,
+                                     std::vector<double>& caps) {
       const std::uint64_t rep = index.representative(orbit);
-      std::vector<double> caps(num_loc, 0.0);
+      caps.assign(num_loc, 0.0);
       for (int i = 0; i < n; ++i) {
         if (((rep >> i) & 1u) == 0) continue;
         for (const Contribution& c : contrib[static_cast<std::size_t>(i)]) {
           caps[c.pos] += c.units;
         }
       }
-      // Warm chain: drop one member of the lowest populated type — the
-      // quotient analogue of mask & (mask - 1). Representatives take
-      // the lowest-indexed members, so the predecessor's representative
-      // is a strict subset of this one.
-      std::uint64_t pred = 0;
+    };
+    const auto orbit_caps = [&](std::uint64_t orbit) {
+      std::vector<double> caps;
+      orbit_caps_into(orbit, caps);
+      return caps;
+    };
+    // Warm chain: drop one member of the lowest populated type — the
+    // quotient analogue of mask & (mask - 1). Representatives take
+    // the lowest-indexed members, so the predecessor's representative
+    // is a strict subset of this one.
+    const auto orbit_pred = [&](std::uint64_t orbit) {
       for (int t = 0; t < index.num_types(); ++t) {
-        if (const auto p = index.predecessor(orbit, t)) {
-          pred = *p;
-          break;
-        }
+        if (const auto p = index.predecessor(orbit, t)) return *p;
       }
+      return std::uint64_t{0};
+    };
+
+    const auto process_orbit = [&](std::uint64_t orbit,
+                                   const runtime::ComputeBudget* budget) {
+      const std::vector<double> caps = orbit_caps(orbit);
+      const std::uint64_t pred = orbit_pred(orbit);
       lp::Solution sol;
       if (revised) {
         lp::RevisedSimplex engine = *proto;
@@ -237,6 +259,83 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
               }
               return true;
             });
+      } else if (batch) {
+        // Group this level's orbits by their predecessor's basis
+        // statuses; each group shares one factorization through a
+        // BatchSolver. A level has few distinct status vectors, so a
+        // linear scan over group representatives (one byte-compare
+        // each) beats a keyed map; groups run in first-appearance
+        // order with members in ascending orbit id, both deterministic.
+        // Orbits whose predecessor has no basis solve cold on the
+        // legacy path.
+        std::vector<const lp::Basis*> reps;
+        std::vector<std::vector<std::uint64_t>> groups;
+        std::vector<std::uint64_t> cold;
+        for (const std::uint64_t orbit : os) {
+          const lp::Basis& pb = orbit_bases[orbit_pred(orbit)];
+          if (pb.empty()) {
+            cold.push_back(orbit);
+            continue;
+          }
+          std::size_t g = 0;
+          while (g < reps.size() && reps[g]->status != pb.status) ++g;
+          if (g == reps.size()) {
+            reps.push_back(&pb);
+            groups.emplace_back();
+          }
+          groups[g].push_back(orbit);
+        }
+        exec::parallel_for(0, cold.size(), kOrbitChunk,
+                           [&](const exec::ChunkRange& r) {
+                             for (std::uint64_t k = r.begin; k < r.end; ++k) {
+                               process_orbit(cold[k], nullptr);
+                             }
+                             return true;
+                           });
+        std::vector<std::uint64_t> fast_slots(groups.size(), 0);
+        std::vector<std::uint64_t> spill_slots(groups.size(), 0);
+        exec::parallel_for(
+            0, groups.size(), kGroupChunk, [&](const exec::ChunkRange& r) {
+              // One solver (three engine clones) per chunk, not per
+              // group: solve_group re-adopts the start basis and
+              // restores the prototype rhs on entry, so reuse is
+              // bitwise inert — it only recycles allocations and the
+              // frame cache.
+              lp::BatchSolver solver(*proto);
+              std::vector<lp::ProblemPatch> patches;
+              std::vector<lp::Solution> sols;
+              std::vector<lp::Basis> snaps;
+              std::vector<double> caps;
+              for (std::uint64_t g = r.begin; g < r.end; ++g) {
+                const std::vector<std::uint64_t>& grp = groups[g];
+                const lp::Basis& start = orbit_bases[orbit_pred(grp.front())];
+                patches.resize(grp.size());
+                for (std::size_t i = 0; i < grp.size(); ++i) {
+                  orbit_caps_into(grp[i], caps);
+                  tmpl.capacity_patch_into(caps, patches[i]);
+                }
+                const std::uint64_t fast0 = solver.stats().fast;
+                const std::uint64_t spill0 = solver.stats().spilled;
+                solver.solve_group(start, patches, sols, &snaps,
+                                   /*objective_only=*/true);
+                for (std::size_t i = 0; i < grp.size(); ++i) {
+                  const std::uint64_t orbit = grp[i];
+                  orbit_pivots[orbit] = sols[i].pivots;
+                  if (sols[i].optimal()) {
+                    orbit_values[orbit] = sols[i].objective;
+                    orbit_solved[orbit] = 1;
+                    orbit_bases[orbit] = std::move(snaps[i]);
+                  }
+                }
+                fast_slots[g] = solver.stats().fast - fast0;
+                spill_slots[g] = solver.stats().spilled - spill0;
+              }
+              return true;
+            });
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          result.batch_fast += fast_slots[g];
+          result.batch_spilled += spill_slots[g];
+        }
       } else {
         exec::parallel_for(0, os.size(), kOrbitChunk,
                            [&](const exec::ChunkRange& r) {
@@ -276,15 +375,25 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
   solved[0] = 1;
   std::vector<lp::Basis> bases(warm ? count : 0);
 
-  const auto process = [&](std::uint32_t mask,
-                           const runtime::ComputeBudget* budget) {
-    std::vector<double> caps(num_loc, 0.0);
+  const auto mask_caps_into = [&](std::uint32_t mask,
+                                  std::vector<double>& caps) {
+    caps.assign(num_loc, 0.0);
     for (int i = 0; i < n; ++i) {
       if (((mask >> i) & 1u) == 0) continue;
       for (const Contribution& c : contrib[static_cast<std::size_t>(i)]) {
         caps[c.pos] += c.units;
       }
     }
+  };
+  const auto mask_caps = [&](std::uint32_t mask) {
+    std::vector<double> caps;
+    mask_caps_into(mask, caps);
+    return caps;
+  };
+
+  const auto process = [&](std::uint32_t mask,
+                           const runtime::ComputeBudget* budget) {
+    const std::vector<double> caps = mask_caps(mask);
     lp::Solution sol;
     if (revised) {
       lp::RevisedSimplex engine = *proto;
@@ -333,6 +442,79 @@ LpSweepResult lp_relaxation_sweep(const LocationSpace& space,
             }
             return true;
           });
+    } else if (batch) {
+      // Same grouping as the quotient branch: siblings whose lattice
+      // predecessors left identical basis statuses share one
+      // factorization. A linear representative scan replaces a keyed
+      // map — levels have few distinct status vectors and the byte
+      // compare is cheaper than hashing/ordering thousands of keys.
+      // Cold masks take the legacy path.
+      std::vector<const lp::Basis*> reps;
+      std::vector<std::vector<std::uint32_t>> groups;
+      std::vector<std::uint32_t> cold;
+      for (const std::uint32_t mask : ms) {
+        const lp::Basis& pb = bases[mask & (mask - 1)];
+        if (pb.empty()) {
+          cold.push_back(mask);
+          continue;
+        }
+        std::size_t g = 0;
+        while (g < reps.size() && reps[g]->status != pb.status) ++g;
+        if (g == reps.size()) {
+          reps.push_back(&pb);
+          groups.emplace_back();
+        }
+        groups[g].push_back(mask);
+      }
+      exec::parallel_for(0, cold.size(), kChunk,
+                         [&](const exec::ChunkRange& r) {
+                           for (std::uint64_t k = r.begin; k < r.end; ++k) {
+                             process(cold[k], nullptr);
+                           }
+                           return true;
+                         });
+      std::vector<std::uint64_t> fast_slots(groups.size(), 0);
+      std::vector<std::uint64_t> spill_slots(groups.size(), 0);
+      exec::parallel_for(
+          0, groups.size(), kGroupChunk, [&](const exec::ChunkRange& r) {
+            // One solver per chunk (see the quotient branch): reuse is
+            // bitwise inert, it only recycles allocations and the
+            // frame cache.
+            lp::BatchSolver solver(*proto);
+            std::vector<lp::ProblemPatch> patches;
+            std::vector<lp::Solution> sols;
+            std::vector<lp::Basis> snaps;
+            std::vector<double> caps;
+            for (std::uint64_t g = r.begin; g < r.end; ++g) {
+              const std::vector<std::uint32_t>& grp = groups[g];
+              const lp::Basis& start = bases[grp.front() & (grp.front() - 1)];
+              patches.resize(grp.size());
+              for (std::size_t i = 0; i < grp.size(); ++i) {
+                mask_caps_into(grp[i], caps);
+                tmpl.capacity_patch_into(caps, patches[i]);
+              }
+              const std::uint64_t fast0 = solver.stats().fast;
+              const std::uint64_t spill0 = solver.stats().spilled;
+              solver.solve_group(start, patches, sols, &snaps,
+                                 /*objective_only=*/true);
+              for (std::size_t i = 0; i < grp.size(); ++i) {
+                const std::uint32_t mask = grp[i];
+                pivots[mask] = sols[i].pivots;
+                if (sols[i].optimal()) {
+                  result.values[mask] = sols[i].objective;
+                  solved[mask] = 1;
+                  bases[mask] = std::move(snaps[i]);
+                }
+              }
+              fast_slots[g] = solver.stats().fast - fast0;
+              spill_slots[g] = solver.stats().spilled - spill0;
+            }
+            return true;
+          });
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        result.batch_fast += fast_slots[g];
+        result.batch_spilled += spill_slots[g];
+      }
     } else {
       exec::parallel_for(0, ms.size(), kChunk,
                          [&](const exec::ChunkRange& r) {

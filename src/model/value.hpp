@@ -67,6 +67,13 @@ struct LpSweepOptions {
   /// with the sampling oracle first. kOff (default) keeps the historical
   /// full sweep, byte-identical output included.
   game::SymmetryMode symmetry = game::SymmetryMode::kOff;
+  /// Solve each level's warm re-solves through lp::BatchSolver: siblings
+  /// whose predecessors left identical basis statuses share one
+  /// factorization and a panel FTRAN, with pivot-requiring members
+  /// spilling to the ordinary single solve. Results (values, pivot
+  /// counts, bases) are bitwise identical to the unbatched sweep; only
+  /// effective on warm revised sweeps without a budget or observer.
+  bool batch = true;
 };
 
 /// Result of lp_relaxation_sweep. `values[mask]` is the LP-relaxation
@@ -76,6 +83,8 @@ struct LpSweepResult {
   std::vector<double> values;  ///< 2^n entries, indexed by coalition mask
   std::uint64_t total_pivots = 0;  ///< simplex iterations across all LPs
   std::uint64_t lps_solved = 0;  ///< LPs actually run (orbits when quotiented)
+  std::uint64_t batch_fast = 0;     ///< zero-pivot solves off the shared LU
+  std::uint64_t batch_spilled = 0;  ///< batched members that fell back
   bool complete = true;  ///< false when the budget tripped mid-sweep
 };
 

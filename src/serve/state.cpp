@@ -264,6 +264,7 @@ bool ServiceState::tabulate_values(const runtime::ComputeBudget& budget,
 void ServiceState::rebuild_template() {
   lp_template_.reset();
   lp_proto_.reset();
+  lp_batch_.reset();
   ++lp_gen_;  // stored bases belong to the old layout/objective
   lp_offset_.assign(static_cast<std::size_t>(options_.max_facilities), -1);
   lp_locations_ = 0;
@@ -285,6 +286,7 @@ void ServiceState::rebuild_template() {
     return;
   }
   lp_proto_.emplace(lp_template_->problem(), lp::SimplexOptions{});
+  lp_batch_.emplace(*lp_proto_);
 }
 
 std::vector<double> ServiceState::caps_for(std::uint64_t slot_mask) const {
@@ -328,10 +330,7 @@ bool ServiceState::resolve_bounds(const runtime::ComputeBudget& budget,
   for (const std::uint64_t mask : pending) {
     if (budget.exhausted()) return false;
     BoundEntry& entry = bounds_[mask];
-    lp::RevisedSimplex engine = *lp_proto_;
     const std::vector<double> caps = caps_for(mask);
-    engine.apply(lp_template_->capacity_patch(caps));
-    engine.set_budget(&budget);
 
     // Warm-start preference: the mask's own optimal basis (an outage is
     // a pure rhs patch — a dual-simplex re-solve), then any one-smaller
@@ -350,10 +349,15 @@ bool ServiceState::resolve_bounds(const runtime::ComputeBudget& budget,
       }
     }
 
-    lp::Solution sol =
-        start ? engine.solve_from_basis(*start) : engine.solve();
+    // Batched warm path: masks adopting the same basis statuses share
+    // one factorization inside lp_batch_; a mask that would pivot (or a
+    // cold start) runs the sequential fresh-clone path bit-identically,
+    // including its budget charges.
+    lp::Basis snapshot;
+    lp::Solution sol = lp_batch_->solve_one(
+        start, lp_template_->capacity_patch(caps), &budget, &snapshot);
     ++result.lp_solves;
-    result.lp_pivots += engine.pivots();
+    result.lp_pivots += sol.pivots;
     if (start) {
       ++result.lp_incremental;
     } else {
@@ -390,7 +394,7 @@ bool ServiceState::resolve_bounds(const runtime::ComputeBudget& budget,
     }
     entry.value = sol.objective;
     entry.valid = true;
-    entry.basis = engine.basis();
+    entry.basis = std::move(snapshot);
     entry.basis_gen = lp_gen_;
   }
   return true;

@@ -58,6 +58,7 @@
 #include "core/game.hpp"
 #include "core/sharing.hpp"
 #include "exec/value_cache.hpp"
+#include "lp/batch_solver.hpp"
 #include "lp/revised_simplex.hpp"
 #include "model/demand.hpp"
 #include "model/location_space.hpp"
@@ -254,6 +255,11 @@ class ServiceState {
   /// stored bases but not stored values.
   std::optional<alloc::RelaxationTemplate> lp_template_;
   std::optional<lp::RevisedSimplex> lp_proto_;
+  /// Batched warm re-solver over lp_proto_: consecutive bound-table
+  /// re-solves that adopt the same basis statuses reuse one
+  /// factorization (lp::BatchSolver::solve_one), with pivot-requiring
+  /// masks spilling to the sequential clone path bit-identically.
+  std::optional<lp::BatchSolver> lp_batch_;
   std::vector<int> lp_offset_;  ///< per slot, block start (-1 = no block)
   std::size_t lp_locations_ = 0;
   std::uint64_t lp_gen_ = 0;

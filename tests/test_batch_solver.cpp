@@ -1,0 +1,156 @@
+// lp::BatchSolver: the batched warm sweep must be *bitwise* identical
+// to the sequential per-coalition re-solves — values, pivot counts and
+// solve counts — at any thread count, on the full lattice and on the
+// symmetry quotient. Suite names carry "LpSweep" so the TSan preset in
+// tools/check.sh picks them up.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/pool.hpp"
+#include "lp/simplex.hpp"
+#include "model/demand.hpp"
+#include "model/location_space.hpp"
+#include "model/value.hpp"
+#include "runtime/budget.hpp"
+
+namespace fedshare::model {
+namespace {
+
+LocationSpace batch_space(int num_facilities) {
+  std::vector<FacilityConfig> configs;
+  for (int i = 0; i < num_facilities; ++i) {
+    FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i + 1);
+    cfg.num_locations = 6 + 3 * (i % 4);
+    cfg.units_per_location = 1.0 + 0.5 * (i % 3);
+    cfg.availability = 1.0 - 0.05 * (i % 5);
+    configs.push_back(std::move(cfg));
+  }
+  // Overlapping layout: pooled capacities interact across members, so
+  // warm re-solves genuinely pivot and the spill path gets exercised.
+  return LocationSpace::overlapping(std::move(configs), 30, /*seed=*/11);
+}
+
+DemandProfile batch_demand() {
+  DemandProfile demand;
+  demand.classes.push_back({/*count=*/6.0, /*min_locations=*/4.0,
+                            /*units_per_location=*/1.0, /*exponent=*/1.0,
+                            /*holding_time=*/1.0});
+  demand.classes.push_back({3.0, 8.0, 2.0, 1.0, 1.0});
+  demand.classes.push_back({2.0, 2.0, 1.5, 0.8, 1.0});
+  return demand;
+}
+
+LpSweepOptions warm_revised(bool batch) {
+  LpSweepOptions options;
+  options.simplex.solver = lp::SolverKind::kRevised;
+  options.warm_start = true;
+  options.batch = batch;
+  return options;
+}
+
+TEST(LpSweepBatch, BitIdenticalToSequentialFullLattice) {
+  const LocationSpace space = batch_space(10);
+  const DemandProfile demand = batch_demand();
+
+  const LpSweepResult seq =
+      lp_relaxation_sweep(space, demand, warm_revised(false));
+  const LpSweepResult bat =
+      lp_relaxation_sweep(space, demand, warm_revised(true));
+  ASSERT_TRUE(seq.complete);
+  ASSERT_TRUE(bat.complete);
+  ASSERT_EQ(seq.values.size(), bat.values.size());
+  // Bitwise equality is the contract — not EXPECT_NEAR.
+  EXPECT_EQ(0, std::memcmp(seq.values.data(), bat.values.data(),
+                           seq.values.size() * sizeof(double)));
+  EXPECT_EQ(seq.total_pivots, bat.total_pivots);
+  EXPECT_EQ(seq.lps_solved, bat.lps_solved);
+  // The sequential path never touches the batch machinery...
+  EXPECT_EQ(seq.batch_fast + seq.batch_spilled, 0u);
+  // ...and the batched path must actually have used it, on both sides:
+  // zero-pivot members ride the shared LU, pivoting members spill.
+  EXPECT_GT(bat.batch_fast, 0u);
+  EXPECT_GT(bat.batch_spilled, 0u);
+}
+
+TEST(LpSweepBatch, BitIdenticalAcrossThreadCounts) {
+  const LocationSpace space = batch_space(9);
+  const DemandProfile demand = batch_demand();
+  const LpSweepOptions options = warm_revised(true);
+
+  const int saved = exec::threads();
+  exec::set_threads(1);
+  const LpSweepResult serial = lp_relaxation_sweep(space, demand, options);
+  exec::set_threads(4);
+  const LpSweepResult parallel = lp_relaxation_sweep(space, demand, options);
+  exec::set_threads(saved);
+
+  ASSERT_TRUE(serial.complete);
+  ASSERT_TRUE(parallel.complete);
+  EXPECT_EQ(serial.total_pivots, parallel.total_pivots);
+  EXPECT_EQ(serial.batch_fast, parallel.batch_fast);
+  EXPECT_EQ(serial.batch_spilled, parallel.batch_spilled);
+  ASSERT_EQ(serial.values.size(), parallel.values.size());
+  EXPECT_EQ(0, std::memcmp(serial.values.data(), parallel.values.data(),
+                           serial.values.size() * sizeof(double)));
+}
+
+TEST(LpSweepBatch, BitIdenticalToSequentialOnQuotient) {
+  // Three facility types with multiplicities 4+3+3: the quotient sweep
+  // groups orbit re-solves by predecessor basis exactly like the full
+  // sweep groups masks.
+  std::vector<FacilityConfig> configs;
+  for (int i = 0; i < 10; ++i) {
+    FacilityConfig cfg;
+    cfg.name = "F" + std::to_string(i + 1);
+    cfg.num_locations = i < 4 ? 8 : (i < 7 ? 12 : 6);
+    cfg.units_per_location = i < 4 ? 1.0 : (i < 7 ? 2.0 : 1.5);
+    cfg.availability = 1.0;
+    configs.push_back(std::move(cfg));
+  }
+  const LocationSpace space = LocationSpace::disjoint(std::move(configs));
+  const DemandProfile demand = batch_demand();
+
+  LpSweepOptions seq_opts = warm_revised(false);
+  seq_opts.symmetry = game::SymmetryMode::kExact;
+  LpSweepOptions bat_opts = warm_revised(true);
+  bat_opts.symmetry = game::SymmetryMode::kExact;
+
+  const LpSweepResult seq = lp_relaxation_sweep(space, demand, seq_opts);
+  const LpSweepResult bat = lp_relaxation_sweep(space, demand, bat_opts);
+  ASSERT_TRUE(seq.complete);
+  ASSERT_TRUE(bat.complete);
+  EXPECT_EQ(seq.total_pivots, bat.total_pivots);
+  EXPECT_EQ(seq.lps_solved, bat.lps_solved);
+  ASSERT_EQ(seq.values.size(), bat.values.size());
+  EXPECT_EQ(0, std::memcmp(seq.values.data(), bat.values.data(),
+                           seq.values.size() * sizeof(double)));
+  EXPECT_GT(bat.batch_fast + bat.batch_spilled, 0u);
+}
+
+TEST(LpSweepBatch, BudgetedSweepIgnoresBatchFlag) {
+  // With a budget the batch gate must stand down (charging rules are
+  // per-pivot and the batched fast path emulates, not replays, them for
+  // single solves only) — the sweep still completes and matches.
+  const LocationSpace space = batch_space(7);
+  const DemandProfile demand = batch_demand();
+
+  const LpSweepResult plain =
+      lp_relaxation_sweep(space, demand, warm_revised(true));
+
+  LpSweepOptions budgeted = warm_revised(true);
+  const runtime::ComputeBudget budget = runtime::ComputeBudget::unlimited();
+  budgeted.simplex.budget = &budget;
+  const LpSweepResult guarded = lp_relaxation_sweep(space, demand, budgeted);
+  ASSERT_TRUE(guarded.complete);
+  EXPECT_EQ(guarded.batch_fast + guarded.batch_spilled, 0u);
+  ASSERT_EQ(plain.values.size(), guarded.values.size());
+  EXPECT_EQ(0, std::memcmp(plain.values.data(), guarded.values.data(),
+                           plain.values.size() * sizeof(double)));
+}
+
+}  // namespace
+}  // namespace fedshare::model

@@ -23,6 +23,7 @@
 
 namespace {
 
+using fedshare::exec::CacheWriteBuffer;
 using fedshare::exec::ChunkRange;
 using fedshare::exec::ValueCache;
 using fedshare::game::Coalition;
@@ -221,6 +222,80 @@ TEST_F(ExecTest, ValueCacheComputesOncePerMask) {
   EXPECT_EQ(cache.misses(), 32u);
   EXPECT_EQ(cache.hits(), 64u);
   EXPECT_NEAR(cache.hit_rate(), 64.0 / 96.0, 1e-12);
+}
+
+TEST_F(ExecTest, ValueCacheStoreBatchFirstStoreWinsAndCounts) {
+  ValueCache cache(8);
+  cache.store(5, 50.0);
+  std::vector<std::pair<std::uint64_t, double>> batch;
+  for (std::uint64_t mask = 0; mask < 10; ++mask) {
+    batch.emplace_back(mask, static_cast<double>(mask) * 2.0);
+  }
+  cache.store_batch(batch);
+  // Pre-existing entry keeps its value (first store wins)...
+  EXPECT_EQ(cache.lookup(5).value(), 50.0);
+  // ...and everything else landed.
+  for (std::uint64_t mask = 0; mask < 10; ++mask) {
+    if (mask == 5) continue;
+    EXPECT_EQ(cache.lookup(mask).value(), static_cast<double>(mask) * 2.0)
+        << "mask " << mask;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.batch_flushes, 1u);
+  EXPECT_EQ(stats.batched_stores, 10u);
+  // Shard grouping: at most one lock per shard, never one per entry.
+  EXPECT_GE(stats.batch_shard_locks, 1u);
+  EXPECT_LE(stats.batch_shard_locks, 8u);
+  // Empty batches are free.
+  cache.store_batch({});
+  EXPECT_EQ(cache.batch_flushes(), 1u);
+}
+
+TEST_F(ExecTest, CacheWriteBufferMatchesUnbufferedStats) {
+  // The buffered front-end must record exactly the hit/miss sequence
+  // the unbuffered path would: one miss per distinct mask, one hit per
+  // re-read — whether the re-read lands in the local map or the shared
+  // cache.
+  ValueCache cache;
+  int computes = 0;
+  {
+    CacheWriteBuffer buffer(cache, /*flush_threshold=*/4);
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint64_t mask = 1; mask <= 32; ++mask) {
+        const double v = buffer.value_or_compute(mask, [&] {
+          ++computes;
+          return static_cast<double>(mask) * 1.5;
+        });
+        EXPECT_EQ(v, static_cast<double>(mask) * 1.5);
+      }
+    }
+  }  // flush on scope exit
+  EXPECT_EQ(computes, 32);
+  EXPECT_EQ(cache.size(), 32u);
+  // Same counters as ValueCacheComputesOncePerMask records unbuffered.
+  EXPECT_EQ(cache.misses(), 32u);
+  EXPECT_EQ(cache.hits(), 64u);
+  // 32 stores at threshold 4 = 8 flushes, every entry batched.
+  EXPECT_EQ(cache.batch_flushes(), 8u);
+  EXPECT_EQ(cache.batched_stores(), 32u);
+  // Everything is readable through the shared cache afterwards.
+  for (std::uint64_t mask = 1; mask <= 32; ++mask) {
+    EXPECT_EQ(cache.lookup(mask).value(), static_cast<double>(mask) * 1.5);
+  }
+}
+
+TEST_F(ExecTest, CacheWriteBufferReadsThroughSharedCache) {
+  ValueCache cache;
+  cache.store(9, 90.0);
+  CacheWriteBuffer buffer(cache);
+  // Shared-cache hit through the buffer: no compute, counted as a hit.
+  const double v = buffer.value_or_compute(9, [] { return -1.0; });
+  EXPECT_EQ(v, 90.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // Second read comes from the buffer's local map — still a hit.
+  EXPECT_EQ(buffer.value_or_compute(9, [] { return -1.0; }), 90.0);
+  EXPECT_EQ(cache.hits(), 2u);
 }
 
 TEST_F(ExecTest, ValueCacheBudgetedHitIsFreeMissCharges) {

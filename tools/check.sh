@@ -5,11 +5,15 @@
 # equality) — then the concurrency-sensitive tests a third time under
 # ThreadSanitizer (the work-stealing pool, the sharded value cache with
 # concurrent invalidation, the parallel LP sweep, and the serve-layer
-# apply/query races), then the perf-smoke gates: fast runs that fail
-# when the dense and revised simplex engines disagree, the warm start
-# stops saving pivots, or the serve layer's incremental re-solve stops
-# beating a cold re-tabulation, and finally a 10-second differential LP
-# fuzz run (tools/fuzz_lp) that cross-checks the engines and their
+# apply/query races), then the bitwise batched-sweep and SIMD-lattice
+# tests on their own (the stage that must fail if vectorized or panel
+# re-solve results drift from the scalar/sequential reference by even
+# one ulp), then the perf-smoke gates: fast runs that fail when the
+# dense and revised simplex engines disagree, the warm start stops
+# saving pivots, the batched panel stops being bitwise-identical, or
+# the serve layer's incremental re-solve stops beating a cold
+# re-tabulation, and finally a 10-second differential LP fuzz run
+# (tools/fuzz_lp) that cross-checks the engines and their
 # optimality/Farkas certificates on random instances.
 #
 # Usage: tools/check.sh [extra ctest args...]
@@ -36,7 +40,11 @@ cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
 ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
   -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|ServeStateTest|ServeChaosTest|StructureParallelTest'
 
-echo "== perf smoke (dense vs revised simplex) =="
+echo "== batched sweep + SIMD lattice smoke (bitwise vs sequential/scalar) =="
+ctest --test-dir "$root/build" -j "$jobs" --output-on-failure \
+  -R 'LpSweepBatch|LatticeSimd'
+
+echo "== perf smoke (dense vs revised simplex, batched panel bitwise gate) =="
 cmake --build "$root/build" -j "$jobs" --target perf_simplex
 "$root/build/bench/perf_simplex" --smoke
 

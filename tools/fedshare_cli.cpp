@@ -26,6 +26,7 @@ constexpr const char* kUsage =
                     [--verify <off|cheap|full>]
                     [--symmetry <off|auto|exact>]
                     [--structure <off|optimal|hedonic>]
+                    [--cache-stats]
        fedshare_cli --serve <events-file> [--deadline-ms <ms>]
                     [--threads <n>] [--lp-solver <dense|revised>]
                     [--no-bounds]
@@ -94,6 +95,11 @@ Resilience options:
                            values, Shapley payoffs within blocks,
                            welfare vs the grand coalition, and
                            stability verdicts
+  --cache-stats            append a Value cache section with the V(S)
+                           memo's counters (entries, hits, misses,
+                           invalidations, batched-store telemetry).
+                           Off by default; without it the output is
+                           unchanged
 
 Config example:
 
@@ -148,6 +154,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-bounds") {
       serve_bounds = false;
+      continue;
+    }
+    if (arg == "--cache-stats") {
+      report_options.cache_stats = true;
       continue;
     }
     if (arg == "--dump-game") {
