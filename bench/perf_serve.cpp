@@ -13,12 +13,14 @@
 // fresh log replay must reproduce the answer bit for bit — run by
 // tools/check.sh as a perf-smoke stage.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -26,6 +28,8 @@
 
 #include "runtime/budget.hpp"
 #include "serve/event.hpp"
+#include "serve/log.hpp"
+#include "serve/maintenance.hpp"
 #include "serve/state.hpp"
 
 namespace {
@@ -225,6 +229,101 @@ StalenessMeasurement measure_staleness(int flaps, double deadline_ms) {
   return m;
 }
 
+// --- crash recovery -------------------------------------------------------
+
+bool answers_bitwise_equal(const serve::EpochAnswer& a,
+                           const serve::EpochAnswer& b) {
+  bool same = a.epoch == b.epoch && a.names == b.names &&
+              a.grand_value == b.grand_value &&
+              a.grand_bound == b.grand_bound &&
+              a.standalone == b.standalone && a.incentives == b.incentives &&
+              a.outcomes.size() == b.outcomes.size();
+  for (std::size_t s = 0; same && s < a.outcomes.size(); ++s) {
+    same = a.outcomes[s].shares == b.outcomes[s].shares &&
+           a.outcomes[s].payoffs == b.outcomes[s].payoffs &&
+           a.outcomes[s].in_core == b.outcomes[s].in_core;
+  }
+  return same;
+}
+
+struct RecoveryMeasurement {
+  double recovery_ms = 0.0;     ///< newest checkpoint + suffix replay
+  double cold_replay_ms = 0.0;  ///< same log, checkpoints removed
+  std::uint64_t replay_suffix_events = 0;
+  std::uint64_t cold_replay_events = 0;
+  std::uint64_t checkpoint_every = 0;
+  bool bitwise_identical = false;  ///< both recoveries == uncrashed run
+};
+
+// Builds a durable log of the assembly + churn history (checkpointing
+// every `checkpoint_every` epochs), then times recovery twice: from the
+// newest checkpoint (the crash-restart path) and — with the checkpoints
+// deleted — as a full replay from epoch 0 (the pre-checkpoint
+// baseline). Both must reproduce the uncrashed answer bit for bit; the
+// checkpoint path replays only N mod checkpoint_every events.
+RecoveryMeasurement measure_recovery(int flaps,
+                                     std::uint64_t checkpoint_every) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("fedshare_perf_serve_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  RecoveryMeasurement m;
+  m.checkpoint_every = checkpoint_every;
+  serve::DurableLogOptions options;
+  options.checkpoint_every = checkpoint_every;
+
+  serve::EpochAnswer reference;
+  {
+    serve::DurableLog log(dir, options);
+    serve::ServiceState state;
+    (void)log.recover(state);
+    std::vector<serve::Event> history;
+    history.push_back(demand_event());
+    for (int i = 0; i < kRoster; ++i) history.push_back(join_event(i));
+    for (serve::Event& event : churn_script(flaps)) {
+      history.push_back(std::move(event));
+    }
+    for (const serve::Event& event : history) {
+      (void)state.apply(event);
+      log.append(event, state);
+    }
+    reference = state.query();
+  }
+
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::DurableLog log(dir, options);
+    serve::ServiceState state;
+    const serve::RecoveryReport report = log.recover(state);
+    const auto t1 = std::chrono::steady_clock::now();
+    m.recovery_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    m.replay_suffix_events = report.replayed_events;
+    m.bitwise_identical = answers_bitwise_equal(state.query(), reference);
+  }
+
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") fs::remove(entry.path());
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::DurableLog log(dir, options);
+    serve::ServiceState state;
+    const serve::RecoveryReport report = log.recover(state);
+    const auto t1 = std::chrono::steady_clock::now();
+    m.cold_replay_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    m.cold_replay_events = report.replayed_events;
+    m.bitwise_identical =
+        m.bitwise_identical && answers_bitwise_equal(state.query(), reference);
+  }
+  fs::remove_all(dir);
+  return m;
+}
+
 void write_summary_json() {
   const ChurnMeasurement churn = measure_churn(120);
   // Only the exponential stages (tabulation, bound table) run under the
@@ -238,6 +337,8 @@ void write_summary_json() {
     if (stale.tripped_fraction >= 0.05) break;
     deadline /= 5.0;
   }
+
+  const RecoveryMeasurement recovery = measure_recovery(120, 32);
 
   const char* out_env = std::getenv("FEDSHARE_BENCH_OUT");
   const std::string path =
@@ -269,7 +370,16 @@ void write_summary_json() {
   out << "  \"p99_staleness_epochs\": " << stale.p99_staleness_epochs
       << ",\n";
   out << "  \"max_staleness_epochs\": " << stale.max_staleness_epochs
-      << "\n";
+      << ",\n";
+  out << "  \"checkpoint_every\": " << recovery.checkpoint_every << ",\n";
+  out << "  \"recovery_ms\": " << recovery.recovery_ms << ",\n";
+  out << "  \"replay_suffix_events\": " << recovery.replay_suffix_events
+      << ",\n";
+  out << "  \"cold_replay_ms\": " << recovery.cold_replay_ms << ",\n";
+  out << "  \"cold_replay_events\": " << recovery.cold_replay_events
+      << ",\n";
+  out << "  \"recovery_bitwise_identical\": "
+      << (recovery.bitwise_identical ? "true" : "false") << "\n";
   out << "}\n";
   std::cout << "(summary written to " << path << ")\n";
 }
@@ -325,6 +435,68 @@ int run_smoke() {
     std::cerr << "perf_serve --smoke: log replay did not reproduce the "
                  "published answer\n";
     ++failures;
+  }
+
+  // Crash recovery: restart from the newest checkpoint must replay only
+  // the post-checkpoint suffix (< checkpoint_every events) and still be
+  // bitwise identical to the uncrashed run — as must the checkpoint-less
+  // full replay.
+  const RecoveryMeasurement recovery = measure_recovery(30, 16);
+  std::cout << "smoke recovery: suffix_events="
+            << recovery.replay_suffix_events
+            << " cold_replay_events=" << recovery.cold_replay_events
+            << " identical=" << (recovery.bitwise_identical ? "yes" : "no")
+            << "\n";
+  if (recovery.replay_suffix_events >= recovery.checkpoint_every) {
+    std::cerr << "perf_serve --smoke: checkpointed recovery replayed "
+              << recovery.replay_suffix_events
+              << " events, expected fewer than checkpoint_every="
+              << recovery.checkpoint_every << "\n";
+    ++failures;
+  }
+  if (recovery.replay_suffix_events >= recovery.cold_replay_events) {
+    std::cerr << "perf_serve --smoke: checkpointed recovery replayed no "
+                 "fewer events than a full replay ("
+              << recovery.replay_suffix_events << " vs "
+              << recovery.cold_replay_events << ")\n";
+    ++failures;
+  }
+  if (!recovery.bitwise_identical) {
+    std::cerr << "perf_serve --smoke: recovery was not bitwise identical "
+                 "to the uncrashed run\n";
+    ++failures;
+  }
+
+  // Maintenance: a budget-tripped epoch must heal in the background —
+  // no subsequent event, no inline repair — and land on the same bits
+  // as an untripped apply.
+  {
+    serve::ServiceState reference;
+    assemble(reference);
+    const serve::Event flap{serve::OutageStart{"F1", 99, 2}};
+    (void)reference.apply(flap);
+
+    serve::ServiceState tripped;
+    assemble(tripped);
+    const serve::ApplyResult r =
+        tripped.apply(flap, runtime::ComputeBudget().cap_nodes(0));
+    serve::MaintenanceOptions options;
+    options.initial_backoff_ms = 0.1;
+    options.poll_interval_ms = 0.1;
+    serve::MaintenanceThread maintenance(tripped, options);
+    maintenance.notify();
+    const bool healed = maintenance.wait_until_clean(30'000.0);
+    maintenance.stop();
+    const bool identical =
+        answers_bitwise_equal(tripped.query(), reference.query());
+    std::cout << "smoke maintenance: tripped=" << (r.complete ? "no" : "yes")
+              << " healed=" << (healed ? "yes" : "no")
+              << " identical=" << (identical ? "yes" : "no") << "\n";
+    if (r.complete || !healed || !identical) {
+      std::cerr << "perf_serve --smoke: background maintenance did not "
+                   "heal the tripped epoch to the uncrashed answer\n";
+      ++failures;
+    }
   }
 
   std::cout << (failures == 0 ? "perf-smoke PASSED\n" : "perf-smoke FAILED\n");

@@ -1,11 +1,17 @@
 #include "cli/serve_runner.hpp"
 
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "io/table.hpp"
 #include "serve/event.hpp"
+#include "serve/log.hpp"
+#include "serve/maintenance.hpp"
 #include "serve/state.hpp"
 
 namespace fedshare::cli {
@@ -108,6 +114,18 @@ void print_stats(std::ostream& out, const serve::ServiceStats& stats) {
   out << "value cache: " << stats.cache.entries << " entries, "
       << stats.cache.hits << " hits, " << stats.cache.misses << " misses, "
       << stats.cache.invalidations << " invalidated\n";
+  out << "degradation history: " << stats.epochs_tripped
+      << " epochs tripped, " << stats.epochs_repaired << " repaired late, "
+      << stats.repairs << " repairs\n";
+}
+
+// Raises SIGKILL: no flush, no destructors, no atexit — the closest a
+// test harness gets to a power cut without pulling the plug.
+[[noreturn]] void crash_now() {
+#ifndef _WIN32
+  (void)std::raise(SIGKILL);
+#endif
+  std::abort();  // unreachable on POSIX; Windows fallback
 }
 
 }  // namespace
@@ -123,18 +141,84 @@ ServeRunResult run_serve(std::istream& events,
 
   ServeRunResult result;
   std::ostringstream out;
+
+  // Durable mode: recover from the log directory first, then apply only
+  // the script suffix past the recovered epoch.
+  std::unique_ptr<serve::DurableLog> durable;
+  std::size_t skip = 0;
+  if (options.log_dir.has_value()) {
+    serve::DurableLogOptions log_options;
+    log_options.checkpoint_every = options.checkpoint_every;
+    log_options.retain_checkpoints = options.retain_checkpoints;
+    durable = std::make_unique<serve::DurableLog>(*options.log_dir,
+                                                  log_options);
+    const serve::RecoveryReport recovery = durable->recover(state);
+    result.recovery_fallback = recovery.used_fallback;
+    result.recovery_notes = recovery.notes;
+    result.recovered_checkpoint_epoch = recovery.checkpoint_epoch;
+    result.recovered_events = recovery.total_events;
+    result.replayed_events = recovery.replayed_events;
+    skip = static_cast<std::size_t>(
+        std::min<std::uint64_t>(recovery.total_events, log.size()));
+
+    io::print_heading(out, "Durability");
+    out << "log: " << *options.log_dir << " (" << recovery.total_events
+        << " events durable)\n";
+    if (recovery.checkpoint_epoch > 0) {
+      out << "recovery: checkpoint epoch " << recovery.checkpoint_epoch
+          << ", replayed " << recovery.replayed_events << " events\n";
+    } else if (recovery.total_events > 0) {
+      out << "recovery: full replay of " << recovery.replayed_events
+          << " events\n";
+    }
+    for (const std::string& note : recovery.notes) {
+      out << "note: " << note << "\n";
+    }
+    if (skip > 0) {
+      out << "resuming at script event " << skip + 1 << " of "
+          << log.size() << "\n";
+    }
+  }
+
+  // Background repair: heals budget-tripped epochs while later events
+  // stream in, so a trip degrades one query window, not the whole run.
+  std::unique_ptr<serve::MaintenanceThread> maintenance;
+  if (options.maintenance) {
+    maintenance = std::make_unique<serve::MaintenanceThread>(state);
+  }
+
   io::print_heading(out, "Event log");
-  for (const serve::Event& event : log) {
+  for (std::size_t i = skip; i < log.size(); ++i) {
+    const serve::Event& event = log[i];
     try {
       const serve::ApplyResult applied =
           state.apply(event, event_budget(options));
+      if (durable) durable->append(event, state);
       print_apply(out, applied);
+      if (maintenance && !applied.complete) maintenance->notify();
     } catch (const serve::ServeError& e) {
       out << "invalid event (" << serve::event_kind(event)
           << "): " << e.what() << "\n";
       result.error = e.what();
       break;
     }
+    if (options.crash_at_epoch.has_value() &&
+        state.epoch() == *options.crash_at_epoch) {
+      crash_now();
+    }
+  }
+
+  if (maintenance) {
+    // Drain: give the background repairs a chance to publish the final
+    // heal before rendering the answer (bounded wait; a still-dirty
+    // state just reports degraded as usual).
+    (void)maintenance->wait_until_clean(10'000.0);
+    if (durable) (void)durable->checkpoint_now(state);  // deferred due
+    const serve::MaintenanceStats mstats = maintenance->stats();
+    maintenance->stop();
+    out << "maintenance: " << mstats.attempts << " attempts, "
+        << mstats.heals << " heals, " << mstats.yields << " yields, "
+        << mstats.exhaustions << " exhaustions\n";
   }
 
   const serve::EpochAnswer answer = state.query();

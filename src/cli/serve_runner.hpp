@@ -9,9 +9,11 @@
 // golden snapshot of configs/serve_demo.events pins down.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "lp/simplex.hpp"
 #include "runtime/budget.hpp"
@@ -32,6 +34,27 @@ struct ServeRunOptions {
   bool track_bounds = true;
   /// Digits in the rendered report.
   int precision = 4;
+
+  /// Durable-log directory (--log-dir). When set, the run first
+  /// recovers from the directory (newest valid checkpoint + log-suffix
+  /// replay, with torn-tail/corrupt-checkpoint fallbacks), then skips
+  /// the already-durable prefix of the script and appends only the new
+  /// suffix — so crash + rerun of the same command resumes exactly
+  /// where the crash left off.
+  std::optional<std::string> log_dir;
+  /// Checkpoint every N durable epochs (--checkpoint-every; 0 = never;
+  /// needs log_dir). Deferred while the state is budget-dirty.
+  std::uint64_t checkpoint_every = 0;
+  /// Keep the newest K checkpoints (--retain-checkpoints).
+  int retain_checkpoints = 2;
+  /// Run a serve::MaintenanceThread for the duration of the run
+  /// (--maintenance): budget-tripped epochs heal in the background with
+  /// backoff + budget escalation instead of waiting for a later event.
+  bool maintenance = false;
+  /// Crash injection (--crash-at-epoch, needs log_dir): after epoch k
+  /// is applied and durable, the process raises SIGKILL — no flush, no
+  /// destructors — so the chaos harness can exercise real recovery.
+  std::optional<std::uint64_t> crash_at_epoch;
 };
 
 /// Outcome of a serve run.
@@ -46,6 +69,15 @@ struct ServeRunResult {
   /// unknown facility, ...): the run stops at that event. Maps to CLI
   /// exit code 1.
   std::optional<std::string> error;
+
+  /// True when recovery dropped a torn log tail or skipped a corrupt
+  /// checkpoint (the answer is exact for the surviving history); maps
+  /// to CLI exit code 4 with the notes on stderr.
+  bool recovery_fallback = false;
+  std::vector<std::string> recovery_notes;
+  std::uint64_t recovered_checkpoint_epoch = 0;  ///< 0 = full replay
+  std::uint64_t recovered_events = 0;   ///< durable events at startup
+  std::uint64_t replayed_events = 0;    ///< suffix replayed at startup
 };
 
 /// Parses the event log on `events` and applies it event by event.

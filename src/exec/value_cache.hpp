@@ -82,6 +82,20 @@ class ValueCache {
   void store_batch(
       const std::vector<std::pair<std::uint64_t, double>>& entries);
 
+  /// Generation-guarded store_batch: the caller passes the generation()
+  /// it observed when the entries were *staged* (i.e. before their
+  /// values were computed). Entries destined for a shard whose lock is
+  /// acquired after an invalidate_if has bumped the generation are
+  /// dropped instead of written — a buffered value computed against the
+  /// pre-invalidation state must never resurrect a mask the
+  /// invalidation erased (it would reintroduce a value derived from
+  /// state that no longer exists). Dropping is always safe: the next
+  /// reader simply misses and recomputes against the current state.
+  /// Returns how many entries were actually offered to their shard.
+  std::size_t store_batch(
+      const std::vector<std::pair<std::uint64_t, double>>& entries,
+      std::uint64_t staged_generation);
+
   /// Returns the cached value for `mask`, computing it with `compute()`
   /// (outside any lock) and storing it on a miss. Counts one hit or one
   /// miss per call.
@@ -125,8 +139,14 @@ class ValueCache {
   /// shard serialise briefly; a reader racing the invalidation sees
   /// either the old value or a miss, never a torn entry. `pred` must
   /// not touch the cache (the shard lock is held while it runs).
+  ///
+  /// The cache generation is bumped *before* any entry is dropped, so a
+  /// generation-guarded store_batch staged before this call can never
+  /// write into a shard this invalidation has already scanned (see
+  /// store_batch's two-argument overload).
   template <typename Pred>
   std::size_t invalidate_if(Pred&& pred) {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
     std::size_t dropped = 0;
     for (Shard& shard : shards_) {
       std::lock_guard<std::mutex> lk(shard.m);
@@ -142,6 +162,22 @@ class ValueCache {
     invalidations_.fetch_add(dropped, std::memory_order_relaxed);
     return dropped;
   }
+
+  /// Monotone counter bumped at the *start* of every invalidate_if.
+  /// Writers that stage values outside the shard locks (CacheWriteBuffer)
+  /// snapshot it before computing and pass it to the guarded
+  /// store_batch, which drops the batch's entries wherever the
+  /// generation has moved on.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Every cached (mask, value) pair, sorted by mask. Intended for
+  /// checkpointing: the result is deterministic for a quiescent cache
+  /// regardless of shard layout or insertion order. Takes each shard
+  /// lock once.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>>
+  export_entries() const;
 
   /// Number of distinct masks materialised.
   [[nodiscard]] std::size_t size() const;
@@ -198,6 +234,7 @@ class ValueCache {
   std::atomic<std::uint64_t> batch_flushes_{0};
   std::atomic<std::uint64_t> batched_stores_{0};
   std::atomic<std::uint64_t> batch_shard_locks_{0};
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 /// Single-thread write-combining front-end over a shared ValueCache.
@@ -241,6 +278,7 @@ class CacheWriteBuffer {
       return *cached;
     }
     cache_.misses_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.empty()) staged_generation_ = cache_.generation();
     const double value = compute();
     // compute() may have materialised `mask` itself via recursion; the
     // emplace re-checks so first-store-wins holds locally too.
@@ -252,16 +290,21 @@ class CacheWriteBuffer {
     return it->second;
   }
 
-  /// Pushes every staged entry to the shared cache in one batch.
+  /// Pushes every staged entry to the shared cache in one batch. The
+  /// batch carries the generation observed when its first entry was
+  /// staged, so entries racing an invalidate_if are dropped rather than
+  /// resurrected (the shared cache decides per shard, under the shard
+  /// lock).
   void flush() {
     if (pending_.empty()) return;
-    cache_.store_batch(pending_);
+    cache_.store_batch(pending_, staged_generation_);
     pending_.clear();
   }
 
  private:
   ValueCache& cache_;
   std::size_t threshold_;
+  std::uint64_t staged_generation_ = 0;
   std::unordered_map<std::uint64_t, double> local_;
   std::vector<std::pair<std::uint64_t, double>> pending_;
 };

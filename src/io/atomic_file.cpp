@@ -1,0 +1,157 @@
+#include "io/atomic_file.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace fedshare::io {
+
+namespace {
+
+// Table-driven CRC-32 (IEEE 802.3 reflected polynomial). Built once;
+// thread-safe via static-init guarantees.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Directory part of `path` ("." when the path has no separator), for
+// the post-rename directory fsync.
+std::string dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+#ifndef _WIN32
+bool fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+#ifndef _WIN32
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    std::size_t written = 0;
+    bool ok = true;
+    while (ok && written < content.size()) {
+      const ssize_t n =
+          ::write(fd, content.data() + written, content.size() - written);
+      if (n < 0) {
+        ok = false;
+      } else {
+        written += static_cast<std::size_t>(n);
+      }
+    }
+    if (ok) ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // The rename is only durable once the directory entry is; a failure
+  // here leaves the file correct in the running system, so report it
+  // but do not undo.
+  return fsync_path(dir_of(path), O_RDONLY | O_DIRECTORY);
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+#endif
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+bool append_file(const std::string& path, std::string_view content,
+                 bool sync) {
+#ifndef _WIN32
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  bool ok = true;
+  while (ok && written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      ok = false;
+    } else {
+      written += static_cast<std::size_t>(n);
+    }
+  }
+  if (ok && sync) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  (void)sync;
+  return static_cast<bool>(out);
+#endif
+}
+
+}  // namespace fedshare::io

@@ -1,0 +1,47 @@
+// Crash-safe file primitives for the durability layer.
+//
+// The serve checkpoints and the durable event log both need the classic
+// POSIX write protocol: write the full payload to a temporary file in
+// the destination directory, fsync it, rename() over the final name
+// (atomic within a filesystem), then fsync the directory so the rename
+// itself survives a power cut. A reader after a crash therefore sees
+// either the old file, the new file, or a stray "*.tmp" it can ignore —
+// never a half-written final file. On top of that, payloads carry a
+// trailing CRC-32 so a reader can *detect* the cases the protocol
+// cannot prevent (a corrupt sector, a checkpoint copied off a dying
+// disk) and fall back instead of trusting garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fedshare::io {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG checksum) of
+/// `data`. Deterministic across platforms; used as the whole-file
+/// checksum trailer of serve checkpoints.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Writes `content` to `path` atomically: temp file in the same
+/// directory, fsync, rename, directory fsync. Returns false (leaving
+/// any previous `path` intact and cleaning up the temp file) if any
+/// step fails. The temp file is `path` + ".tmp", so recovery scans can
+/// ignore strays by suffix.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     std::string_view content);
+
+/// Reads the whole file into a string; nullopt if it cannot be opened
+/// or read.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+/// Appends `content` to `path` (creating it if missing) with one write
+/// call, then flushes; with `sync` also fsyncs the file descriptor so
+/// the append is durable before returning. Returns false on any
+/// failure. One call per log line keeps the torn-write model honest: a
+/// crash mid-append leaves a *prefix* of this content, nothing else.
+[[nodiscard]] bool append_file(const std::string& path,
+                               std::string_view content, bool sync);
+
+}  // namespace fedshare::io

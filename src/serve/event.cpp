@@ -293,6 +293,86 @@ std::vector<Event> parse_event_log(std::istream& in) {
   return log;
 }
 
+namespace {
+
+// Comment-stripped view; empty means the line carries no event.
+std::string event_payload(std::string line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.resize(hash);
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return {};
+  return line;
+}
+
+}  // namespace
+
+std::vector<Event> parse_event_log_tolerant(std::istream& in,
+                                            LogRecovery& recovery) {
+  recovery = LogRecovery{};
+
+  // Read raw lines, remembering whether the final one was terminated by
+  // a newline. An append writes "event\n" in one call, so a torn tail
+  // is a strict prefix of that — it includes the newline only when the
+  // whole line made it to disk.
+  std::vector<std::string> lines;
+  bool last_terminated = true;
+  {
+    std::string line;
+    while (std::getline(in, line)) {
+      last_terminated = !in.eof();
+      lines.push_back(std::move(line));
+    }
+  }
+
+  // A final line with no newline is torn: drop it *without* parsing —
+  // a torn prefix of "demand c1;c2" is the valid (but different!) event
+  // "demand c1", and replaying it would be a silently wrong answer.
+  if (!last_terminated && !lines.empty()) {
+    const std::string payload = event_payload(lines.back());
+    if (!payload.empty()) {
+      recovery.truncated = true;
+      recovery.stopped_line = static_cast<int>(lines.size());
+      recovery.note = "replay stopped at line " +
+                      std::to_string(lines.size()) +
+                      ": torn final line (no terminating newline)";
+    }
+    lines.pop_back();
+  }
+
+  std::vector<Event> log;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string payload = event_payload(lines[i]);
+    if (payload.empty()) continue;
+    try {
+      log.push_back(parse_event(payload));
+    } catch (const ServeError& e) {
+      // Recoverable only as a *tail*: any parseable event after this
+      // line means mid-file corruption, which must stay a hard error —
+      // replaying around it would silently skip history.
+      const auto parses = [](const std::string& text) {
+        try {
+          (void)parse_event(text);
+          return true;
+        } catch (const ServeError&) {
+          return false;
+        }
+      };
+      for (std::size_t j = i + 1; j < lines.size(); ++j) {
+        const std::string later = event_payload(lines[j]);
+        if (!later.empty() && parses(later)) {
+          throw ServeError("line " + std::to_string(i + 1) + ": " +
+                           e.what());
+        }
+      }
+      recovery.truncated = true;
+      recovery.stopped_line = static_cast<int>(i + 1);
+      recovery.note = "replay stopped at line " + std::to_string(i + 1) +
+                      ": " + e.what();
+      break;
+    }
+  }
+  return log;
+}
+
 void write_event_log(std::ostream& out, const std::vector<Event>& log) {
   for (const Event& event : log) {
     out << format_event(event) << '\n';

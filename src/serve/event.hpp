@@ -100,6 +100,35 @@ using Event =
 /// number.
 [[nodiscard]] std::vector<Event> parse_event_log(std::istream& in);
 
+/// What torn-write-tolerant log parsing salvaged (the recovery path's
+/// view of a log that may have lost its tail to a crash).
+struct LogRecovery {
+  /// True when the tail of the log was dropped: the final line was torn
+  /// (no terminating newline — an append died mid-write) or the last
+  /// non-blank region failed to parse (trailing garbage). The parsed
+  /// prefix is still good; replay simply stops earlier.
+  bool truncated = false;
+  /// 1-based line number of the first dropped line (0 when !truncated).
+  int stopped_line = 0;
+  /// One-line operator note ("replay stopped at line L: ..."). Empty
+  /// when !truncated.
+  std::string note;
+};
+
+/// Torn-write-tolerant variant of parse_event_log. Differences from the
+/// strict parser:
+///  * a final line with no terminating newline is treated as a torn
+///    append and dropped (never parsed — a torn prefix of a valid line
+///    can itself parse as a *different* valid event, which replay must
+///    never see);
+///  * a parse error with no valid event after it (torn tail, trailing
+///    garbage) truncates the log at that line instead of throwing.
+/// A parse error *followed by* parseable events is still a hard error —
+/// that is mid-file corruption, not a torn tail, and replaying past it
+/// could silently skip history. `recovery` reports what was dropped.
+[[nodiscard]] std::vector<Event> parse_event_log_tolerant(
+    std::istream& in, LogRecovery& recovery);
+
 /// Writes `log` in the format parse_event_log reads.
 void write_event_log(std::ostream& out, const std::vector<Event>& log);
 

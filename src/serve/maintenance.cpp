@@ -1,0 +1,136 @@
+#include "serve/maintenance.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+
+namespace fedshare::serve {
+
+MaintenanceThread::MaintenanceThread(ServiceState& state,
+                                     MaintenanceOptions options)
+    : state_(state), options_(options) {
+  options_.initial_backoff_ms = std::max(options_.initial_backoff_ms, 0.0);
+  options_.max_backoff_ms =
+      std::max(options_.max_backoff_ms, options_.initial_backoff_ms);
+  options_.backoff_factor = std::max(options_.backoff_factor, 1.0);
+  options_.escalation_factor = std::max(options_.escalation_factor, 1.0);
+  options_.base_node_cap = std::max<std::uint64_t>(options_.base_node_cap, 1);
+  options_.poll_interval_ms = std::max(options_.poll_interval_ms, 0.01);
+  thread_ = std::thread([this] { run(); });
+}
+
+MaintenanceThread::~MaintenanceThread() { stop(); }
+
+void MaintenanceThread::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      // Second caller: the destructor after an explicit stop().
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MaintenanceThread::notify() { cv_.notify_all(); }
+
+MaintenanceStats MaintenanceThread::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+bool MaintenanceThread::wait_until_clean(double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  // "Clean" here also means the healing attempt's stats are published:
+  // repair_yielding makes the state clean before the loop records the
+  // heal under mu_, and a caller sequencing on this function (tests,
+  // the CLI's final report) must not observe that half-updated window.
+  const auto settled = [this] {
+    if (state_.dirty()) return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    return !in_attempt_;
+  };
+  while (!settled()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    cv_.notify_all();  // kick an idle thread
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+void MaintenanceThread::run() {
+  std::mt19937_64 jitter_rng(options_.seed);
+  std::uniform_real_distribution<double> jitter(0.0, 1.0);
+  int failures = 0;  // consecutive, drives backoff + escalation ladder
+
+  const auto interruptible_sleep = [this](double ms) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::duration<double, std::milli>(ms),
+                 [this] { return stopping_; });
+    return stopping_;
+  };
+
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) return;
+    }
+    if (!state_.dirty()) {
+      failures = 0;
+      if (interruptible_sleep(options_.poll_interval_ms)) return;
+      continue;
+    }
+
+    // Budget for this attempt: the escalation ladder, uncapped past the
+    // top rung so a heal is guaranteed once appliers go quiet.
+    runtime::ComputeBudget budget;
+    if (failures < options_.unlimited_after) {
+      const double cap =
+          static_cast<double>(options_.base_node_cap) *
+          std::pow(options_.escalation_factor, failures);
+      budget.cap_nodes(static_cast<std::uint64_t>(cap));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      in_attempt_ = true;
+    }
+    const ApplyResult result = state_.repair_yielding(budget);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      in_attempt_ = false;
+      ++stats_.attempts;
+      if (result.complete) {
+        ++stats_.heals;
+      } else if (result.stop == runtime::StopReason::kCancelled) {
+        ++stats_.yields;
+      } else {
+        ++stats_.exhaustions;
+        if (failures + 1 <= options_.unlimited_after) ++stats_.escalations;
+      }
+    }
+    if (result.complete) {
+      failures = 0;
+      continue;  // re-check immediately: an apply may have re-dirtied
+    }
+
+    // Yield (an applier needed the state) or budget exhaustion: back
+    // off, then retry with the next rung. The jitter stream is a pure
+    // function of options_.seed, so retry schedules are reproducible.
+    const double backoff =
+        std::min(options_.initial_backoff_ms *
+                     std::pow(options_.backoff_factor, failures),
+                 options_.max_backoff_ms) +
+        jitter(jitter_rng) * options_.jitter_ms;
+    ++failures;
+    if (interruptible_sleep(backoff)) return;
+  }
+}
+
+}  // namespace fedshare::serve

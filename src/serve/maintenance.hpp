@@ -1,0 +1,99 @@
+// Background repair for budget-tripped epochs.
+//
+// When apply() trips its ComputeBudget the epoch advances but the
+// published answer goes stale (stale-but-bounded). Something has to
+// finish the pending re-solve; making the *next caller* pay for it
+// would reintroduce the latency spike the budget existed to avoid. The
+// MaintenanceThread is that something: it watches for dirty epochs and
+// retries ServiceState::repair_yielding() until the backlog heals,
+// publishing the healed snapshot without ever blocking appliers —
+// apply() cancels the in-flight repair's token on entry, so the repair
+// yields the state lock within one budget amortisation window and the
+// thread simply retries later (partial work persists in the value
+// cache, so nothing is recomputed).
+//
+// Retry policy: exponential backoff with deterministic seeded jitter
+// (reproducible retry schedules under test), plus a budget escalation
+// ladder — each consecutive failed attempt multiplies the node cap, and
+// after `unlimited_after` attempts the repair runs uncapped so a heal
+// is guaranteed once appliers go quiet. stop() drains: it lets an
+// in-flight repair finish its (finite) budget, then joins the thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "serve/state.hpp"
+
+namespace fedshare::serve {
+
+/// Retry/backoff knobs for a MaintenanceThread.
+struct MaintenanceOptions {
+  /// Backoff after the k-th consecutive failed attempt:
+  ///   min(initial * factor^k, max) + jitter,  jitter ~ U[0, jitter_ms)
+  /// drawn from a PRNG seeded with `seed` (deterministic schedule).
+  double initial_backoff_ms = 0.5;
+  double max_backoff_ms = 50.0;
+  double backoff_factor = 2.0;
+  double jitter_ms = 0.25;
+  std::uint64_t seed = 1;
+  /// Budget ladder: attempt k runs under a node cap of
+  /// base_node_cap * escalation_factor^k; after `unlimited_after`
+  /// consecutive failures the repair runs uncapped.
+  std::uint64_t base_node_cap = 1 << 12;
+  double escalation_factor = 4.0;
+  int unlimited_after = 3;
+  /// How often the thread re-checks for dirty state when idle.
+  double poll_interval_ms = 0.5;
+};
+
+/// Aggregate counters (monotone; readable while running).
+struct MaintenanceStats {
+  std::uint64_t attempts = 0;     ///< repair_yielding() calls made
+  std::uint64_t heals = 0;        ///< attempts that published a snapshot
+  std::uint64_t yields = 0;       ///< attempts cancelled by an apply()
+  std::uint64_t exhaustions = 0;  ///< attempts that tripped their cap
+  std::uint64_t escalations = 0;  ///< cap raises along the ladder
+};
+
+/// Owns one background thread for one ServiceState. Construction starts
+/// the thread; stop() (or destruction) drains and joins it.
+class MaintenanceThread {
+ public:
+  explicit MaintenanceThread(ServiceState& state,
+                             MaintenanceOptions options = {});
+  ~MaintenanceThread();
+
+  MaintenanceThread(const MaintenanceThread&) = delete;
+  MaintenanceThread& operator=(const MaintenanceThread&) = delete;
+
+  /// Requests shutdown, lets an in-flight repair run out its finite
+  /// budget, and joins. Idempotent.
+  void stop();
+
+  /// Nudges the thread to check for work now instead of at the next
+  /// poll tick (call after an apply that tripped).
+  void notify();
+
+  [[nodiscard]] MaintenanceStats stats() const;
+
+  /// Blocks until the state is clean or `timeout_ms` elapses; true on
+  /// clean. For tests and CLI runs that must observe the healed answer.
+  [[nodiscard]] bool wait_until_clean(double timeout_ms);
+
+ private:
+  void run();
+
+  ServiceState& state_;
+  MaintenanceOptions options_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool in_attempt_ = false;  ///< repair running, stats not yet published
+  MaintenanceStats stats_;
+};
+
+}  // namespace fedshare::serve

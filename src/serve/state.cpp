@@ -476,15 +476,28 @@ void ServiceState::publish_snapshot() {
 
 ApplyResult ServiceState::finish(ApplyResult result,
                                  const runtime::ComputeBudget& budget) {
+  // Degradation bookkeeping: epochs already pending before this call
+  // (the current epoch is this call's own work for an apply, so it only
+  // counts as "repaired" when healed by a *later* call).
+  const bool was_dirty = dirty_;
+  const std::uint64_t published = snapshot_ ? snapshot_->epoch : 0;
+  const bool is_repair = result.kind == "repair";
+  const std::uint64_t backlog =
+      was_dirty ? epoch_ - published - (is_repair ? 0 : 1) : 0;
   if (!tabulate_values(budget, result) || !resolve_bounds(budget, result)) {
     result.complete = false;
     result.stop = stop_reason_of(budget);
     dirty_ = true;
     last_stop_ = result.stop;
+    if (!is_repair) ++epochs_tripped_;
   } else {
     publish_snapshot();
     result.complete = true;
     result.stop = runtime::StopReason::kNone;
+    if (was_dirty) {
+      epochs_repaired_ += backlog;
+      if (is_repair) ++repairs_;
+    }
   }
   values_recomputed_ += result.values_recomputed;
   lp_solves_ += result.lp_solves;
@@ -496,6 +509,9 @@ ApplyResult ServiceState::finish(ApplyResult result,
 
 ApplyResult ServiceState::apply(const Event& event,
                                 const runtime::ComputeBudget& budget) {
+  // Never queue behind a background repair: fire its token first, so it
+  // yields mu_ within one budget amortisation window (~64 charges).
+  interrupt_repair();
   std::lock_guard<std::mutex> lk(mu_);
   const int slot = validate_and_stage(event);  // throws; state unchanged
   log_.push_back(event);
@@ -559,6 +575,29 @@ ApplyResult ServiceState::repair(const runtime::ComputeBudget& budget) {
   return finish(std::move(result), budget);
 }
 
+ApplyResult ServiceState::repair_yielding(const runtime::ComputeBudget& budget) {
+  runtime::CancellationToken token = runtime::CancellationToken::create();
+  {
+    std::lock_guard<std::mutex> lk(yield_mu_);
+    yield_token_ = token;
+    yield_active_ = true;
+  }
+  // fork() keeps the caller's own deadline/token and adds ours as the
+  // job token, so either party can stop the repair.
+  ApplyResult result = repair(budget.fork(std::move(token)));
+  {
+    std::lock_guard<std::mutex> lk(yield_mu_);
+    yield_active_ = false;
+    yield_token_ = runtime::CancellationToken();
+  }
+  return result;
+}
+
+void ServiceState::interrupt_repair() {
+  std::lock_guard<std::mutex> lk(yield_mu_);
+  if (yield_active_) yield_token_.cancel();
+}
+
 EpochAnswer ServiceState::query() const {
   std::shared_ptr<const Snapshot> snap;
   std::uint64_t current = 0;
@@ -607,6 +646,9 @@ ServiceStats ServiceState::stats() const {
   s.lp_incremental = lp_incremental_;
   s.lp_cold = lp_cold_;
   s.lp_pivots = lp_pivots_;
+  s.epochs_tripped = epochs_tripped_;
+  s.epochs_repaired = epochs_repaired_;
+  s.repairs = repairs_;
   s.cache = cache_->stats();
   return s;
 }
@@ -623,6 +665,161 @@ void ServiceState::replay_log(const std::vector<Event>& log,
   for (std::size_t i = 0; i < count; ++i) {
     (void)apply(log[i]);
   }
+}
+
+CheckpointImage ServiceState::checkpoint_image() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (dirty_) {
+    throw ServeError("checkpoint: epoch " + std::to_string(epoch_) +
+                     " is unsolved (budget-tripped); repair before "
+                     "checkpointing");
+  }
+  CheckpointImage image;
+  image.epoch = epoch_;
+  image.options = options_;
+  image.roster.reserve(roster_.size());
+  for (const Member& m : roster_) {
+    CheckpointImage::MemberImage mi;
+    mi.slot = m.slot;
+    mi.config = m.config;
+    mi.outage = m.outage;
+    mi.outage_seed = m.outage_seed;
+    mi.outage_scenario = m.outage_scenario;
+    mi.up = m.up;
+    image.roster.push_back(std::move(mi));
+  }
+  image.demand = demand_;
+  image.cache = cache_->export_entries();
+  for (std::uint64_t mask = 0; mask < bounds_.size(); ++mask) {
+    const BoundEntry& entry = bounds_[mask];
+    if (!entry.valid) continue;
+    CheckpointImage::BoundImage bi;
+    bi.mask = mask;
+    bi.value = entry.value;
+    // Only current-generation bases are live warm starts; a stale basis
+    // would never be consulted again, so it is not part of the state
+    // that determines future solves.
+    bi.has_basis = entry.basis_gen == lp_gen_ && !entry.basis.empty();
+    if (bi.has_basis) bi.basis = entry.basis;
+    image.bounds.push_back(std::move(bi));
+  }
+  image.epochs_tripped = epochs_tripped_;
+  image.epochs_repaired = epochs_repaired_;
+  image.repairs = repairs_;
+  return image;
+}
+
+void ServiceState::restore(const CheckpointImage& image) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (epoch_ != 0 || !log_.empty()) {
+    throw ServeError("restore: state is not fresh");
+  }
+  if (image.options.max_facilities != options_.max_facilities ||
+      image.options.track_bounds != options_.track_bounds ||
+      image.options.lp_solver != options_.lp_solver) {
+    // Slot masks / bound tables are not portable across max_facilities
+    // or track_bounds, and lp_solver changes the nucleolus LPs inside
+    // published answers — any mismatch breaks bitwise recovery.
+    throw ServeError(
+        "restore: checkpoint options disagree with this service "
+        "(max_facilities/track_bounds/lp_solver)");
+  }
+  if (static_cast<int>(image.roster.size()) > options_.max_facilities) {
+    throw ServeError("restore: roster exceeds max_facilities");
+  }
+  std::uint64_t used_slots = 0;
+  for (const auto& mi : image.roster) {
+    if (mi.slot < 0 || mi.slot >= options_.max_facilities) {
+      throw ServeError("restore: member slot out of range");
+    }
+    if (used_slots >> mi.slot & 1) {
+      throw ServeError("restore: duplicate member slot");
+    }
+    used_slots |= std::uint64_t{1} << mi.slot;
+    try {
+      mi.config.validate();
+    } catch (const std::invalid_argument& e) {
+      throw ServeError(std::string("restore: ") + e.what());
+    }
+    if (mi.outage &&
+        mi.up.size() != static_cast<std::size_t>(mi.config.num_locations)) {
+      throw ServeError("restore: outage mask length mismatch");
+    }
+  }
+  if (!image.demand.classes.empty()) {
+    try {
+      image.demand.validate();
+    } catch (const std::invalid_argument& e) {
+      throw ServeError(std::string("restore: ") + e.what());
+    }
+  }
+  // Validate the lattice and bound table BEFORE mutating anything:
+  // recovery retries restore() on an older checkpoint after a failure,
+  // which is only sound if a throwing restore leaves the state fresh.
+  {
+    std::vector<std::uint64_t> masks;
+    masks.reserve(image.cache.size());
+    for (const auto& [mask, value] : image.cache) {
+      (void)value;
+      masks.push_back(mask);
+    }
+    std::sort(masks.begin(), masks.end());
+    const std::uint64_t active = used_slots;
+    std::uint64_t sub = 0;
+    while (active != 0) {
+      sub = (sub - active) & active;
+      if (sub != 0 &&
+          !std::binary_search(masks.begin(), masks.end(), sub)) {
+        throw ServeError("restore: checkpoint lattice is incomplete");
+      }
+      if (sub == active) break;
+    }
+  }
+  for (const auto& bi : image.bounds) {
+    if (bi.mask >= (std::uint64_t{1} << options_.max_facilities)) {
+      throw ServeError("restore: bound mask out of range");
+    }
+  }
+
+  epoch_ = image.epoch;
+  events_applied_ = image.epoch;
+  epochs_tripped_ = image.epochs_tripped;
+  epochs_repaired_ = image.epochs_repaired;
+  repairs_ = image.repairs;
+  roster_.clear();
+  roster_.reserve(image.roster.size());
+  for (const auto& mi : image.roster) {
+    Member m;
+    m.slot = mi.slot;
+    m.config = mi.config;
+    m.outage = mi.outage;
+    m.outage_seed = mi.outage_seed;
+    m.outage_scenario = mi.outage_scenario;
+    m.up = mi.up;
+    roster_.push_back(std::move(m));
+  }
+  std::sort(roster_.begin(), roster_.end(),
+            [](const Member& a, const Member& b) { return a.slot < b.slot; });
+  demand_ = image.demand;
+  rebuild_space();
+
+  cache_->clear();
+  for (const auto& [mask, value] : image.cache) cache_->store(mask, value);
+
+  rebuild_template();
+  bounds_.assign(std::size_t{1} << options_.max_facilities, BoundEntry{});
+  for (const auto& bi : image.bounds) {
+    BoundEntry& entry = bounds_[bi.mask];
+    entry.value = bi.value;
+    entry.valid = true;
+    if (bi.has_basis && lp_template_) {
+      // Re-tag under the restored generation: the basis keeps warm-
+      // starting future re-solves exactly as in the uncrashed run.
+      entry.basis = bi.basis;
+      entry.basis_gen = lp_gen_;
+    }
+  }
+  publish_snapshot();
 }
 
 }  // namespace fedshare::serve

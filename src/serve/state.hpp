@@ -125,7 +125,65 @@ struct ServiceStats {
   std::uint64_t lp_incremental = 0;
   std::uint64_t lp_cold = 0;
   std::uint64_t lp_pivots = 0;
+  /// Degradation history: epochs whose own apply() tripped its budget
+  /// (the service answered stale until something healed them) ...
+  std::uint64_t epochs_tripped = 0;
+  /// ... and epochs healed later than their own apply — published by a
+  /// repair() or by a subsequent apply() that cleared the backlog.
+  std::uint64_t epochs_repaired = 0;
+  /// repair() calls that completed pending work (not no-ops).
+  std::uint64_t repairs = 0;
   exec::CacheStats cache;
+};
+
+/// Everything needed to reconstruct a clean ServiceState without
+/// replaying its history: the durable image behind serve/checkpoint.hpp.
+/// Captured by ServiceState::checkpoint_image() and consumed by
+/// restore(); the codec (text format, checksum) lives in
+/// serve/checkpoint.{hpp,cpp} so this struct stays format-agnostic.
+///
+/// Bitwise-recovery contract: the image carries the value-cache entries
+/// and the LP bound table *including current-generation simplex bases*.
+/// Values alone would restore correct answers for the checkpoint epoch,
+/// but the next event would then warm-start from different bases (or
+/// cold-solve) and could land an ulp away from the uncrashed run; with
+/// the bases restored, every later warm/cold decision — and therefore
+/// every later double — matches the original run exactly.
+struct CheckpointImage {
+  std::uint64_t epoch = 0;
+  ServeOptions options;  ///< must match the restoring state's options
+
+  struct MemberImage {
+    int slot = 0;
+    model::FacilityConfig config;  ///< nominal (as joined)
+    bool outage = false;
+    std::uint64_t outage_seed = 0;
+    std::uint64_t outage_scenario = 0;
+    std::vector<bool> up;  ///< sampled mask; valid when outage
+  };
+  std::vector<MemberImage> roster;  ///< sorted by slot
+  model::DemandProfile demand;
+
+  /// Greedy V(S) memo, keyed by slot mask, ascending (the full lattice
+  /// of the active roster — checkpoints are only taken clean).
+  std::vector<std::pair<std::uint64_t, double>> cache;
+
+  struct BoundImage {
+    std::uint64_t mask = 0;
+    double value = 0.0;
+    /// True when the entry held a current-generation basis at capture;
+    /// restore() re-tags it with the restored state's generation so it
+    /// keeps warm-starting exactly as it would have.
+    bool has_basis = false;
+    lp::Basis basis;
+  };
+  std::vector<BoundImage> bounds;  ///< valid entries only, mask ascending
+
+  /// Degradation history survives restart so operator-facing stats do
+  /// not silently reset on recovery.
+  std::uint64_t epochs_tripped = 0;
+  std::uint64_t epochs_repaired = 0;
+  std::uint64_t repairs = 0;
 };
 
 /// The epoch-versioned state machine. Thread-safe: apply/repair
@@ -167,6 +225,20 @@ class ServiceState {
   /// pending). All partial work is reused through the value cache.
   ApplyResult repair(const runtime::ComputeBudget& budget = {});
 
+  /// repair() that yields to appliers: the call runs under `budget` plus
+  /// a service-managed cancellation token which apply() fires on entry,
+  /// so an in-flight background repair aborts (StopReason::kCancelled)
+  /// within one budget amortisation window instead of holding the state
+  /// lock against event ingestion. Partial work is kept (value cache),
+  /// so the retried repair resumes where the yield left off. This is
+  /// what serve::MaintenanceThread calls.
+  ApplyResult repair_yielding(const runtime::ComputeBudget& budget = {});
+
+  /// Cancels the in-flight repair_yielding() call, if any (cheap, lock-
+  /// free beyond a small mutex; never blocks on the repair itself).
+  /// apply() calls this automatically.
+  void interrupt_repair();
+
   /// The latest published answer, tagged with the current epoch and —
   /// when stale — the StopReason that interrupted the re-solve. Never
   /// blocks on an in-flight apply beyond the pointer copy.
@@ -193,6 +265,24 @@ class ServiceState {
   /// prefix publish bit-identical snapshots.
   void replay_log(const std::vector<Event>& log,
                   std::size_t prefix = static_cast<std::size_t>(-1));
+
+  /// Captures the durable image of the current state. Only valid when
+  /// the state is clean (snapshot current) — a dirty state's pending
+  /// work is not representable and checkpointing it would freeze a
+  /// stale answer; throws ServeError in that case (callers defer the
+  /// checkpoint until the epoch heals).
+  [[nodiscard]] CheckpointImage checkpoint_image() const;
+
+  /// Reconstructs the state from `image` (epoch, roster, demand, value
+  /// cache, bound table with bases) and publishes the checkpoint
+  /// epoch's snapshot. Only valid on a fresh state; throws ServeError
+  /// otherwise or when image.options disagree with this state's options
+  /// (slot masks and bound tables are not portable across
+  /// max_facilities / track_bounds). After restore, applying the
+  /// logged suffix reproduces the uncrashed run bit-for-bit; note
+  /// log() returns only the post-restore suffix (full history lives in
+  /// the durable log, see serve/log.hpp).
+  void restore(const CheckpointImage& image);
 
  private:
   struct Member {
@@ -269,6 +359,13 @@ class ServiceState {
   bool dirty_ = false;
   runtime::StopReason last_stop_ = runtime::StopReason::kNone;
 
+  /// Token observed by the budget of the in-flight repair_yielding()
+  /// call (null between calls). Guarded by yield_mu_, NOT mu_ — apply()
+  /// must be able to fire it while the repair holds mu_.
+  mutable std::mutex yield_mu_;
+  runtime::CancellationToken yield_token_;
+  bool yield_active_ = false;
+
   // Aggregate counters (mu_ held; see stats()).
   std::uint64_t events_applied_ = 0;
   std::uint64_t values_recomputed_ = 0;
@@ -276,6 +373,9 @@ class ServiceState {
   std::uint64_t lp_incremental_ = 0;
   std::uint64_t lp_cold_ = 0;
   std::uint64_t lp_pivots_ = 0;
+  std::uint64_t epochs_tripped_ = 0;
+  std::uint64_t epochs_repaired_ = 0;
+  std::uint64_t repairs_ = 0;
 };
 
 }  // namespace fedshare::serve

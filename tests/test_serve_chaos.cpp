@@ -10,9 +10,14 @@
 // after restarting from any log prefix (crash recovery = replay), at 1
 // and 4 worker threads, and after budget-tripped applies once repair()
 // has caught the state up.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
 #include <optional>
 #include <random>
 #include <sstream>
@@ -28,6 +33,7 @@
 #include "runtime/budget.hpp"
 #include "runtime/outage.hpp"
 #include "serve/event.hpp"
+#include "serve/log.hpp"
 #include "serve/state.hpp"
 
 namespace {
@@ -494,6 +500,193 @@ TEST(ServeChaosTest, TrippedBudgetsStayStaleBoundedAndRepairToBatch) {
                                std::to_string(state.epoch()));
       last_complete = fresh;
     }
+  }
+}
+
+// --- the crash-injection kill-point matrix --------------------------------
+// A process dies at the worst possible moments of the durability
+// protocol; recovery from the surviving files must land bitwise on the
+// uncrashed run's answer at the recovered epoch, and finishing the
+// event sequence from there must land bitwise on the uncrashed final
+// answer. Each kill point is simulated by mutating the log directory
+// exactly the way a SIGKILL at that instant would leave it (the
+// end-to-end SIGKILL path itself is exercised by fedshare_cli
+// --crash-at-epoch under tools/crash_check.sh).
+namespace fs = std::filesystem;
+
+enum class KillPoint {
+  kMidLogAppend,        // torn tail: a partial event line, no newline
+  kMidCheckpointWrite,  // a partial checkpoint temp file left behind
+  kCheckpointCorrupt,   // newest checkpoint truncated mid-file
+  kCheckpointLost,      // rename not yet durable: newest checkpoint gone
+  kDuringRepair,        // died while the state was budget-dirty
+};
+constexpr KillPoint kKillPoints[] = {
+    KillPoint::kMidLogAppend, KillPoint::kMidCheckpointWrite,
+    KillPoint::kCheckpointCorrupt, KillPoint::kCheckpointLost,
+    KillPoint::kDuringRepair};
+constexpr std::size_t kNumKillPoints =
+    sizeof(kKillPoints) / sizeof(kKillPoints[0]);
+
+struct ChaosTempDir {
+  explicit ChaosTempDir(std::uint64_t seed) {
+    std::ostringstream name;
+    name << "fedshare_chaos_" << ::getpid() << "_" << seed;
+    path = (fs::temp_directory_path() / name.str()).string();
+    fs::remove_all(path);
+  }
+  ~ChaosTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string padded12(std::uint64_t n) {
+  std::ostringstream out;
+  out << std::setw(12) << std::setfill('0') << n;
+  return out.str();
+}
+
+std::optional<std::string> newest_checkpoint(const std::string& dir) {
+  std::optional<std::string> newest;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) == 0 &&
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".ckpt") == 0 &&
+        (!newest || name > *newest)) {
+      newest = name;
+    }
+  }
+  if (!newest) return std::nullopt;
+  return dir + "/" + *newest;
+}
+
+void run_crash_recovery(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  std::mt19937_64 rng(seed * 7540113804746346429ULL + 31);
+
+  // The event sequence, generated up front via the shadow model.
+  std::vector<Event> events;
+  {
+    Shadow shadow;
+    DemandUpdate initial;
+    initial.demand = random_demand(rng);
+    shadow.demand = initial.demand;
+    events.emplace_back(initial);
+    const int steps = 3 + static_cast<int>(rng() % 9);
+    for (int step = 0; step < steps; ++step) {
+      events.push_back(random_event(rng, shadow));
+    }
+  }
+
+  // The uncrashed reference run, answers recorded per epoch.
+  std::vector<EpochAnswer> recorded;
+  {
+    ServiceState reference;
+    recorded.push_back(reference.query());
+    for (const Event& event : events) {
+      (void)reference.apply(event);
+      recorded.push_back(reference.query());
+    }
+  }
+
+  const std::size_t crash_epoch = 1 + rng() % events.size();
+  const KillPoint kill = kKillPoints[seed % kNumKillPoints];
+  ChaosTempDir dir(seed);
+  fedshare::serve::DurableLogOptions log_options;
+  log_options.checkpoint_every = 1 + seed % 3;
+  log_options.retain_checkpoints = 2;
+
+  // The crashing run: apply + append up to the crash epoch, then die.
+  {
+    fedshare::serve::DurableLog log(dir.path, log_options);
+    ServiceState state;
+    (void)log.recover(state);
+    for (std::size_t i = 0; i < crash_epoch; ++i) {
+      const bool last = i + 1 == crash_epoch;
+      if (last && kill == KillPoint::kDuringRepair) {
+        // The final event trips its budget; the process dies with the
+        // state dirty and the (durable) event unresolved.
+        (void)state.apply(events[i],
+                          ComputeBudget().cap_nodes(rng() % 2));
+      } else {
+        (void)state.apply(events[i]);
+      }
+      log.append(events[i], state);
+    }
+    // No clean shutdown: the DurableLog is simply abandoned here, and
+    // the kill-point mutation below forges the mid-operation wreckage.
+  }
+  switch (kill) {
+    case KillPoint::kMidLogAppend: {
+      const Event next = crash_epoch < events.size()
+                             ? events[crash_epoch]
+                             : events.front();
+      const std::string line = fedshare::serve::format_event(next);
+      std::ofstream out(dir.path + "/events-000000000000.log",
+                        std::ios::app | std::ios::binary);
+      out << line.substr(0, 1 + line.size() / 2);  // no newline
+      break;
+    }
+    case KillPoint::kMidCheckpointWrite: {
+      std::ofstream out(dir.path + "/checkpoint-" + padded12(crash_epoch) +
+                        ".ckpt.tmp");
+      out << "fedshare-checkpoint v1\nepoch " << crash_epoch << "\n";
+      break;
+    }
+    case KillPoint::kCheckpointCorrupt: {
+      if (const auto path = newest_checkpoint(dir.path)) {
+        fs::resize_file(*path, fs::file_size(*path) / 2);
+      }
+      break;
+    }
+    case KillPoint::kCheckpointLost: {
+      if (const auto path = newest_checkpoint(dir.path)) fs::remove(*path);
+      break;
+    }
+    case KillPoint::kDuringRepair:
+      break;
+  }
+
+  // Recovery: bitwise-equal to the uncrashed run at the recovered
+  // epoch, then finish the sequence and match the final answer too.
+  fedshare::serve::DurableLog log(dir.path, log_options);
+  ServiceState state;
+  const fedshare::serve::RecoveryReport report = log.recover(state);
+  EXPECT_EQ(report.total_events, crash_epoch);
+  if (kill == KillPoint::kMidLogAppend) {
+    EXPECT_TRUE(report.used_fallback);  // the torn tail was reported
+  }
+  if (kill == KillPoint::kCheckpointCorrupt &&
+      log_options.checkpoint_every <= crash_epoch) {
+    EXPECT_TRUE(report.used_fallback);  // the corrupt checkpoint was
+  }
+  EXPECT_FALSE(state.dirty());  // recovery replays under no budget
+  expect_bitwise_equal(
+      state.query(), recorded[report.total_events],
+      "recovered at epoch " + std::to_string(report.total_events) +
+          " (kill point " + std::to_string(static_cast<int>(kill)) + ")");
+
+  for (std::size_t i = report.total_events; i < events.size(); ++i) {
+    (void)state.apply(events[i]);
+    log.append(events[i], state);
+    expect_bitwise_equal(state.query(), recorded[i + 1],
+                         "resumed epoch " + std::to_string(i + 1));
+  }
+  expect_bitwise_equal(state.query(), recorded.back(), "final answer");
+}
+
+TEST(ServeChaosTest, CrashRecoveryKillPointMatrixSingleThread) {
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    run_crash_recovery(seed);
+  }
+}
+
+TEST(ServeChaosTest, CrashRecoveryKillPointMatrixFourThreads) {
+  ThreadGuard guard(4);
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    run_crash_recovery(seed);
   }
 }
 

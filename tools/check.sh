@@ -12,7 +12,9 @@
 # dense and revised simplex engines disagree, the warm start stops
 # saving pivots, the batched panel stops being bitwise-identical, or
 # the serve layer's incremental re-solve stops beating a cold
-# re-tabulation, and finally a 10-second differential LP fuzz run
+# re-tabulation, then the crash-recovery gate (tools/crash_check.sh:
+# SIGKILL the serve CLI at every epoch and require the resumed answer
+# to be byte-identical), and finally a 10-second differential LP fuzz run
 # (tools/fuzz_lp) that cross-checks the engines and their
 # optimality/Farkas certificates on random instances.
 #
@@ -38,7 +40,7 @@ cmake -S "$root" -B "$root/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
 ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
-  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|ServeStateTest|ServeChaosTest|StructureParallelTest'
+  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|ServeStateTest|ServeChaosTest|ServeDurabilityTest|StructureParallelTest'
 
 echo "== batched sweep + SIMD lattice smoke (bitwise vs sequential/scalar) =="
 ctest --test-dir "$root/build" -j "$jobs" --output-on-failure \
@@ -59,6 +61,10 @@ cmake --build "$root/build" -j "$jobs" --target perf_verify
 echo "== serve smoke (incremental re-solve vs cold re-tabulation, replay) =="
 cmake --build "$root/build" -j "$jobs" --target perf_serve
 "$root/build/bench/perf_serve" --smoke
+
+echo "== crash recovery (SIGKILL at every epoch, bitwise resume) =="
+cmake --build "$root/build" -j "$jobs" --target fedshare_cli
+"$root/tools/crash_check.sh" "$root/build"
 
 echo "== structure smoke (subset-lattice DP vs brute-force CSG, bitwise) =="
 cmake --build "$root/build" -j "$jobs" --target ablate_structure

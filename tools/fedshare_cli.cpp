@@ -4,9 +4,11 @@
 // Usage: fedshare_cli <federation.ini>
 //        fedshare_cli --serve <events-file>
 //        fedshare_cli --help
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "cli/runner.hpp"
@@ -14,6 +16,7 @@
 #include "exec/pool.hpp"
 #include "lp/simplex.hpp"
 #include "serve/event.hpp"
+#include "serve/log.hpp"
 #include "verify/certificates.hpp"
 
 namespace {
@@ -29,7 +32,11 @@ constexpr const char* kUsage =
                     [--cache-stats]
        fedshare_cli --serve <events-file> [--deadline-ms <ms>]
                     [--threads <n>] [--lp-solver <dense|revised>]
-                    [--no-bounds]
+                    [--no-bounds] [--log-dir <dir>]
+                    [--checkpoint-every <n>] [--retain-checkpoints <k>]
+                    [--maintenance] [--crash-at-epoch <k>]
+       fedshare_cli --compact <log-dir> [--retain-checkpoints <k>]
+                    [--lp-solver <dense|revised>] [--no-bounds]
 
 Computes coalition values, game properties and sharing-scheme shares
 (Shapley, proportional, consumption, equal, nucleolus, Banzhaf) for the
@@ -38,7 +45,10 @@ writes the characteristic function in the fedshare-game v1 format.
 
 Exit codes: 0 success, 1 input/config error, 2 usage error, 3 report or
 serve run degraded under the compute budget (partial but bounded output
-— a one-line note on stderr says which sections degraded and why).
+— a one-line note on stderr says which sections degraded and why),
+4 recovery used a fallback (a torn log tail was dropped or a corrupt
+checkpoint skipped; the answer is exact for the surviving history and
+each fallback is noted on stderr).
 
 Daemon mode (--serve): applies a scripted churn-event file (join /
 leave / outage-start / outage-end / demand, one per line; see docs) to
@@ -47,6 +57,28 @@ incremental re-solve stats and the final share/core/incentive answer.
 With --deadline-ms each event gets that budget; a tripped event leaves
 the previous epoch's answer published (stale-but-bounded) and the run
 exits 3. --no-bounds disables the LP-relaxation bound table.
+
+Durability (--serve with --log-dir): every applied event is appended to
+an fsync'd log segment in <dir>; startup recovers from the newest valid
+checkpoint plus a log-suffix replay (bitwise-identical to a full
+replay) and resumes the script past the durable prefix — so crashing
+and rerunning the same command continues where the crash hit.
+  --log-dir <dir>            durable event-log directory
+  --checkpoint-every <n>     checkpoint every n durable epochs (0=off;
+                             deferred while an epoch is budget-dirty)
+  --retain-checkpoints <k>   keep the newest k checkpoints (default 2)
+  --maintenance              background-repair thread: budget-tripped
+                             epochs heal via retries with exponential
+                             backoff and budget escalation, without
+                             blocking event ingestion
+  --crash-at-epoch <k>       crash injection for the chaos harness:
+                             SIGKILL immediately after epoch k is
+                             durable (no flush, no destructors)
+
+Compaction (--compact <dir>): rewrites the log directory to (checkpoint
+at head epoch, fresh empty segment) so recovery replays at most the
+suffix since the last checkpoint; old segments are removed and
+checkpoints pruned to the retention count.
 
 Resilience options:
   --deadline-ms <ms>       bound the exponential solvers; past the
@@ -135,8 +167,14 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string dump_path;
   std::string serve_path;
+  std::string compact_dir;
   bool serve_bounds = true;
   bool lp_solver_set = false;
+  std::string log_dir;
+  double checkpoint_every = 0.0;
+  double retain_checkpoints = 2.0;
+  bool serve_maintenance = false;
+  std::optional<std::uint64_t> crash_at_epoch;
   fedshare::cli::ReportOptions report_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -150,6 +188,52 @@ int main(int argc, char** argv) {
         return 2;
       }
       serve_path = argv[++i];
+      continue;
+    }
+    if (arg == "--compact") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: --compact needs a log directory\n";
+        return 2;
+      }
+      compact_dir = argv[++i];
+      continue;
+    }
+    if (arg == "--log-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: --log-dir needs a directory\n";
+        return 2;
+      }
+      log_dir = argv[++i];
+      continue;
+    }
+    if (arg == "--checkpoint-every" || arg == "--retain-checkpoints" ||
+        arg == "--crash-at-epoch") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedshare_cli: " << arg << " needs a value\n";
+        return 2;
+      }
+      double value = 0.0;
+      if (!parse_value(arg.c_str(), argv[++i], value)) return 2;
+      if (value < 0.0 || value != static_cast<std::uint64_t>(value)) {
+        std::cerr << "fedshare_cli: " << arg
+                  << " must be a non-negative integer\n";
+        return 2;
+      }
+      if (arg == "--checkpoint-every") {
+        checkpoint_every = value;
+      } else if (arg == "--retain-checkpoints") {
+        if (value < 1.0) {
+          std::cerr << "fedshare_cli: --retain-checkpoints must be >= 1\n";
+          return 2;
+        }
+        retain_checkpoints = value;
+      } else {
+        crash_at_epoch = static_cast<std::uint64_t>(value);
+      }
+      continue;
+    }
+    if (arg == "--maintenance") {
+      serve_maintenance = true;
       continue;
     }
     if (arg == "--no-bounds") {
@@ -297,10 +381,44 @@ int main(int argc, char** argv) {
     }
     config_path = arg;
   }
+  if (!compact_dir.empty()) {
+    if (!config_path.empty() || !serve_path.empty()) {
+      std::cerr << "fedshare_cli: --compact takes only a log directory\n";
+      return 2;
+    }
+    fedshare::serve::ServeOptions serve_options;
+    if (lp_solver_set) serve_options.lp_solver = report_options.lp_solver;
+    serve_options.track_bounds = serve_bounds;
+    fedshare::serve::DurableLogOptions log_options;
+    log_options.checkpoint_every =
+        static_cast<std::uint64_t>(checkpoint_every);
+    log_options.retain_checkpoints = static_cast<int>(retain_checkpoints);
+    try {
+      const auto report = fedshare::serve::compact_log_dir(
+          compact_dir, serve_options, log_options);
+      std::cout << "compacted " << compact_dir << ": " << report.total_events
+                << " events -> checkpoint epoch " << report.total_events
+                << "\n";
+      for (const auto& note : report.notes) {
+        std::cerr << "fedshare_cli: recovery note: " << note << "\n";
+      }
+      return report.used_fallback ? 4 : 0;
+    } catch (const fedshare::serve::ServeError& e) {
+      std::cerr << "fedshare_cli: " << compact_dir << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
   if (!serve_path.empty()) {
     if (!config_path.empty()) {
       std::cerr << "fedshare_cli: --serve takes an events file, not a "
                    "config\n";
+      return 2;
+    }
+    if ((checkpoint_every > 0.0 || crash_at_epoch.has_value()) &&
+        log_dir.empty()) {
+      std::cerr << "fedshare_cli: --checkpoint-every/--crash-at-epoch "
+                   "need --log-dir\n";
       return 2;
     }
     std::ifstream in(serve_path);
@@ -312,6 +430,12 @@ int main(int argc, char** argv) {
     serve_options.deadline_ms = report_options.deadline_ms;
     if (lp_solver_set) serve_options.lp_solver = report_options.lp_solver;
     serve_options.track_bounds = serve_bounds;
+    if (!log_dir.empty()) serve_options.log_dir = log_dir;
+    serve_options.checkpoint_every =
+        static_cast<std::uint64_t>(checkpoint_every);
+    serve_options.retain_checkpoints = static_cast<int>(retain_checkpoints);
+    serve_options.maintenance = serve_maintenance;
+    serve_options.crash_at_epoch = crash_at_epoch;
     try {
       const auto result = fedshare::cli::run_serve(in, serve_options);
       std::cout << result.text;
@@ -325,6 +449,14 @@ int main(int argc, char** argv) {
                      "stale ("
                   << fedshare::runtime::to_string(result.stop) << ")\n";
         return 3;
+      }
+      if (result.recovery_fallback) {
+        for (const auto& note : result.recovery_notes) {
+          std::cerr << "fedshare_cli: recovery note: " << note << "\n";
+        }
+        std::cerr << "fedshare_cli: recovery used a fallback (answer is "
+                     "exact for the surviving history)\n";
+        return 4;
       }
     } catch (const fedshare::serve::ServeError& e) {
       std::cerr << "fedshare_cli: " << serve_path << ": " << e.what()
