@@ -1,0 +1,370 @@
+// Nucleolus macrobenchmark: the orbit-row quotient formulation against
+// the dense 2^n-row formulation it replaces on typed games.
+//
+// The headline workload is 4 facility types with 4 identical players
+// each (n = 16): every probe LP carries 5^4 - 2 = 623 orbit rows where
+// the dense formulation would need 2^16 - 2 = 65534 — past its own
+// guard, so dense cannot attempt the case at all. The binary writes
+// BENCH_nucleolus.json (override the path with FEDSHARE_BENCH_OUT) with
+// rows/LPs/pivots/wall-times for typed n = 8..20, and supports
+// `--smoke`: dense-vs-quotient agreement on every n <= 10 case, a
+// bitwise gate on the dyadic two-type family, the n = 16 row-ratio and
+// dense-refusal gates, and a certification gate (every orbit probe LP
+// certified) — tools/check.sh runs it as a perf-smoke stage.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/nucleolus.hpp"
+#include "core/symmetry.hpp"
+#include "lp/simplex.hpp"
+#include "verify/certified.hpp"
+
+namespace {
+
+using namespace fedshare;
+
+// `types` player types with `copies` interchangeable players each.
+game::PlayerPartition typed_partition(int types, int copies) {
+  std::vector<int> type_of(static_cast<std::size_t>(types * copies));
+  for (int i = 0; i < types * copies; ++i) {
+    type_of[static_cast<std::size_t>(i)] = i / copies;
+  }
+  return game::PlayerPartition::from_type_of(type_of);
+}
+
+// Symmetric by construction (value depends only on per-type counts) and
+// dyadic (integer linear term + 0.125 * total^2), so the LP data is
+// exactly representable.
+game::FunctionGame typed_game(game::PlayerPartition partition,
+                              std::uint64_t seed) {
+  const int n = partition.num_players();
+  return game::FunctionGame(n, [partition, seed](game::Coalition s) {
+    std::vector<int> counts(static_cast<std::size_t>(partition.num_types()),
+                            0);
+    for (const int i : s.members()) {
+      ++counts[static_cast<std::size_t>(partition.type_of(i))];
+    }
+    double acc = 0.0;
+    int total = 0;
+    for (int t = 0; t < partition.num_types(); ++t) {
+      const double c = counts[static_cast<std::size_t>(t)];
+      acc += c * (t + 2.0 + static_cast<double>(seed % 5));
+      total += counts[static_cast<std::size_t>(t)];
+    }
+    return acc + 0.125 * total * total;
+  });
+}
+
+lp::SimplexOptions revised_options() {
+  lp::SimplexOptions options;
+  options.solver = lp::SolverKind::kRevised;
+  return options;
+}
+
+void BM_DenseNucleolus(benchmark::State& state) {
+  const auto partition =
+      typed_partition(4, static_cast<int>(state.range(0)));
+  const game::TabularGame tab = game::tabulate(typed_game(partition, 1));
+  const auto options = revised_options();
+  for (auto _ : state) {
+    const auto r = game::nucleolus(tab, options);
+    benchmark::DoNotOptimize(r.allocation.data());
+  }
+}
+BENCHMARK(BM_DenseNucleolus)->Arg(2);  // n = 8 (the dense ceiling is 10)
+
+void BM_QuotientNucleolus(benchmark::State& state) {
+  const auto partition =
+      typed_partition(4, static_cast<int>(state.range(0)));
+  const game::FunctionGame base = typed_game(partition, 1);
+  const game::QuotientGame quotient(base, partition);
+  (void)quotient.orbit_values();  // measure the LP chain, not the memo fill
+  const auto options = revised_options();
+  for (auto _ : state) {
+    const auto r = game::nucleolus_quotient(quotient, options);
+    benchmark::DoNotOptimize(r.allocation.data());
+  }
+}
+BENCHMARK(BM_QuotientNucleolus)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+// --- BENCH_nucleolus.json -------------------------------------------------
+
+double median_ms(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+template <typename Fn>
+double time_ms(const Fn& fn, int reps) {
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    runs.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median_ms(std::move(runs));
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+struct NucleolusRow {
+  int types = 0;
+  int copies = 0;
+  int n = 0;
+  std::uint64_t dense_rows = 0;   ///< 2^n - 2 (what dense would carry)
+  std::uint64_t orbit_rows = 0;   ///< prod_t (m_t + 1) - 2
+  bool dense_attempted = false;   ///< n <= 10 only
+  double dense_ms = 0.0;
+  double quotient_ms = 0.0;
+  std::uint64_t dense_lps = 0;
+  std::uint64_t quotient_lps = 0;
+  std::uint64_t dense_pivots = 0;
+  std::uint64_t quotient_pivots = 0;
+  double diff = 0.0;  ///< max |dense - quotient| allocation (when both ran)
+};
+
+NucleolusRow measure_nucleolus(int types, int copies, int reps) {
+  const auto partition = typed_partition(types, copies);
+  const game::FunctionGame base = typed_game(partition, 1);
+  const auto options = revised_options();
+
+  NucleolusRow row;
+  row.types = types;
+  row.copies = copies;
+  row.n = types * copies;
+  row.dense_rows = (std::uint64_t{1} << row.n) - 2;
+
+  const game::QuotientGame quotient(base, partition);
+  const auto q = game::nucleolus_quotient(quotient, options);
+  row.orbit_rows = q.excess_rows;
+  row.quotient_lps = q.lps_solved;
+  row.quotient_pivots = q.pivots;
+  row.quotient_ms = time_ms(
+      [&] { (void)game::nucleolus_quotient(quotient, options); }, reps);
+
+  if (row.n <= 10) {
+    row.dense_attempted = true;
+    const game::TabularGame tab = game::tabulate(base);
+    const auto d = game::nucleolus(tab, options);
+    row.dense_lps = d.lps_solved;
+    row.dense_pivots = d.pivots;
+    row.diff = max_abs_diff(d.allocation, q.allocation);
+    row.dense_ms =
+        time_ms([&] { (void)game::nucleolus(tab, options); }, reps);
+  }
+  return row;
+}
+
+void write_summary_json() {
+  std::vector<NucleolusRow> rows;
+  rows.push_back(measure_nucleolus(4, 2, 3));  // n = 8, dense vs quotient
+  rows.push_back(measure_nucleolus(5, 2, 1));  // n = 10, the dense ceiling
+  rows.push_back(measure_nucleolus(4, 3, 1));  // n = 12, quotient only
+  rows.push_back(measure_nucleolus(4, 4, 1));  // n = 16 (the headline)
+  rows.push_back(measure_nucleolus(4, 5, 1));  // n = 20
+  const char* out_env = std::getenv("FEDSHARE_BENCH_OUT");
+  const std::string path = out_env != nullptr && *out_env != '\0'
+                               ? out_env
+                               : "BENCH_nucleolus.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "perf_nucleolus: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"nucleolus\",\n";
+  out << "  \"workload\": \"typed games (T types x k copies), revised "
+         "simplex: dense 2^n-row formulation vs orbit-row quotient\",\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const NucleolusRow& r = rows[i];
+    const double row_ratio =
+        r.orbit_rows > 0
+            ? static_cast<double>(r.dense_rows) /
+                  static_cast<double>(r.orbit_rows)
+            : 0.0;
+    const double speedup =
+        r.dense_attempted && r.quotient_ms > 0.0 ? r.dense_ms / r.quotient_ms
+                                                 : 0.0;
+    out << "    {\"types\": " << r.types << ", \"copies\": " << r.copies
+        << ", \"n\": " << r.n << ", \"dense_rows\": " << r.dense_rows
+        << ", \"orbit_rows\": " << r.orbit_rows
+        << ", \"row_ratio\": " << row_ratio
+        << ", \"dense_attempted\": " << (r.dense_attempted ? "true" : "false")
+        << ", \"dense_ms\": " << r.dense_ms
+        << ", \"quotient_ms\": " << r.quotient_ms
+        << ", \"speedup\": " << speedup
+        << ", \"dense_lps\": " << r.dense_lps
+        << ", \"quotient_lps\": " << r.quotient_lps
+        << ", \"dense_pivots\": " << r.dense_pivots
+        << ", \"quotient_pivots\": " << r.quotient_pivots
+        << ", \"max_abs_diff\": " << r.diff << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::cout << "(summary written to " << path << ")\n";
+}
+
+// --- --smoke: agreement + row-ratio + certification gates -----------------
+
+int run_smoke() {
+  constexpr double kAgreeTol = 1e-7;
+  int failures = 0;
+
+  // Dense-vs-quotient agreement on every n <= 10 typed case.
+  for (const auto& [types, copies] : std::vector<std::pair<int, int>>{
+           {2, 2}, {3, 2}, {4, 2}, {2, 4}, {5, 2}}) {
+    const NucleolusRow row = measure_nucleolus(types, copies, 1);
+    std::cout << "smoke n=" << row.n << " (" << types << "x" << copies
+              << "): rows " << row.dense_rows << " -> " << row.orbit_rows
+              << ", lps " << row.dense_lps << " -> " << row.quotient_lps
+              << ", max_abs_diff=" << row.diff << "\n";
+    if (row.diff > kAgreeTol) {
+      std::cerr << "perf_nucleolus --smoke: quotient disagrees with dense at "
+                   "n="
+                << row.n << " (diff " << row.diff << ", tol " << kAgreeTol
+                << ")\n";
+      ++failures;
+    }
+    if (row.quotient_lps >= row.dense_lps) {
+      std::cerr << "perf_nucleolus --smoke: quotient saved no LPs at n="
+                << row.n << " (" << row.quotient_lps << " vs " << row.dense_lps
+                << ")\n";
+      ++failures;
+    }
+  }
+
+  // Bitwise gate on the dyadic two-type family (2 + 2 players, power-of-
+  // two multiplicities): every simplex ratio is exactly representable,
+  // so the two formulations produce the identical doubles.
+  {
+    const auto partition = typed_partition(2, 2);
+    const auto options = revised_options();
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const game::TabularGame tab =
+          game::tabulate(typed_game(partition, seed * 7919));
+      const auto d = game::nucleolus(tab, options);
+      const game::QuotientGame quotient(tab, partition);
+      const auto q = game::nucleolus_quotient(quotient, options);
+      const double diff = max_abs_diff(d.allocation, q.allocation);
+      if (diff != 0.0) {
+        std::cerr << "perf_nucleolus --smoke: dyadic family seed " << seed
+                  << " not bitwise identical (diff " << diff
+                  << ", want exactly 0)\n";
+        ++failures;
+      }
+    }
+    std::cout << "smoke dyadic 2x2 family: bitwise across 5 seeds\n";
+  }
+
+  // n = 16 headline: dense must refuse, quotient must solve, and the
+  // per-probe row count must shrink by >= 50x.
+  {
+    const auto partition = typed_partition(4, 4);
+    const game::FunctionGame base = typed_game(partition, 1);
+    bool dense_refused = false;
+    try {
+      (void)game::nucleolus(base);
+    } catch (const std::invalid_argument&) {
+      dense_refused = true;
+    }
+    if (!dense_refused) {
+      std::cerr << "perf_nucleolus --smoke: dense accepted n=16 (the row "
+                   "guard is gone)\n";
+      ++failures;
+    }
+    const game::QuotientGame quotient(base, partition);
+    const auto q = game::nucleolus_quotient(quotient, revised_options());
+    const std::uint64_t dense_rows = (std::uint64_t{1} << 16) - 2;
+    std::cout << "smoke n=16: quotient solved=" << (q.solved ? 1 : 0)
+              << " rows " << dense_rows << " -> " << q.excess_rows << " ("
+              << (q.excess_rows > 0
+                      ? static_cast<double>(dense_rows) /
+                            static_cast<double>(q.excess_rows)
+                      : 0.0)
+              << "x)\n";
+    if (!q.solved) {
+      std::cerr << "perf_nucleolus --smoke: quotient failed at n=16\n";
+      ++failures;
+    }
+    if (q.excess_rows * 50 > dense_rows) {
+      std::cerr << "perf_nucleolus --smoke: row reduction below 50x at n=16 ("
+                << dense_rows << " vs " << q.excess_rows << ")\n";
+      ++failures;
+    }
+    double sum = 0.0;
+    for (const double x : q.allocation) sum += x;
+    const double vn = base.value(game::Coalition::grand(16));
+    if (std::abs(sum - vn) > 1e-6 * std::max(1.0, std::abs(vn))) {
+      std::cerr << "perf_nucleolus --smoke: n=16 allocation is not efficient "
+                   "(sum "
+                << sum << " vs V(N) " << vn << ")\n";
+      ++failures;
+    }
+  }
+
+  // Certification gate: every orbit probe LP of a full run carries a
+  // validated certificate (or is repaired by the cascade).
+  {
+    const auto partition = typed_partition(4, 2);
+    const game::TabularGame tab = game::tabulate(typed_game(partition, 1));
+    lp::SimplexOptions options = revised_options();
+    verify::VerifyOptions verify_options;
+    verify_options.level = verify::VerifyLevel::kFull;
+    verify::CertifyingObserver observer(verify_options, options);
+    options.observer = &observer;
+    const game::QuotientGame quotient(tab, partition);
+    const auto r = game::nucleolus_quotient(quotient, options);
+    const auto stats = observer.stats();
+    std::cout << "smoke certify: solves=" << stats.solves
+              << " failures=" << stats.failures << "\n";
+    if (!r.solved || stats.solves != r.lps_solved || stats.failures != 0) {
+      std::cerr << "perf_nucleolus --smoke: certification gate failed "
+                   "(solves "
+                << stats.solves << " vs lps " << r.lps_solved << ", failures "
+                << stats.failures << ")\n";
+      ++failures;
+    }
+  }
+
+  std::cout << (failures == 0 ? "perf-smoke PASSED\n"
+                              : "perf-smoke FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_summary_json();
+  return 0;
+}

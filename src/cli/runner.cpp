@@ -279,6 +279,27 @@ void print_cache_stats(std::ostream& out, const exec::CacheStats& s) {
       << " flushes taking " << s.batch_shard_locks << " shard locks\n";
 }
 
+// Quotient-nucleolus footer line (only when the orbit-row path actually
+// ran, so reports without --symmetry stay byte-identical).
+void print_quotient_nucleolus_stats(std::ostream& out,
+                                    const game::QuotientNucleolusInfo& info) {
+  if (!info.attempted) return;
+  const std::uint64_t lookups = info.orbit_hits + info.orbit_misses;
+  out << "quotient nucleolus: " << info.orbit_rows << " orbit rows (dense "
+      << info.dense_rows << "), " << info.lps_solved << " LPs, " << info.pivots
+      << " pivots, orbit cache ";
+  if (lookups == 0) {
+    out << "unused";
+  } else {
+    const double rate =
+        100.0 * static_cast<double>(info.orbit_hits) /
+        static_cast<double>(lookups);
+    out << info.orbit_hits << "/" << lookups << " hits ("
+        << io::format_double(rate, 1) << "%)";
+  }
+  out << "\n";
+}
+
 // Shared body of the non-resilient report; `lp_solver` picks the
 // simplex engine behind the nucleolus scheme, `verify_level` the
 // --verify behaviour, and `symmetry` the quotient engine (kOff keeps
@@ -321,8 +342,13 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
       << (props.monotone ? "monotone" : "not monotone") << ", "
       << (props.essential ? "essential" : "inessential") << "\n";
 
+  // Under --symmetry the detected partition also routes the nucleolus
+  // through the orbit-row quotient formulation (an all-singletons
+  // partition falls back to the dense path inside compare_schemes).
+  std::optional<game::PlayerPartition> partition;
   if (symmetry != game::SymmetryMode::kOff) {
-    print_symmetry(out, fed, fed.symmetry_partition(symmetry), symmetry);
+    partition = fed.symmetry_partition(symmetry);
+    print_symmetry(out, fed, *partition, symmetry);
   }
 
   io::print_heading(out, "Sharing schemes");
@@ -337,9 +363,10 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
   lp_options.solver = lp_solver;
   verify::VerifyOptions verify_options;
   verify_options.level = verify_level;
+  game::QuotientNucleolusInfo nucleolus_info;
   auto audited = verify::audited_compare_schemes(
       g, fed.availability_weights(), fed.consumption_weights(), lp_options,
-      verify_options);
+      verify_options, partition ? &*partition : nullptr, &nucleolus_info);
   const auto& outcomes = audited.outcomes;
   for (const auto& o : outcomes) {
     std::vector<std::string> row{game::to_string(o.scheme)};
@@ -395,6 +422,7 @@ std::string plain_report(const io::Config& config, lp::SolverKind lp_solver,
   }
   if (cache_stats) {
     print_cache_stats(out, fed.value_cache().stats());
+    print_quotient_nucleolus_stats(out, nucleolus_info);
   }
   return out.str();
 }
@@ -491,9 +519,12 @@ ReportResult resilient_report(const io::Config& config,
            "under deadline)\n";
   }
 
+  // As in plain_report, the --symmetry partition routes the nucleolus
+  // through the orbit-row quotient formulation.
+  std::optional<game::PlayerPartition> partition;
   if (ropts.symmetry != game::SymmetryMode::kOff) {
-    print_symmetry(out, fed, fed.symmetry_partition(ropts.symmetry),
-                   ropts.symmetry);
+    partition = fed.symmetry_partition(ropts.symmetry);
+    print_symmetry(out, fed, *partition, ropts.symmetry);
   }
 
   io::print_heading(out, "Sharing schemes");
@@ -505,17 +536,20 @@ ReportResult resilient_report(const io::Config& config,
   verify::VerifyOptions verify_options;
   verify_options.level = ropts.verify;
   verify::AuditReport audit;
+  game::QuotientNucleolusInfo nucleolus_info;
   runtime::ResilientSchemes rs =
       ropts.verify == verify::VerifyLevel::kOff
           ? runtime::compare_schemes_resilient(
                 tab ? static_cast<const game::Game&>(*tab) : fgame,
                 tab ? &*tab : nullptr, fed.availability_weights(),
-                fed.consumption_weights(), budget, 4096, 1, ropts.lp_solver)
+                fed.consumption_weights(), budget, 4096, 1, ropts.lp_solver,
+                partition ? &*partition : nullptr, &nucleolus_info)
           : runtime::compare_schemes_resilient_verified(
                 tab ? static_cast<const game::Game&>(*tab) : fgame,
                 tab ? &*tab : nullptr, fed.availability_weights(),
                 fed.consumption_weights(), verify_options, &audit, budget,
-                4096, 1, ropts.lp_solver);
+                4096, 1, ropts.lp_solver, partition ? &*partition : nullptr,
+                &nucleolus_info);
   if (rs.shapley_engine == runtime::ShapleyEngine::kMonteCarlo) {
     result.degraded_sections.emplace_back("shapley (monte-carlo fallback)");
   }
@@ -657,6 +691,7 @@ ReportResult resilient_report(const io::Config& config,
   }
   if (ropts.cache_stats) {
     print_cache_stats(out, fed.value_cache().stats());
+    print_quotient_nucleolus_stats(out, nucleolus_info);
   }
   result.text = out.str();
   if (result.degraded()) {

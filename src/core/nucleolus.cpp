@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "lp/batch_solver.hpp"
 #include "lp/revised_simplex.hpp"
@@ -15,6 +17,13 @@ namespace {
 
 constexpr double kTol = 1e-7;
 
+// Dense formulation ceiling: 2^10 - 2 excess rows. Past this the LPs
+// are refused with a pointer at the orbit-row formulation.
+constexpr std::uint64_t kMaxDenseRows = (std::uint64_t{1} << 10) - 2;
+// Orbit-row formulation ceiling. Generous: typed federations with n in
+// the 20s sit at a few thousand orbit rows.
+constexpr std::uint64_t kMaxOrbitRows = std::uint64_t{1} << 15;
+
 // Warm-started chain over LPs that share one constraint set and differ
 // only in objective (the per-coalition aux-max probes and the per-player
 // uniqueness probes of a round). The previous optimum stays primal
@@ -24,6 +33,12 @@ class ObjectiveChain {
  public:
   ObjectiveChain(const lp::Problem& prob, const lp::SimplexOptions& options)
       : solver_(lp::RevisedSimplex(prob, options)) {}
+
+  // From an already-built (and possibly row-patched) engine, seeded with
+  // the basis a previous chain over the same rows ended on — the
+  // round-to-round warm start of the orbit-row probe chains.
+  ObjectiveChain(const lp::RevisedSimplex& engine, lp::Basis basis)
+      : solver_(engine), basis_(std::move(basis)) {}
 
   // Replaces the whole objective vector and re-solves warm. Routed
   // through lp::BatchSolver::solve_objective, so consecutive zero-pivot
@@ -36,6 +51,8 @@ class ObjectiveChain {
     if (sol.optimal()) basis_ = std::move(next);
     return sol;
   }
+
+  [[nodiscard]] const lp::Basis& basis() const noexcept { return basis_; }
 
  private:
   lp::BatchSolver solver_;
@@ -51,6 +68,10 @@ struct RoundContext {
   const std::vector<double>* values = nullptr;
   std::vector<std::pair<std::uint64_t, double>> fixed;
   std::vector<std::uint64_t> active;
+  // One scratch row reused across every add_constraint call: assign()
+  // recycles the capacity, so the 2^n-row rebuilds stop allocating one
+  // vector per coalition.
+  mutable std::vector<double> row_scratch;
 
   [[nodiscard]] lp::Problem base_problem() const {
     const auto nv = static_cast<std::size_t>(n);
@@ -71,14 +92,14 @@ struct RoundContext {
     return prob;
   }
 
-  [[nodiscard]] std::vector<double> row_for(std::uint64_t mask,
-                                            double eps_coeff) const {
-    std::vector<double> row(static_cast<std::size_t>(n) + 1, 0.0);
+  [[nodiscard]] const std::vector<double>& row_for(std::uint64_t mask,
+                                                   double eps_coeff) const {
+    row_scratch.assign(static_cast<std::size_t>(n) + 1, 0.0);
     for (int i = 0; i < n; ++i) {
-      if ((mask >> i) & 1u) row[static_cast<std::size_t>(i)] = 1.0;
+      if ((mask >> i) & 1u) row_scratch[static_cast<std::size_t>(i)] = 1.0;
     }
-    row[static_cast<std::size_t>(n)] = eps_coeff;
-    return row;
+    row_scratch[static_cast<std::size_t>(n)] = eps_coeff;
+    return row_scratch;
   }
 };
 
@@ -91,8 +112,19 @@ NucleolusResult nucleolus(const Game& game) {
 NucleolusResult nucleolus(const Game& game,
                           const lp::SimplexOptions& options) {
   const int n = game.num_players();
-  if (n < 1 || n > 10) {
-    throw std::invalid_argument("nucleolus: n must be in [1, 10]");
+  if (n < 1) {
+    throw std::invalid_argument("nucleolus: need at least one player");
+  }
+  // Row-count guard, not a player-count guard: the dense formulation
+  // carries one excess row per proper coalition.
+  if (n > 63 ||
+      (std::uint64_t{1} << n) - 2 > kMaxDenseRows) {
+    throw std::invalid_argument(
+        "nucleolus: dense formulation needs 2^" + std::to_string(n) +
+        " - 2 excess rows per probe LP (max " +
+        std::to_string(kMaxDenseRows) +
+        "); run the orbit-row quotient formulation instead "
+        "(--symmetry auto/exact, nucleolus_quotient)");
   }
   NucleolusResult out;
   if (n == 1) {
@@ -110,6 +142,7 @@ NucleolusResult nucleolus(const Game& game,
   ctx.values = &tab.values();
   ctx.active.reserve(grand - 1);
   for (std::uint64_t mask = 1; mask < grand; ++mask) ctx.active.push_back(mask);
+  out.excess_rows = grand - 1;
 
   const auto nv = static_cast<std::size_t>(n);
   std::vector<double> allocation;
@@ -133,6 +166,8 @@ NucleolusResult nucleolus(const Game& game,
     } else {
       sol = lp::solve(prob, options);
     }
+    ++out.lps_solved;
+    out.pivots += sol.pivots;
     if (!sol.optimal()) return out;
     const double eps = sol.x[nv];
     out.levels.push_back(eps);
@@ -184,6 +219,8 @@ NucleolusResult nucleolus(const Game& game,
         aux_max.add_constraint(std::move(pin), lp::Relation::kEqual, eps);
         aux_sol = lp::solve(aux_max, options);
       }
+      ++out.lps_solved;
+      out.pivots += aux_sol.pivots;
       if (!aux_sol.optimal()) return out;
       const double max_xs = aux_sol.objective;
       const double bound = tab.values()[mask] - eps;
@@ -242,6 +279,8 @@ NucleolusResult nucleolus(const Game& game,
             p.add_constraint(std::move(pin_eps), lp::Relation::kEqual, eps);
             s2 = lp::solve(p, options);
           }
+          ++out.lps_solved;
+          out.pivots += s2.pivots;
           if (!s2.optimal()) {
             unique = false;
             extremes[dir] = 0.0;
@@ -258,6 +297,251 @@ NucleolusResult nucleolus(const Game& game,
   out.solved = true;
   out.allocation = std::move(allocation);
   return out;
+}
+
+// --- Orbit-row formulation -------------------------------------------------
+//
+// Variables are per-type shares x_0..x_{T-1} plus eps, all free. The
+// efficiency row reads sum_t m_t * x_t == V(N); the excess row of a
+// proper orbit c reads sum_t c_t * x_t + eps >= V(c), the multiplicity
+// weights c_t standing in for the prod_t C(m_t, c_t) identical mask
+// rows it replaces. Correctness of running the scheme on orbit rows:
+// (a) the nucleolus of a symmetric game is a symmetric allocation, so
+// restricting to the symmetric subspace (x_i = x_{type(i)}) keeps the
+// true optimum feasible at every round; (b) within that subspace all
+// masks of an orbit carry the same excess, so the lexicographic
+// minimisation over orbit excesses equals the one over mask excesses —
+// duplicating an entry of a multiset does not change which vector
+// lexicographically dominates; (c) the iterative fix-tight-in-every-
+// optimum scheme computes the lexicographic minimiser on any polytope,
+// independently of how many identical rows each constraint represents.
+NucleolusResult nucleolus_quotient(const QuotientGame& game,
+                                   const lp::SimplexOptions& options) {
+  const OrbitIndex& index = game.orbits();
+  const PlayerPartition& part = index.partition();
+  const int T = index.num_types();
+  const std::uint64_t orbits = index.orbit_count();
+  if (orbits < 2) {
+    throw std::invalid_argument("nucleolus_quotient: need at least one player");
+  }
+  const std::uint64_t rows = orbits - 2;
+  if (rows > kMaxOrbitRows) {
+    throw std::invalid_argument(
+        "nucleolus_quotient: " + std::to_string(rows) +
+        " orbit rows exceed the " + std::to_string(kMaxOrbitRows) +
+        "-row ceiling; coarsen the type partition");
+  }
+
+  NucleolusResult out;
+  out.excess_rows = rows;
+
+  // Orbit values, budget-degradable: with a ComputeBudget attached each
+  // orbit materialisation charges one unit, and a trip surfaces as
+  // solved == false for the caller's fallback cascade.
+  std::vector<double> values;
+  if (options.budget != nullptr) {
+    auto budgeted = game.orbit_values_budgeted(*options.budget);
+    if (!budgeted.has_value()) return out;
+    values = std::move(*budgeted);
+  } else {
+    values = game.orbit_values();
+  }
+  const double grand_value = values[static_cast<std::size_t>(orbits - 1)];
+
+  if (game.num_players() == 1) {
+    out.solved = true;
+    out.allocation = {grand_value};
+    return out;
+  }
+
+  const auto tv = static_cast<std::size_t>(T);  // eps lives at index tv
+  const bool revised = options.solver == lp::SolverKind::kRevised;
+
+  // Proper orbits in ascending id order; the excess row of proper orbit
+  // #k is constraint 1 + k in both problems (row 0 is efficiency), and
+  // the probe problem appends the eps-pin row last.
+  std::vector<std::uint64_t> proper;
+  proper.reserve(static_cast<std::size_t>(rows));
+  for (std::uint64_t o = 1; o + 1 < orbits; ++o) proper.push_back(o);
+  std::vector<char> active(proper.size(), 1);
+
+  std::vector<int> counts;
+  std::vector<double> row;
+  const auto fill_row = [&](std::uint64_t orbit, double eps_coeff) {
+    index.counts_into(orbit, counts);
+    row.assign(tv + 1, 0.0);
+    for (int t = 0; t < T; ++t) {
+      row[static_cast<std::size_t>(t)] =
+          static_cast<double>(counts[static_cast<std::size_t>(t)]);
+    }
+    row[tv] = eps_coeff;
+  };
+
+  // Both LPs are built once; tight-orbit fixing between rounds patches
+  // only the row set (relation flip, eps coefficient dropped, rhs),
+  // in place, on the problems and the persistent revised engines.
+  lp::Problem round_prob(tv + 1, lp::Objective::kMinimize);
+  lp::Problem probe_prob(tv + 1, lp::Objective::kMaximize);
+  for (std::size_t v = 0; v <= tv; ++v) {
+    round_prob.set_free(v);
+    probe_prob.set_free(v);
+  }
+  {
+    std::vector<double> eff(tv + 1, 0.0);
+    for (int t = 0; t < T; ++t) {
+      eff[static_cast<std::size_t>(t)] =
+          static_cast<double>(part.multiplicity(t));
+    }
+    round_prob.add_constraint(eff, lp::Relation::kEqual, grand_value);
+    probe_prob.add_constraint(std::move(eff), lp::Relation::kEqual,
+                              grand_value);
+  }
+  for (const std::uint64_t o : proper) {
+    fill_row(o, 1.0);
+    round_prob.add_constraint(row, lp::Relation::kGreaterEqual,
+                              values[static_cast<std::size_t>(o)]);
+    probe_prob.add_constraint(row, lp::Relation::kGreaterEqual,
+                              values[static_cast<std::size_t>(o)]);
+  }
+  round_prob.set_objective_coefficient(tv, 1.0);
+  const std::size_t pin_row = 1 + proper.size();
+  {
+    std::vector<double> pin(tv + 1, 0.0);
+    pin[tv] = 1.0;
+    probe_prob.add_constraint(std::move(pin), lp::Relation::kEqual, 0.0);
+  }
+
+  std::optional<lp::RevisedSimplex> round_engine;
+  std::optional<lp::RevisedSimplex> probe_engine;
+  if (revised) {
+    round_engine.emplace(round_prob, options);
+    probe_engine.emplace(probe_prob, options);
+  }
+
+  lp::Basis round_basis;
+  lp::Basis probe_basis;
+  std::vector<double> per_type;
+  std::vector<double> obj;
+  std::size_t num_active = proper.size();
+
+  while (num_active > 0) {
+    // 1. Least-core step over the remaining orbit rows, warm from the
+    //    previous round's basis (the row set changed, but prepare()
+    //    re-derives the computational form per solve).
+    lp::Solution sol;
+    if (revised) {
+      sol = round_engine->solve_from_basis(round_basis);
+      if (sol.optimal()) round_basis = round_engine->basis();
+    } else {
+      sol = lp::solve(round_prob, options);
+    }
+    ++out.lps_solved;
+    out.pivots += sol.pivots;
+    if (!sol.optimal()) return out;
+    const double eps = sol.x[tv];
+    out.levels.push_back(eps);
+    per_type.assign(sol.x.begin(), sol.x.begin() + T);
+
+    // 2. Aux-max probes with eps pinned at the optimum: orbit o stays
+    //    active iff some optimal solution pushes x(o) above V(o) - eps.
+    //    All probes of the round run against the same pre-fix row set
+    //    (fixes are collected and applied after the loop), chained warm
+    //    through one BatchSolver frame.
+    if (revised) {
+      probe_engine->set_constraint_rhs(pin_row, eps);
+    } else {
+      probe_prob.set_constraint_rhs(pin_row, eps);
+    }
+    std::optional<ObjectiveChain> chain;
+    if (revised) chain.emplace(*probe_engine, std::move(probe_basis));
+    std::vector<std::pair<std::size_t, double>> newly_fixed;
+    for (std::size_t k = 0; k < proper.size(); ++k) {
+      if (!active[k]) continue;
+      const std::uint64_t o = proper[k];
+      fill_row(o, 0.0);
+      lp::Solution aux_sol;
+      if (revised) {
+        aux_sol = chain->solve(row);
+      } else {
+        for (std::size_t v = 0; v <= tv; ++v) {
+          probe_prob.set_objective_coefficient(v, row[v]);
+        }
+        aux_sol = lp::solve(probe_prob, options);
+      }
+      ++out.lps_solved;
+      out.pivots += aux_sol.pivots;
+      if (!aux_sol.optimal()) return out;
+      const double bound = values[static_cast<std::size_t>(o)] - eps;
+      if (aux_sol.objective <= bound + kTol) {
+        newly_fixed.emplace_back(k, bound);
+      }
+    }
+    if (revised) probe_basis = chain->basis();
+    if (newly_fixed.empty()) break;  // numerically stuck; answer stands
+
+    // Row-set patch: each tight orbit's row becomes an equality pinned
+    // at V(o) - eps_r with the eps column dropped, in place.
+    for (const auto& [k, bound] : newly_fixed) {
+      fill_row(proper[k], 0.0);
+      const std::size_t cidx = 1 + k;
+      round_prob.set_constraint(cidx, row, lp::Relation::kEqual, bound);
+      probe_prob.set_constraint(cidx, row, lp::Relation::kEqual, bound);
+      if (revised) {
+        round_engine->set_constraint(cidx, row, lp::Relation::kEqual, bound);
+        probe_engine->set_constraint(cidx, row, lp::Relation::kEqual, bound);
+      }
+      active[k] = 0;
+      --num_active;
+    }
+
+    // 3. Uniqueness probes on the patched rows (eps still pinned):
+    //    2T probes instead of 2n — one +/- pair per type.
+    if (num_active > 0) {
+      bool unique = true;
+      std::optional<ObjectiveChain> probe_chain;
+      if (revised) {
+        probe_chain.emplace(*probe_engine, std::move(probe_basis));
+      }
+      for (int t = 0; t < T && unique; ++t) {
+        double extremes[2];
+        for (int dir = 0; dir < 2; ++dir) {
+          obj.assign(tv + 1, 0.0);
+          obj[static_cast<std::size_t>(t)] = dir == 0 ? -1.0 : 1.0;
+          lp::Solution s2;
+          if (revised) {
+            s2 = probe_chain->solve(obj);
+          } else {
+            for (std::size_t v = 0; v <= tv; ++v) {
+              probe_prob.set_objective_coefficient(v, obj[v]);
+            }
+            s2 = lp::solve(probe_prob, options);
+          }
+          ++out.lps_solved;
+          out.pivots += s2.pivots;
+          if (!s2.optimal()) {
+            unique = false;
+            extremes[dir] = 0.0;
+            break;
+          }
+          extremes[dir] = dir == 0 ? -s2.objective : s2.objective;
+        }
+        if (unique && extremes[1] - extremes[0] > kTol) unique = false;
+      }
+      if (revised) probe_basis = probe_chain->basis();
+      if (unique) break;
+    }
+  }
+
+  out.solved = true;
+  out.allocation = expand_type_values(part, per_type);
+  return out;
+}
+
+NucleolusResult nucleolus(const Game& game, const PlayerPartition& partition,
+                          const lp::SimplexOptions& options) {
+  if (partition.is_trivial()) return nucleolus(game, options);
+  const QuotientGame quotient(game, partition);
+  return nucleolus_quotient(quotient, options);
 }
 
 }  // namespace fedshare::game

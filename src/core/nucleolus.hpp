@@ -5,11 +5,27 @@
 // solution (decided by one auxiliary LP per candidate), and recurse on the
 // rest until the allocation is unique. If the core is non-empty the result
 // lies in the core (the paper's stated property, which our tests assert).
+//
+// Two formulations share the scheme:
+//  * dense      — one excess row per coalition mask (2^n - 2 rows), the
+//    historical path; refuses games past 2^10 rows.
+//  * orbit-row  — for games symmetric under a PlayerPartition, one excess
+//    row per *orbit* with multiplicity weights: variables are per-type
+//    shares x_t, the row of orbit c reads sum_t c_t * x_t + eps >= V(c),
+//    and the whole probe chain runs on prod_t (m_t + 1) - 2 rows. The
+//    nucleolus of a symmetric game is symmetric (swapping two same-type
+//    players permutes the excess multiset, and the nucleolus is unique),
+//    so restricting the LPs to the symmetric subspace loses nothing and
+//    the per-type optimum expands to the per-player allocation with
+//    members of a type sharing equally. Raises the ceiling from n = 10
+//    to typed federations bounded only by orbit count.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/game.hpp"
+#include "core/symmetry.hpp"
 #include "lp/simplex.hpp"
 
 namespace fedshare::game {
@@ -19,10 +35,18 @@ struct NucleolusResult {
   bool solved = false;             ///< all LPs solved to optimality
   std::vector<double> allocation;  ///< the nucleolus payoff vector
   std::vector<double> levels;      ///< epsilon level fixed at each round
+  /// Introspection for the bench/report layers (filled by both
+  /// formulations): excess rows carried by every probe LP, LPs solved
+  /// across the scheme, and total simplex pivots.
+  std::uint64_t excess_rows = 0;
+  std::uint64_t lps_solved = 0;
+  std::uint64_t pivots = 0;
 };
 
-/// Computes the nucleolus. Requires 1 <= n <= 10 (each round solves up to
-/// 2^n auxiliary LPs over 2^n rows).
+/// Computes the nucleolus on the dense formulation (one excess row per
+/// coalition). Guarded by row count: games needing more than 2^10 - 2
+/// excess rows (n > 10) are refused with a message pointing at the
+/// orbit-row formulation (--symmetry auto/exact).
 [[nodiscard]] NucleolusResult nucleolus(const Game& game);
 
 /// Variant threading solver options (in particular a ComputeBudget)
@@ -30,6 +54,24 @@ struct NucleolusResult {
 /// result comes back with solved == false rather than hanging; callers
 /// degrade (the CLI drops the nucleolus row with a resilience note).
 [[nodiscard]] NucleolusResult nucleolus(const Game& game,
+                                        const lp::SimplexOptions& options);
+
+/// Orbit-row nucleolus of a game quotiented by a player partition. The
+/// base game must actually be symmetric under the partition (the
+/// QuotientGame contract; see verified_partition). Orbit values come
+/// from the QuotientGame's sharded cache — with options.budget set they
+/// are materialised under the budget (one unit per orbit row) and a
+/// trip returns solved == false, the PR 1 fallback-cascade hook.
+/// Guarded on orbit count (2^15 rows) instead of player count.
+[[nodiscard]] NucleolusResult nucleolus_quotient(
+    const QuotientGame& game, const lp::SimplexOptions& options = {});
+
+/// Dispatch: the orbit-row formulation when `partition` is non-trivial,
+/// the dense formulation otherwise (an all-singletons partition quotients
+/// nothing — every orbit is a mask — so dense is the faster identical
+/// answer).
+[[nodiscard]] NucleolusResult nucleolus(const Game& game,
+                                        const PlayerPartition& partition,
                                         const lp::SimplexOptions& options);
 
 }  // namespace fedshare::game

@@ -83,6 +83,15 @@ std::vector<SchemeOutcome> compare_schemes(
     const Game& game, const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const lp::SimplexOptions& lp_options) {
+  return compare_schemes(game, availability_weights, consumption_weights,
+                         lp_options, nullptr, nullptr);
+}
+
+std::vector<SchemeOutcome> compare_schemes(
+    const Game& game, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const lp::SimplexOptions& lp_options, const PlayerPartition* partition,
+    QuotientNucleolusInfo* info) {
   const int n = game.num_players();
   // Tabulate once: every scheme below (Shapley, the per-scheme core
   // checks, nucleolus, Banzhaf) re-reads the same table instead of
@@ -122,7 +131,43 @@ std::vector<SchemeOutcome> compare_schemes(
          proportional_shares(consumption_weights));
   }
   push(Scheme::kEqual, equal_shares(n));
-  if (n <= 10) push(Scheme::kNucleolus, nucleolus_shares(tab, lp_options));
+  // Nucleolus: the orbit-row quotient formulation when a non-trivial
+  // partition certifies interchangeable players (scales with orbit
+  // count), the dense 2^n-row formulation otherwise (n <= 10 only).
+  // The all-singletons fallback keeps this overload byte-identical to
+  // the partition-less one: every orbit is a mask, so quotienting
+  // saves nothing.
+  if (partition != nullptr && !partition->is_trivial()) {
+    const QuotientGame quotient(tab, *partition);
+    const NucleolusResult r = nucleolus_quotient(quotient, lp_options);
+    if (!r.solved) {
+      throw std::runtime_error("compare_schemes: quotient nucleolus failed");
+    }
+    if (info != nullptr) {
+      info->attempted = true;
+      info->used = true;
+      info->orbit_rows = r.excess_rows;
+      info->dense_rows =
+          n < 63 ? (std::uint64_t{1} << n) - 2 : 0;
+      info->lps_solved = r.lps_solved;
+      info->pivots = r.pivots;
+      const auto stats = quotient.cache().stats();
+      info->orbit_hits = stats.hits;
+      info->orbit_misses = stats.misses;
+    }
+    std::vector<double> shares;
+    if (std::abs(total) < 1e-12) {
+      shares = equal_shares(n);
+    } else {
+      shares.resize(r.allocation.size());
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        shares[i] = r.allocation[i] / total;
+      }
+    }
+    push(Scheme::kNucleolus, std::move(shares));
+  } else if (n <= 10) {
+    push(Scheme::kNucleolus, nucleolus_shares(tab, lp_options));
+  }
   push(Scheme::kBanzhaf, banzhaf_index(tab));
   return out;
 }

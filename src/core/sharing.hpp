@@ -11,10 +11,12 @@
 // schemes (L_i * R_i for availability; allocated units for consumption).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/game.hpp"
+#include "core/symmetry.hpp"
 #include "lp/simplex.hpp"
 
 namespace fedshare::game {
@@ -75,5 +77,31 @@ struct SchemeOutcome {
     const Game& game, const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const lp::SimplexOptions& lp_options);
+
+/// Telemetry from the quotient-nucleolus path of a comparison run, for
+/// the CLI's --cache-stats section and the benches.
+struct QuotientNucleolusInfo {
+  bool attempted = false;  ///< a non-trivial partition was supplied
+  bool used = false;       ///< the orbit-row formulation produced the row
+  std::uint64_t orbit_rows = 0;   ///< excess rows per probe LP (quotient)
+  std::uint64_t dense_rows = 0;   ///< rows the dense formulation would carry
+  std::uint64_t lps_solved = 0;
+  std::uint64_t pivots = 0;
+  std::uint64_t orbit_hits = 0;    ///< orbit-cache hits while solving
+  std::uint64_t orbit_misses = 0;  ///< orbit values actually materialised
+};
+
+/// Partition-aware variant: with a non-trivial `partition` (and a game
+/// that is symmetric under it — the caller's contract, see
+/// verified_partition) the nucleolus runs on the orbit-row quotient
+/// formulation, lifting the scheme past the dense n <= 10 ceiling; an
+/// all-singletons partition (or nullptr) falls back to the dense path,
+/// byte-identical to the 4-argument overload. `info`, when non-null,
+/// receives the quotient-path telemetry.
+[[nodiscard]] std::vector<SchemeOutcome> compare_schemes(
+    const Game& game, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const lp::SimplexOptions& lp_options, const PlayerPartition* partition,
+    QuotientNucleolusInfo* info = nullptr);
 
 }  // namespace fedshare::game

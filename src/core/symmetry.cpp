@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/lattice.hpp"
@@ -187,6 +188,18 @@ std::vector<int> OrbitIndex::counts(std::uint64_t orbit) const {
         (static_cast<std::uint64_t>(partition_.multiplicity(t)) + 1));
   }
   return c;
+}
+
+void OrbitIndex::counts_into(std::uint64_t orbit,
+                             std::vector<int>& out) const {
+  const int T = num_types();
+  out.resize(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    out[ut] = static_cast<int>(
+        (orbit / stride_[ut]) %
+        (static_cast<std::uint64_t>(partition_.multiplicity(t)) + 1));
+  }
 }
 
 std::uint64_t OrbitIndex::representative(std::uint64_t orbit) const {
@@ -381,6 +394,43 @@ std::vector<double> banzhaf_from_orbit_table(
   }
   const double scale = 1.0 / static_cast<double>(std::uint64_t{1} << (n - 1));
   return quotient_marginal_sum(index, orbit_values, nullptr, scale);
+}
+
+std::vector<double> expand_type_values(const PlayerPartition& partition,
+                                       const std::vector<double>& per_type) {
+  if (per_type.size() != static_cast<std::size_t>(partition.num_types())) {
+    throw std::invalid_argument(
+        "expand_type_values: one entry per type required");
+  }
+  std::vector<double> out(static_cast<std::size_t>(partition.num_players()));
+  for (int i = 0; i < partition.num_players(); ++i) {
+    out[static_cast<std::size_t>(i)] =
+        per_type[static_cast<std::size_t>(partition.type_of(i))];
+  }
+  return out;
+}
+
+double orbit_excess(const OrbitIndex& index,
+                    const std::vector<double>& orbit_values,
+                    const std::vector<double>& per_type_x,
+                    std::uint64_t orbit) {
+  std::vector<int> c = index.counts(orbit);
+  double xs = 0.0;
+  for (int t = 0; t < index.num_types(); ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    xs += static_cast<double>(c[ut]) * per_type_x[ut];
+  }
+  return orbit_values[static_cast<std::size_t>(orbit)] - xs;
+}
+
+double max_orbit_excess(const OrbitIndex& index,
+                        const std::vector<double>& orbit_values,
+                        const std::vector<double>& per_type_x) {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t o = 1; o + 1 < index.orbit_count(); ++o) {
+    worst = std::max(worst, orbit_excess(index, orbit_values, per_type_x, o));
+  }
+  return worst;
 }
 
 QuotientGame::QuotientGame(const Game& base, PlayerPartition partition)

@@ -110,6 +110,21 @@ class OrbitIndex {
   /// Type counts (c_1, ..., c_T) of an orbit.
   [[nodiscard]] std::vector<int> counts(std::uint64_t orbit) const;
 
+  /// counts() into a caller-owned buffer (resized to num_types()); the
+  /// allocation-free flavour the orbit-row LP builders iterate with.
+  void counts_into(std::uint64_t orbit, std::vector<int>& out) const;
+
+  /// The grand orbit id (every type at full multiplicity).
+  [[nodiscard]] std::uint64_t grand_orbit() const noexcept {
+    return orbit_count_ - 1;
+  }
+
+  /// True for the orbits that carry an excess row in the quotient
+  /// nucleolus LP: neither the empty orbit (id 0) nor the grand orbit.
+  [[nodiscard]] bool is_proper(std::uint64_t orbit) const noexcept {
+    return orbit != 0 && orbit != orbit_count_ - 1;
+  }
+
   /// The canonical representative mask: the c_t lowest-indexed members
   /// of each type.
   [[nodiscard]] std::uint64_t representative(std::uint64_t orbit) const;
@@ -179,6 +194,31 @@ class OrbitIndex {
 /// with the uniform 2^-(n-1) weight).
 [[nodiscard]] std::vector<double> banzhaf_from_orbit_table(
     const OrbitIndex& index, const std::vector<double>& orbit_values);
+
+/// Expands a per-type vector to a per-player vector (members of a type
+/// all receive that type's entry). The read-back half of the orbit-row
+/// nucleolus: symmetric players provably receive equal nucleolus
+/// payoffs, so the quotient LP's per-type shares ARE the allocation.
+[[nodiscard]] std::vector<double> expand_type_values(
+    const PlayerPartition& partition, const std::vector<double>& per_type);
+
+/// The excess V(o) - sum_t c_t(o) * x_t of one orbit under per-type
+/// shares `per_type_x`. Every mask in the orbit has exactly this excess
+/// under the expanded allocation, which is the expansion-correctness
+/// hook the swap-test oracle and the auditors lean on: checking one row
+/// per orbit proves the property for all prod_t C(m_t, c_t) masks.
+[[nodiscard]] double orbit_excess(const OrbitIndex& index,
+                                  const std::vector<double>& orbit_values,
+                                  const std::vector<double>& per_type_x,
+                                  std::uint64_t orbit);
+
+/// max over proper orbits of orbit_excess(): equals the full-lattice
+/// max_core_violation of the expanded allocation whenever the base game
+/// really is symmetric under the partition. Auditors compare the two to
+/// certify a quotient nucleolus from raw full-lattice data.
+[[nodiscard]] double max_orbit_excess(const OrbitIndex& index,
+                                      const std::vector<double>& orbit_values,
+                                      const std::vector<double>& per_type_x);
 
 /// A game quotiented by a player partition: V is evaluated once per
 /// orbit (on the canonical representative, memoized in a sharded

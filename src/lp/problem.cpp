@@ -43,6 +43,19 @@ void Problem::set_constraint_rhs(std::size_t constraint, double rhs) {
   constraints_[constraint].rhs = rhs;
 }
 
+void Problem::set_constraint(std::size_t constraint,
+                             std::vector<double> coefficients,
+                             Relation relation, double rhs) {
+  if (constraint >= constraints_.size()) {
+    throw std::out_of_range("Problem: constraint index out of range");
+  }
+  if (coefficients.size() != objective_.size()) {
+    throw std::invalid_argument(
+        "Problem::set_constraint: coefficient count must match variables");
+  }
+  constraints_[constraint] = {std::move(coefficients), relation, rhs};
+}
+
 bool Problem::is_free(std::size_t variable) const {
   if (variable >= free_.size()) {
     throw std::out_of_range("Problem: variable index out of range");

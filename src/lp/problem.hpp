@@ -47,6 +47,15 @@ class Problem {
   /// capacity patches): build once, patch in place, re-solve.
   void set_constraint_rhs(std::size_t constraint, double rhs);
 
+  /// Replaces an existing constraint wholesale (coefficients, relation,
+  /// rhs). The row-set patching path for probe chains whose constraint
+  /// *set* evolves in place — e.g. the nucleolus converting an active
+  /// excess row `a^T x + eps >= b` into a fixed row `a^T x == b'`
+  /// between rounds — without rebuilding the whole problem.
+  void set_constraint(std::size_t constraint,
+                      std::vector<double> coefficients, Relation relation,
+                      double rhs);
+
   [[nodiscard]] std::size_t num_variables() const noexcept {
     return objective_.size();
   }

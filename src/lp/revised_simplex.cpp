@@ -90,6 +90,60 @@ void RevisedSimplex::set_constraint_rhs(std::size_t constraint, double rhs) {
   if (mirror_.has_value()) mirror_->set_constraint_rhs(constraint, rhs);
 }
 
+void RevisedSimplex::set_constraint(std::size_t constraint,
+                                    const std::vector<double>& coefficients,
+                                    Relation relation, double rhs) {
+  if (constraint >= constraint_map_.size()) {
+    throw std::out_of_range("RevisedSimplex: constraint index out of range");
+  }
+  if (coefficients.size() != n_) {
+    throw std::invalid_argument(
+        "RevisedSimplex::set_constraint: coefficient count must match "
+        "variables");
+  }
+  ConstraintMap& map = constraint_map_[constraint];
+  if (map.is_bound) {
+    throw std::invalid_argument(
+        "RevisedSimplex::set_constraint: constraint was presolved into a "
+        "variable bound; only real rows can be replaced in place");
+  }
+  bool any = false;
+  for (const double c : coefficients) {
+    if (c != 0.0) { any = true; break; }
+  }
+  if (!any) {
+    throw std::invalid_argument(
+        "RevisedSimplex::set_constraint: row must keep at least one "
+        "nonzero coefficient");
+  }
+  const std::size_t row = map.index;
+  // Rewrite the row's entry in every structural column. Column entry
+  // lists are kept sorted by row (construction order), so removal and
+  // in-place update preserve the deterministic iteration order; an
+  // insertion goes to its sorted slot.
+  for (std::size_t v = 0; v < n_; ++v) {
+    auto& col = cols_[v];
+    auto it = std::lower_bound(
+        col.begin(), col.end(), row,
+        [](const ColEntry& e, std::size_t r) { return e.row < r; });
+    const bool present = it != col.end() && it->row == row;
+    const double c = coefficients[v];
+    if (c == 0.0) {
+      if (present) col.erase(it);
+    } else if (present) {
+      it->value = c;
+    } else {
+      col.insert(it, ColEntry{row, c});
+    }
+  }
+  map.relation = relation;
+  row_relation_[row] = relation;
+  constraint_rhs_[constraint] = rhs;
+  if (mirror_.has_value()) {
+    mirror_->set_constraint(constraint, coefficients, relation, rhs);
+  }
+}
+
 void RevisedSimplex::set_bounds(std::size_t variable, double lower,
                                 double upper) {
   if (variable >= n_) {

@@ -112,6 +112,20 @@ class RevisedSimplex {
   /// original Problem's constraint list, bound rows included).
   void set_constraint_rhs(std::size_t constraint, double rhs);
 
+  /// Replaces an existing *row-mapped* constraint wholesale
+  /// (coefficients, relation, rhs) without disturbing the rest of the
+  /// computational form. The row-set patching path for probe chains:
+  /// the nucleolus fixes a tight excess row `a^T x + eps >= b` into
+  /// `a'^T x == b'` between rounds and keeps re-solving warm from the
+  /// previous basis — prepare()/factorize() run per solve, so the next
+  /// solve_from_basis picks the edit up with no further invalidation.
+  /// The constraint must have been a real row at construction (not a
+  /// presolved singleton bound) and the new coefficients must not be
+  /// all zero; throws std::invalid_argument otherwise.
+  void set_constraint(std::size_t constraint,
+                      const std::vector<double>& coefficients,
+                      Relation relation, double rhs);
+
   /// Replaces the declared bounds of structural variable `variable`.
   /// Use -inf/+inf for unbounded sides; singleton-row bounds still
   /// intersect with these.

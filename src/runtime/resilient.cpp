@@ -148,7 +148,8 @@ ResilientSchemes compare_schemes_impl(
     const std::vector<double>& consumption_weights,
     const ComputeBudget& budget, std::uint64_t mc_samples,
     std::uint64_t mc_seed, lp::SolverKind lp_solver,
-    lp::SolveObserver* observer) {
+    lp::SolveObserver* observer, const game::PlayerPartition* partition,
+    game::QuotientNucleolusInfo* nucleolus_info) {
   const int n = game.num_players();
   const double total =
       tab != nullptr ? tab->grand_value() : game.grand_value();
@@ -200,7 +201,13 @@ ResilientSchemes compare_schemes_impl(
   }
   push(game::Scheme::kEqual, game::equal_shares(n));
 
-  if (n <= 10) {
+  // Nucleolus: the orbit-row quotient formulation when a non-trivial
+  // partition certifies interchangeable players (no n ceiling — rows
+  // scale with orbit count), the dense 2^n-row formulation otherwise
+  // (n <= 10 only). Budget trips in either path degrade to a note.
+  const bool quotient_nucleolus =
+      partition != nullptr && !partition->is_trivial();
+  if (quotient_nucleolus || n <= 10) {
     if (tab == nullptr) {
       out.notes.emplace_back(
           "nucleolus: skipped (coalition table unavailable under deadline)");
@@ -212,7 +219,25 @@ ResilientSchemes compare_schemes_impl(
       options.solver = lp_solver;
       options.budget = &budget;
       options.observer = observer;
-      const auto r = game::nucleolus(*tab, options);
+      game::NucleolusResult r;
+      if (quotient_nucleolus) {
+        const game::QuotientGame quotient(*tab, *partition);
+        r = game::nucleolus_quotient(quotient, options);
+        if (nucleolus_info != nullptr) {
+          nucleolus_info->attempted = true;
+          nucleolus_info->used = r.solved;
+          nucleolus_info->orbit_rows = r.excess_rows;
+          nucleolus_info->dense_rows =
+              n < 63 ? (std::uint64_t{1} << n) - 2 : 0;
+          nucleolus_info->lps_solved = r.lps_solved;
+          nucleolus_info->pivots = r.pivots;
+          const auto stats = quotient.cache().stats();
+          nucleolus_info->orbit_hits = stats.hits;
+          nucleolus_info->orbit_misses = stats.misses;
+        }
+      } else {
+        r = game::nucleolus(*tab, options);
+      }
       if (r.solved) {
         std::vector<double> shares;
         if (std::abs(total) < 1e-12) {
@@ -254,10 +279,12 @@ ResilientSchemes compare_schemes_resilient(
     const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const ComputeBudget& budget, std::uint64_t mc_samples,
-    std::uint64_t mc_seed, lp::SolverKind lp_solver) {
+    std::uint64_t mc_seed, lp::SolverKind lp_solver,
+    const game::PlayerPartition* partition,
+    game::QuotientNucleolusInfo* nucleolus_info) {
   return compare_schemes_impl(game, tab, availability_weights,
                               consumption_weights, budget, mc_samples, mc_seed,
-                              lp_solver, nullptr);
+                              lp_solver, nullptr, partition, nucleolus_info);
 }
 
 ResilientSchemes compare_schemes_resilient_verified(
@@ -266,11 +293,14 @@ ResilientSchemes compare_schemes_resilient_verified(
     const std::vector<double>& consumption_weights,
     const verify::VerifyOptions& verify_options, verify::AuditReport* audit,
     const ComputeBudget& budget, std::uint64_t mc_samples,
-    std::uint64_t mc_seed, lp::SolverKind lp_solver) {
+    std::uint64_t mc_seed, lp::SolverKind lp_solver,
+    const game::PlayerPartition* partition,
+    game::QuotientNucleolusInfo* nucleolus_info) {
   if (verify_options.level == verify::VerifyLevel::kOff || audit == nullptr) {
     return compare_schemes_resilient(game, tab, availability_weights,
                                      consumption_weights, budget, mc_samples,
-                                     mc_seed, lp_solver);
+                                     mc_seed, lp_solver, partition,
+                                     nucleolus_info);
   }
 
   lp::SimplexOptions base;
@@ -280,7 +310,8 @@ ResilientSchemes compare_schemes_resilient_verified(
   const bool full = verify_options.level == verify::VerifyLevel::kFull;
   ResilientSchemes out = compare_schemes_impl(
       game, tab, availability_weights, consumption_weights, budget, mc_samples,
-      mc_seed, lp_solver, full ? &observer : nullptr);
+      mc_seed, lp_solver, full ? &observer : nullptr, partition,
+      nucleolus_info);
 
   if (tab != nullptr) {
     *audit = verify::audit_game(*tab, verify_options);

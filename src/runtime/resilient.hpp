@@ -104,13 +104,19 @@ struct ResilientSchemes {
 /// `game` directly. Pass empty weight vectors to skip the proportional
 /// schemes, mirroring game::compare_schemes. `lp_solver` picks the
 /// simplex engine for the nucleolus LPs (the CLI's --lp-solver flag).
+/// A non-trivial `partition` routes the nucleolus through the orbit-row
+/// quotient formulation (see game::nucleolus_quotient), lifting the
+/// dense n <= 10 ceiling; a budget trip inside the quotient path still
+/// degrades to a skip note instead of throwing.
 [[nodiscard]] ResilientSchemes compare_schemes_resilient(
     const game::Game& game, const game::TabularGame* tab,
     const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const ComputeBudget& budget = {}, std::uint64_t mc_samples = 4096,
     std::uint64_t mc_seed = 1,
-    lp::SolverKind lp_solver = lp::SolverKind::kDense);
+    lp::SolverKind lp_solver = lp::SolverKind::kDense,
+    const game::PlayerPartition* partition = nullptr,
+    game::QuotientNucleolusInfo* nucleolus_info = nullptr);
 
 /// Verification-aware variant (the CLI's --verify flag with a deadline
 /// active). Behaviour by verify_options.level:
@@ -129,6 +135,8 @@ struct ResilientSchemes {
     const verify::VerifyOptions& verify_options, verify::AuditReport* audit,
     const ComputeBudget& budget = {}, std::uint64_t mc_samples = 4096,
     std::uint64_t mc_seed = 1,
-    lp::SolverKind lp_solver = lp::SolverKind::kDense);
+    lp::SolverKind lp_solver = lp::SolverKind::kDense,
+    const game::PlayerPartition* partition = nullptr,
+    game::QuotientNucleolusInfo* nucleolus_info = nullptr);
 
 }  // namespace fedshare::runtime

@@ -126,7 +126,12 @@ void audit_outcomes(const game::TabularGame& g,
 
   // Nucleolus excess optimality: its maximum excess must match the
   // least-core epsilon — the first level of the lexicographic minimum.
-  if (n >= 2 && n <= 10 && std::abs(vn) > 1e-12) {
+  // Checked from the raw full-lattice data (the dense least-core LP over
+  // every coalition row), so for quotient-computed nucleoli this is an
+  // independent certificate that the expanded per-facility allocation is
+  // excess-optimal on the whole 2^n lattice, not just on orbit rows.
+  // n <= 12 is the dense least-core ceiling.
+  if (n >= 2 && n <= 12 && std::abs(vn) > 1e-12) {
     for (const auto& outcome : outcomes) {
       if (outcome.scheme != game::Scheme::kNucleolus) continue;
       lp::SimplexOptions cold = lp_options;
@@ -151,10 +156,21 @@ AuditedSchemes audited_compare_schemes(
     const game::Game& g, const std::vector<double>& availability_weights,
     const std::vector<double>& consumption_weights,
     const lp::SimplexOptions& lp_options, const VerifyOptions& options) {
+  return audited_compare_schemes(g, availability_weights, consumption_weights,
+                                 lp_options, options, nullptr, nullptr);
+}
+
+AuditedSchemes audited_compare_schemes(
+    const game::Game& g, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const lp::SimplexOptions& lp_options, const VerifyOptions& options,
+    const game::PlayerPartition* partition,
+    game::QuotientNucleolusInfo* info) {
   AuditedSchemes result;
   if (options.level == VerifyLevel::kOff) {
-    result.outcomes = game::compare_schemes(g, availability_weights,
-                                            consumption_weights, lp_options);
+    result.outcomes =
+        game::compare_schemes(g, availability_weights, consumption_weights,
+                              lp_options, partition, info);
     return result;
   }
 
@@ -165,8 +181,9 @@ AuditedSchemes audited_compare_schemes(
     CertifyingObserver observer(options, lp_options);
     lp::SimplexOptions observed = lp_options;
     observed.observer = &observer;
-    result.outcomes = game::compare_schemes(tab, availability_weights,
-                                            consumption_weights, observed);
+    result.outcomes =
+        game::compare_schemes(tab, availability_weights, consumption_weights,
+                              observed, partition, info);
     result.report = audit_game(tab, options);
     audit_outcomes(tab, result.outcomes, lp_options, options, result.report);
     result.report.lp = observer.stats();
@@ -179,8 +196,9 @@ AuditedSchemes audited_compare_schemes(
           static_cast<double>(result.report.lp.failures));
     }
   } else {
-    result.outcomes = game::compare_schemes(tab, availability_weights,
-                                            consumption_weights, lp_options);
+    result.outcomes =
+        game::compare_schemes(tab, availability_weights, consumption_weights,
+                              lp_options, partition, info);
     result.report = audit_game(tab, options);
     audit_outcomes(tab, result.outcomes, lp_options, options, result.report);
   }

@@ -91,4 +91,18 @@ struct AuditedSchemes {
     const std::vector<double>& consumption_weights,
     const lp::SimplexOptions& lp_options, const VerifyOptions& options);
 
+/// Partition-aware variant: forwards `partition`/`info` to the
+/// partition-aware game::compare_schemes, so the nucleolus runs on the
+/// orbit-row quotient formulation when the partition is non-trivial —
+/// and, at n <= 12, the audit independently re-checks the expanded
+/// allocation's excess optimality from raw full-lattice data. At kFull
+/// every orbit probe LP runs under the certificate cascade exactly like
+/// the dense rows did.
+[[nodiscard]] AuditedSchemes audited_compare_schemes(
+    const game::Game& game, const std::vector<double>& availability_weights,
+    const std::vector<double>& consumption_weights,
+    const lp::SimplexOptions& lp_options, const VerifyOptions& options,
+    const game::PlayerPartition* partition,
+    game::QuotientNucleolusInfo* info = nullptr);
+
 }  // namespace fedshare::verify

@@ -40,7 +40,7 @@ cmake -S "$root" -B "$root/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFEDSHARE_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" --target fedshare_tests
 ctest --test-dir "$root/build-tsan" -j "$jobs" --output-on-failure \
-  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|ServeStateTest|ServeChaosTest|ServeDurabilityTest|StructureParallelTest'
+  -R 'ExecTest|LpSweep|LatticeProperty|SymmetryProperty|NucleolusQuotient|ServeStateTest|ServeChaosTest|ServeDurabilityTest|StructureParallelTest'
 
 echo "== batched sweep + SIMD lattice smoke (bitwise vs sequential/scalar) =="
 ctest --test-dir "$root/build" -j "$jobs" --output-on-failure \
@@ -53,6 +53,10 @@ cmake --build "$root/build" -j "$jobs" --target perf_simplex
 echo "== quotient smoke (symmetry quotient vs full sweep) =="
 cmake --build "$root/build" -j "$jobs" --target perf_quotient
 "$root/build/bench/perf_quotient" --smoke
+
+echo "== nucleolus smoke (orbit-row quotient vs dense formulation) =="
+cmake --build "$root/build" -j "$jobs" --target perf_nucleolus
+"$root/build/bench/perf_nucleolus" --smoke
 
 echo "== verification smoke (certified vs plain sweep) =="
 cmake --build "$root/build" -j "$jobs" --target perf_verify
